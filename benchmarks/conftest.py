@@ -1,0 +1,28 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one paper table/figure and prints a
+paper-vs-measured comparison block so the EXPERIMENTS.md numbers can be
+audited straight from ``pytest benchmarks/ --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def report(title: str, rows: list) -> None:
+    """Print a formatted paper-vs-measured block.
+
+    Args:
+        title: The artifact name (e.g. 'Fig. 12 -- range vs voltage').
+        rows: (label, paper_value, measured_value) triples; values are
+            preformatted strings.
+    """
+    width = max(len(label) for label, _, _ in rows) if rows else 20
+    line = "=" * (width + 44)
+    out = [line, title, line]
+    out.append(f"{'metric':<{width}}  {'paper':>18}  {'measured':>18}")
+    for label, paper, measured in rows:
+        out.append(f"{label:<{width}}  {paper:>18}  {measured:>18}")
+    out.append(line)
+    print("\n" + "\n".join(out), file=sys.stderr)

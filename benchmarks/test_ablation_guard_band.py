@@ -1,0 +1,45 @@
+"""Ablation: the backscatter link frequency (guard band) vs decode quality.
+
+The shifted-BLF scheme (Sec. 3.4, Appendix C) moves the uplink sidebands
+away from the self-interfering CBW.  This ablation sweeps the BLF and
+measures decode errors: with no guard band (tiny BLF) the 10x carrier
+leakage swamps the sideband; with a healthy BLF decoding is clean.
+"""
+
+import numpy as np
+
+from conftest import report
+
+from repro.link import UplinkPassbandSimulator
+from repro.phy.modem import BackscatterModulator
+
+
+def evaluate():
+    rng = np.random.default_rng(17)
+    bits = list(rng.integers(0, 2, size=24))
+    outcomes = {}
+    for blf in (2e3, 4e3, 10e3, 20e3):
+        modulator = BackscatterModulator(blf=blf, bitrate=1e3)
+        simulator = UplinkPassbandSimulator(modulator=modulator, seed=23)
+        result = simulator.run(bits)
+        outcomes[blf] = result.ber
+    return outcomes
+
+
+def test_ablation_guard_band(benchmark):
+    outcomes = benchmark.pedantic(evaluate, iterations=1, rounds=1)
+
+    rows = [
+        (
+            f"BLF {blf / 1e3:.0f} kHz",
+            "clean if guard band >> bitrate",
+            f"BER {ber:.3f}",
+        )
+        for blf, ber in outcomes.items()
+    ]
+    report("Ablation -- guard band (BLF) vs self-interference", rows)
+
+    assert outcomes[10e3] == 0.0
+    assert outcomes[20e3] == 0.0
+    # Collapsing the guard band degrades decoding.
+    assert outcomes[2e3] > 0.0

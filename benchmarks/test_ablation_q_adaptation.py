@@ -1,0 +1,79 @@
+"""Ablation: Gen2 Q-adaptation vs a fixed slot count in TDMA inventory.
+
+The adaptive Q-algorithm tracks the population between slots; a
+mis-provisioned fixed Q either collides (Q too small) or wastes empty
+slots (Q too large).  This ablation inventories the same population
+under adaptive and fixed policies and compares total slots used.
+"""
+
+from conftest import report
+
+from repro.protocol import NodeStateMachine, TdmaInventory
+
+
+def make_nodes(count, seed):
+    return [
+        NodeStateMachine(node_id=i + 1, read_sensor=lambda c: 25.0, seed=seed + i)
+        for i in range(count)
+    ]
+
+
+def slots_to_finish(nodes, initial_q, adaptive, seed, max_rounds=40):
+    """(slots used, finished?) for one inventory of the population."""
+    inventory = TdmaInventory(nodes=nodes, initial_q=initial_q, seed=seed)
+    heard = set()
+    slots = 0
+    for _ in range(max_rounds):
+        round_result = inventory.run_round(q=None if adaptive else initial_q)
+        slots += len(round_result.slots)
+        for slot in round_result.slots:
+            if slot.singulated_node_id is not None:
+                heard.add(slot.singulated_node_id)
+        if len(heard) == len(nodes):
+            return slots, True
+        for node in nodes:
+            node.power_cycle()
+    return slots, False
+
+
+def evaluate():
+    population = 12
+    outcomes = {}
+    for label, initial_q, adaptive in (
+        ("adaptive from Q=2", 2, True),
+        ("fixed Q=1 (too small)", 1, False),
+        ("fixed Q=7 (too large)", 7, False),
+    ):
+        trials = [
+            slots_to_finish(make_nodes(population, seed=40 * t), initial_q,
+                            adaptive, seed=7 + t)
+            for t in range(5)
+        ]
+        mean_slots = sum(s for s, _ in trials) / len(trials)
+        completion = sum(1 for _, done in trials if done) / len(trials)
+        outcomes[label] = (mean_slots, completion)
+    return outcomes
+
+
+def test_ablation_q_adaptation(benchmark):
+    outcomes = benchmark.pedantic(evaluate, iterations=1, rounds=1)
+
+    rows = [
+        (
+            label,
+            "fewer slots, 100 % completion",
+            f"{slots:.0f} slots, {done:.0%} complete",
+        )
+        for label, (slots, done) in outcomes.items()
+    ]
+    report("Ablation -- TDMA Q-adaptation (12 nodes)", rows)
+
+    adaptive_slots, adaptive_done = outcomes["adaptive from Q=2"]
+    assert adaptive_done == 1.0
+    # The oversized fixed Q also finishes but wastes empty slots.
+    big_slots, big_done = outcomes["fixed Q=7 (too large)"]
+    assert big_done == 1.0
+    assert adaptive_slots < big_slots
+    # The undersized fixed Q thrashes in collisions.
+    _, small_done = outcomes["fixed Q=1 (too small)"]
+    assert small_done < 1.0

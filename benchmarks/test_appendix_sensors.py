@@ -1,0 +1,34 @@
+"""Benchmark: Figs. 26-36 -- the appendix bridge-sensor channels."""
+
+from conftest import report
+
+from repro.experiments import appendix_sensors
+from repro.experiments.appendix_sensors import EXPECTED_BANDS
+
+
+def test_appendix_sensors(benchmark):
+    result = benchmark.pedantic(
+        appendix_sensors.run,
+        kwargs={"samples_per_hour": 6},
+        iterations=1,
+        rounds=1,
+    )
+
+    rows = []
+    for name, summary in result.summaries.items():
+        low, high = EXPECTED_BANDS[name]
+        rows.append(
+            (
+                name,
+                f"[{low}, {high}]",
+                f"[{summary.minimum:.2f}, {summary.maximum:.2f}] "
+                f"storm x{summary.storm_contrast:.1f}",
+            )
+        )
+    report("Figs. 26-36 -- appendix sensor channels (July 2021)", rows)
+
+    assert len(result.summaries) == 11
+    for name in result.summaries:
+        assert result.in_band(name), name
+    for name in ("acceleration_1", "stress_1", "stress_2"):
+        assert result.summaries[name].storm_contrast > 1.2

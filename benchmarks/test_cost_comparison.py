@@ -1,0 +1,63 @@
+"""Benchmark: Sec. 6 -- EcoCapsule vs conventional instrumentation.
+
+The paper's closing comparison: >10 M USD of conventional sensors vs
+<1 k USD of EcoCapsules, with embedded sensing reducing false positives.
+"""
+
+from conftest import report
+
+from repro.shm import CostModel, FalsePositiveStudy
+
+
+def evaluate():
+    model = CostModel()
+    study = FalsePositiveStudy().run()
+    return {
+        "conventional_cost": model.conventional_total(88),
+        "capsule_sensor_cost": 5
+        * (model.ecocapsule_unit + model.ecocapsule_sensors_per_unit),
+        "ratio": model.cost_ratio(),
+        "study": study,
+    }
+
+
+def test_cost_comparison(benchmark):
+    result = benchmark.pedantic(evaluate, iterations=1, rounds=1)
+
+    study = result["study"]
+    report(
+        "Sec. 6 -- EcoCapsule vs conventional SHM",
+        [
+            (
+                "conventional (88 sensors)",
+                "> 10 M USD",
+                f"{result['conventional_cost'] / 1e6:.1f} M USD",
+            ),
+            (
+                "5 EcoCapsules (sensors)",
+                "< 1 k USD",
+                f"{result['capsule_sensor_cost']:.0f} USD",
+            ),
+            ("cost ratio", "orders of magnitude", f"{result['ratio']:.0f}x"),
+            (
+                "storm caught by both",
+                "yes (mutual verification)",
+                str(study.both_catch_the_storm),
+            ),
+            (
+                "false positives: surface",
+                "weather/interference prone",
+                str(study.surface_false),
+            ),
+            (
+                "false positives: embedded",
+                "reduced (inside concrete)",
+                str(study.embedded_false),
+            ),
+        ],
+    )
+
+    assert result["conventional_cost"] > 10e6
+    assert result["capsule_sensor_cost"] < 1e3
+    assert study.both_catch_the_storm
+    assert study.embedded_reduces_false_positives

@@ -1,0 +1,56 @@
+"""Extension benchmark: long-term degradation detection on capsule data.
+
+The paper's motivating scenario (slow structural degradation before a
+collapse) run end-to-end: a year of healthy baseline, a creeping strain
+drift, and the CUSUM detector's time-to-alarm at several severities.
+"""
+
+from conftest import report
+
+from repro.shm import DamageDetector, synthesize_history
+
+
+def evaluate():
+    detector = DamageDetector()
+    onset = 450
+    outcomes = {}
+    for label, rate in (("slow (0.5 ue/day)", 0.5), ("moderate (1.0)", 1.0),
+                        ("fast (3.0)", 3.0)):
+        history = synthesize_history(
+            n_days=720, degradation_start=onset, degradation_rate=rate, seed=21
+        )
+        alarm = detector.detect(history)
+        outcomes[label] = (alarm, alarm.day - onset if alarm else None)
+    healthy = detector.detect(synthesize_history(n_days=720, seed=22))
+    return {"outcomes": outcomes, "healthy_alarm": healthy, "onset": onset}
+
+
+def test_extension_damage_detection(benchmark):
+    result = benchmark.pedantic(evaluate, iterations=1, rounds=1)
+
+    rows = [
+        (
+            "healthy year",
+            "no alarm",
+            "quiet" if result["healthy_alarm"] is None else "FALSE ALARM",
+        )
+    ]
+    for label, (alarm, latency) in result["outcomes"].items():
+        rows.append(
+            (
+                label,
+                "detected, graded",
+                f"+{latency:.0f} days, {alarm.severity}"
+                if alarm
+                else "MISSED",
+            )
+        )
+    report("Extension -- degradation detection (CUSUM on strain)", rows)
+
+    assert result["healthy_alarm"] is None
+    for label, (alarm, latency) in result["outcomes"].items():
+        assert alarm is not None, label
+        assert latency >= 0.0
+    fast_latency = result["outcomes"]["fast (3.0)"][1]
+    slow_latency = result["outcomes"]["slow (0.5 ue/day)"][1]
+    assert fast_latency < slow_latency

@@ -1,0 +1,40 @@
+"""Extension benchmark: downlink command error rate vs SNR.
+
+Complements Figs. 19/20 (which report downlink SNR) with the quantity
+that gates the protocol: the probability a PIE/FSK command survives the
+envelope-detector chain at a given link quality.
+"""
+
+from conftest import report
+
+from repro.experiments import downlink_reliability
+
+
+def test_extension_downlink_reliability(benchmark):
+    result = benchmark.pedantic(
+        downlink_reliability.run,
+        kwargs={"packets_per_point": 40},
+        iterations=1,
+        rounds=1,
+    )
+
+    rows = [
+        (
+            f"SNR {point.snr_db:.0f} dB",
+            "waterfall between 3-9 dB",
+            f"PER {point.packet_error_rate:.2f}",
+        )
+        for point in result.points
+    ]
+    rows.append(
+        (
+            "working SNR (PER <= 5 %)",
+            "single-digit dB",
+            f"{result.working_snr(0.05):.0f} dB",
+        )
+    )
+    report("Extension -- downlink command reliability", rows)
+
+    assert result.per_at(0.0) > 0.8
+    assert result.per_at(12.0) == 0.0
+    assert 3.0 <= result.working_snr(0.05) <= 9.0

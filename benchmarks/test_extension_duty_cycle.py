@@ -1,0 +1,56 @@
+"""Extension benchmark: harvest-aware duty cycling at the range edge.
+
+Quantifies the sustainable report rate as the field weakens toward the
+activation threshold -- the operating envelope behind Fig. 12's ranges.
+"""
+
+from conftest import report
+
+from repro.node import EnergyScheduler
+
+
+def evaluate():
+    scheduler = EnergyScheduler()
+    sweep = scheduler.sweep([0.4, 0.55, 0.7, 1.0, 2.0])
+    v_continuous = scheduler.minimum_continuous_field()
+    return {"sweep": sweep, "v_continuous": v_continuous}
+
+
+def test_extension_duty_cycle(benchmark):
+    result = benchmark(evaluate)
+
+    rows = []
+    for voltage, plan in result["sweep"]:
+        if plan is None:
+            rows.append((f"field {voltage:.2f} V", "below activation", "dark"))
+        elif plan.continuous:
+            rows.append(
+                (
+                    f"field {voltage:.2f} V",
+                    "continuous",
+                    f"{plan.reports_per_hour:.0f} reports/h",
+                )
+            )
+        else:
+            rows.append(
+                (
+                    f"field {voltage:.2f} V",
+                    "duty-cycled",
+                    f"{plan.duty_cycle:.1%} duty, "
+                    f"{plan.reports_per_hour:.0f} reports/h",
+                )
+            )
+    rows.append(
+        (
+            "continuous threshold",
+            "between activation and charging fields",
+            f"{result['v_continuous']:.2f} V",
+        )
+    )
+    report("Extension -- duty cycling vs field strength", rows)
+
+    sweep = dict(result["sweep"])
+    assert sweep[0.4] is None
+    assert not sweep[0.55].continuous
+    assert sweep[2.0].continuous
+    assert 0.5 < result["v_continuous"] < 3.0

@@ -1,0 +1,24 @@
+"""Benchmark: Fig. 4 -- relative P/S amplitudes vs incident angle."""
+
+from conftest import report
+
+from repro.experiments import fig04_mode_amplitudes
+
+
+def test_fig04(benchmark):
+    result = benchmark(fig04_mode_amplitudes.run)
+
+    report(
+        "Fig. 4 -- P/S mode amplitudes vs incident angle (PLA on NC)",
+        [
+            ("first critical angle", "~34 deg", f"{result.first_critical_deg:.1f} deg"),
+            ("second critical angle", "~73 deg", f"{result.second_critical_deg:.1f} deg"),
+            ("dominant mode @ 5 deg", "P", result.dominant_mode(5.0).upper()),
+            ("dominant mode @ 50 deg", "S", result.dominant_mode(50.0).upper()),
+            ("dominant mode @ 78 deg", "none", result.dominant_mode(78.0)),
+        ],
+    )
+
+    assert 33.0 < result.first_critical_deg < 35.0
+    assert 71.0 < result.second_critical_deg < 75.0
+    assert result.dominant_mode(50.0) == "s"

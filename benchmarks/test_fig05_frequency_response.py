@@ -1,0 +1,28 @@
+"""Benchmark: Fig. 5b -- concrete frequency response of four blocks."""
+
+from conftest import report
+
+from repro.experiments import fig05_frequency_response
+
+
+def test_fig05(benchmark):
+    result = benchmark(fig05_frequency_response.run)
+
+    rows = []
+    for label, curve in result.curves.items():
+        freq, amp = curve.peak
+        rows.append(
+            (
+                f"{label} peak",
+                "200-250 kHz band",
+                f"{freq / 1e3:.0f} kHz / {amp * 1e3:.0f} mV",
+            )
+        )
+    nc = result.curves["NC-15cm"].peak[1]
+    uhpc = result.curves["UHPC-15cm"].peak[1]
+    rows.append(("UHPC/NC peak ratio", ">> 1 (far greater)", f"{uhpc / nc:.1f}x"))
+    report("Fig. 5b -- frequency response, 20-400 kHz sweep @ 100 V", rows)
+
+    for label in result.curves:
+        assert result.peak_in_carrier_band(label)
+    assert uhpc > 2.0 * nc

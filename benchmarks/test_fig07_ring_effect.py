@@ -1,0 +1,22 @@
+"""Benchmark: Fig. 7 -- ring-effect tailing and its FSK suppression."""
+
+from conftest import report
+
+from repro.experiments import fig07_ring_effect
+
+
+def test_fig07(benchmark):
+    result = benchmark(fig07_ring_effect.run)
+
+    report(
+        "Fig. 7 -- PIE bit-0 symbol: OOK ring tail vs FSK suppression",
+        [
+            ("ring tail duration", "~0.3 ms", f"{result.tail_duration * 1e3:.2f} ms"),
+            ("OOK low-edge residual", "large (tailing)", f"{result.ook_residual:.3f}"),
+            ("FSK low-edge residual", "suppressed", f"{result.fsk_residual:.3f}"),
+            ("suppression ratio", "> 1", f"{result.suppression_ratio:.1f}x"),
+        ],
+    )
+
+    assert result.suppression_ratio > 2.0
+    assert 0.2e-3 < result.tail_duration < 0.45e-3

@@ -1,0 +1,42 @@
+"""Benchmark: Fig. 12 -- power-up range vs TX voltage, S1-S4 + PAB pools."""
+
+from conftest import report
+
+from repro.experiments import fig12_range_vs_voltage
+
+#: The paper's quoted anchors (structure, voltage V, range cm).
+PAPER_ANCHORS = [
+    ("S1 slab", 50.0, 130.0),
+    ("S2 column", 50.0, 56.0),
+    ("S3 common wall", 50.0, 134.0),
+    ("S4 protective wall", 50.0, 60.0),
+    ("S2 column", 200.0, 235.0),
+    ("S3 common wall", 200.0, 500.0),
+    ("S4 protective wall", 200.0, 385.0),
+    ("PAB pool 1", 50.0, 19.0),
+    ("PAB pool 1", 200.0, 200.0),
+    ("PAB pool 2", 84.0, 23.0),
+]
+
+
+def test_fig12(benchmark):
+    result = benchmark(fig12_range_vs_voltage.run)
+
+    rows = []
+    for label, voltage, paper_cm in PAPER_ANCHORS:
+        measured = result.curves[label].range_at(voltage) * 100.0
+        rows.append(
+            (f"{label} @ {voltage:.0f} V", f"{paper_cm:.0f} cm", f"{measured:.0f} cm")
+        )
+    best_label, best_range = result.max_range()
+    rows.append(("max range @ 250 V", "> 600 cm", f"{best_range * 100:.0f} cm"))
+    report("Fig. 12 -- power-up range vs voltage", rows)
+
+    assert best_range > 6.0
+    assert best_label == "S3 common wall"
+    # Shape checks: ordering of structures preserved at every voltage.
+    for v in (50.0, 200.0):
+        s3 = result.curves["S3 common wall"].range_at(v)
+        s4 = result.curves["S4 protective wall"].range_at(v)
+        s2 = result.curves["S2 column"].range_at(v)
+        assert s3 > s4 > s2

@@ -1,0 +1,26 @@
+"""Benchmark: Fig. 13 -- node power consumption vs uplink bitrate."""
+
+from conftest import report
+
+from repro.experiments import fig13_power_consumption
+
+
+def test_fig13(benchmark):
+    result = benchmark(fig13_power_consumption.run)
+
+    report(
+        "Fig. 13 -- power consumption vs bitrate",
+        [
+            ("standby power", "80.1 uW", f"{result.standby_power * 1e6:.1f} uW"),
+            ("active power (mean)", "~360 uW", f"{result.active_mean * 1e6:.1f} uW"),
+            (
+                "active spread 1-8 kbps",
+                "slight fluctuation",
+                f"{result.active_spread * 1e6:.2f} uW",
+            ),
+        ],
+    )
+
+    assert result.standby_power * 1e6 == 80.1
+    assert abs(result.active_mean * 1e6 - 360.0) < 10.0
+    assert result.active_spread * 1e6 < 5.0

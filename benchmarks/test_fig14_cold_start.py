@@ -1,0 +1,26 @@
+"""Benchmark: Fig. 14 -- cold-start time vs activation voltage."""
+
+from conftest import report
+
+from repro.experiments import fig14_cold_start
+
+
+def test_fig14(benchmark):
+    result = benchmark(fig14_cold_start.run)
+
+    report(
+        "Fig. 14 -- cold start vs activation voltage",
+        [
+            (
+                "minimum activation",
+                "0.5 V",
+                f"{result.minimum_activation_voltage:.1f} V",
+            ),
+            ("cold start @ 0.5 V", "~55 ms", f"{result.time_at(0.5) * 1e3:.1f} ms"),
+            ("cold start @ 2.0 V", "~4.4 ms", f"{result.time_at(2.0) * 1e3:.1f} ms"),
+            ("cold start @ 5.0 V", "< 4.4 ms", f"{result.time_at(5.0) * 1e3:.1f} ms"),
+        ],
+    )
+
+    assert abs(result.time_at(0.5) - 55e-3) < 3e-3
+    assert abs(result.time_at(2.0) - 4.4e-3) < 0.3e-3

@@ -1,0 +1,33 @@
+"""Benchmark: Fig. 15 -- uplink BER vs SNR, EcoCapsule vs PAB."""
+
+from conftest import report
+
+from repro.experiments import fig15_ber_vs_snr
+
+
+def test_fig15(benchmark):
+    result = benchmark.pedantic(
+        fig15_ber_vs_snr.run,
+        kwargs={"total_bits": 10_000},
+        iterations=1,
+        rounds=1,
+    )
+
+    eco_2db = next(p.ber for p in result.ecocapsule if p.snr_db == 2.0)
+    rows = [
+        ("BER @ 2 dB", "~0.5 (sync floor)", f"{eco_2db:.2f}"),
+        (
+            "EcoCapsule 1e-4 floor",
+            ">= 8 dB",
+            f"{result.floor_snr('ecocapsule', 1e-4):.0f} dB",
+        ),
+        ("PAB 1e-4 floor", ">= 11 dB", f"{result.floor_snr('pab', 1e-4):.0f} dB"),
+    ]
+    for point in result.ecocapsule:
+        tag = " (tail)" if point.analytic_tail else ""
+        rows.append((f"EcoCapsule BER @ {point.snr_db:.0f} dB", "-", f"{point.ber:.2g}{tag}"))
+    report("Fig. 15 -- BER vs SNR (FM0 Monte-Carlo + analytic tail)", rows)
+
+    assert abs(eco_2db - 0.5) < 0.1
+    assert abs(result.floor_snr("ecocapsule", 1e-4) - 8.0) <= 1.0
+    assert result.floor_snr("pab", 1e-4) > result.floor_snr("ecocapsule", 1e-4)

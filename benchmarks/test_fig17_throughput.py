@@ -1,0 +1,43 @@
+"""Benchmark: Fig. 17 -- uplink throughput vs concrete type."""
+
+from conftest import report
+
+from repro.experiments import fig17_throughput
+
+
+def test_fig17(benchmark):
+    result = benchmark.pedantic(
+        fig17_throughput.run,
+        kwargs={"measure_bits": 2_000},
+        iterations=1,
+        rounds=1,
+    )
+
+    rows = []
+    for name, row in result.rows.items():
+        rows.append(
+            (
+                f"{name} throughput",
+                "> 13 kbps",
+                f"{row.measured_throughput / 1e3:.1f} kbps",
+            )
+        )
+    rows.append(
+        (
+            "UHPC advantage over NC",
+            "~2 kbps",
+            f"{result.advantage_over_nc('UHPC') / 1e3:.1f} kbps",
+        )
+    )
+    rows.append(
+        (
+            "UHPFRC advantage over NC",
+            "~2 kbps",
+            f"{result.advantage_over_nc('UHPFRC') / 1e3:.1f} kbps",
+        )
+    )
+    report("Fig. 17 -- throughput vs concrete", rows)
+
+    for row in result.rows.values():
+        assert row.measured_throughput > 12e3
+    assert 0.8e3 < result.advantage_over_nc("UHPC") < 3.2e3

@@ -1,0 +1,35 @@
+"""Benchmark: Fig. 18 -- uplink SNR CDF vs node mounting position."""
+
+from conftest import report
+
+from repro.experiments import fig18_snr_vs_position
+
+
+def test_fig18(benchmark):
+    result = benchmark.pedantic(
+        fig18_snr_vs_position.run,
+        kwargs={"trials": 300},
+        iterations=1,
+        rounds=1,
+    )
+
+    report(
+        "Fig. 18 -- SNR vs position (margins vs middle)",
+        [
+            ("top median", "~11 dB", f"{result.median('top'):.1f} dB"),
+            ("bottom median", "~8 dB", f"{result.median('bottom'):.1f} dB"),
+            ("middle median", "~7 dB", f"{result.median('middle'):.1f} dB"),
+            (
+                "destructive tail @ top",
+                "present (double-edged)",
+                f"{result.low_tail_fraction('top', 3.0):.0%} < 3 dB",
+            ),
+        ],
+    )
+
+    assert result.median("top") > result.median("middle")
+    assert result.median("bottom") > result.median("middle")
+    assert abs(result.median("middle") - 7.0) < 2.0
+    # The double-edged sword: margins occasionally fade destructively.
+    assert result.low_tail_fraction("top", 3.0) > 0.02
+    assert result.low_tail_fraction("middle", 3.0) < 0.02

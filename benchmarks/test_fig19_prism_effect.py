@@ -1,0 +1,29 @@
+"""Benchmark: Fig. 19 -- downlink SNR vs prism incident angle."""
+
+from conftest import report
+
+from repro.experiments import fig19_prism_effect
+
+
+def test_fig19(benchmark):
+    result = benchmark(fig19_prism_effect.run)
+
+    peak_angle, peak_snr = result.peak
+    rows = [
+        (
+            "S-only window",
+            "[34, 73] deg",
+            f"[{result.window_deg[0]:.0f}, {result.window_deg[1]:.0f}] deg",
+        ),
+        ("peak SNR / angle", "~15 dB @ 50-70 deg", f"{peak_snr:.1f} dB @ {peak_angle:.0f} deg"),
+    ]
+    for angle, snr in result.points:
+        rows.append((f"SNR @ {angle:.0f} deg", "-", f"{snr:.1f} dB"))
+    report("Fig. 19 -- prism effectiveness", rows)
+
+    assert result.window_deg[0] <= peak_angle <= result.window_deg[1]
+    assert abs(peak_snr - 15.0) < 1.0
+    # Mixed-mode angles degrade, and 15 deg is worse than 30 deg.
+    assert result.snr_at(15.0) < result.snr_at(30.0) < peak_snr
+    # Direct contact (0 deg, single P mode) is locally high.
+    assert result.snr_at(0.0) > result.snr_at(15.0)

@@ -1,0 +1,28 @@
+"""Benchmark: Fig. 20 -- downlink SNR, FSK anti-ring vs plain OOK."""
+
+from conftest import report
+
+from repro.experiments import fig20_fsk_vs_ook
+
+
+def test_fig20(benchmark):
+    result = benchmark(fig20_fsk_vs_ook.run)
+
+    rows = []
+    for (bitrate, fsk_snr), (_, ook_snr) in zip(result.fsk, result.ook):
+        rows.append(
+            (
+                f"@ {bitrate / 1e3:.0f} kbps",
+                "FSK 3-5x over OOK",
+                f"FSK {fsk_snr:.1f} dB / OOK {ook_snr:.1f} dB "
+                f"({result.gain_at(bitrate):.1f}x)",
+            )
+        )
+    low, high = result.gain_range
+    rows.append(("gain range", "3-5x", f"{low:.1f}-{high:.1f}x"))
+    report("Fig. 20 -- FSK vs OOK downlink SNR", rows)
+
+    assert low > 2.0
+    assert high < 8.0
+    for (b, fsk_snr), (_, ook_snr) in zip(result.fsk, result.ook):
+        assert fsk_snr > ook_snr

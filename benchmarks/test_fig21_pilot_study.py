@@ -1,0 +1,62 @@
+"""Benchmark: Fig. 21 -- the footbridge pilot study (July 2021)."""
+
+from conftest import report
+
+from repro.experiments import fig21_pilot_study
+
+
+def test_fig21(benchmark):
+    result = benchmark.pedantic(
+        fig21_pilot_study.run,
+        kwargs={"samples_per_hour": 6},
+        iterations=1,
+        rounds=1,
+    )
+
+    accel_days = ", ".join(
+        f"{w.start_hour / 24 + 1:.0f}-{w.end_hour / 24 + 1:.0f}"
+        for w in result.acceleration_anomalies
+    )
+    rows = [
+        ("storm anomaly window", "15-23 July", f"days {accel_days}"),
+        (
+            "both channels flag the storm",
+            "yes",
+            str(result.storm_detected_in_both),
+        ),
+        (
+            "sensors mutually verified",
+            "yes (paper Sec. 6)",
+            str(result.sensors_mutually_verified),
+        ),
+        (
+            "max |acceleration|",
+            "< 0.7 m/s^2 limit",
+            f"{result.compliance.max_abs_acceleration:.3f} m/s^2",
+        ),
+        (
+            "max |stress|",
+            "< 355 MPa limit",
+            f"{result.compliance.max_abs_stress_mpa:.0f} MPa",
+        ),
+        (
+            "health grades observed",
+            "B or above all year",
+            ", ".join(f"{g}: {f:.0%}" for g, f in result.grade_fractions.items()),
+        ),
+    ]
+    for health in result.section_health:
+        rows.append(
+            (
+                f"section {health.section}",
+                "Fig. 21c panel",
+                f"No.{health.pedestrians} Health {health.grade} "
+                f"{health.mean_speed:.1f} m/s",
+            )
+        )
+    report("Fig. 21 -- pilot study", rows)
+
+    assert result.storm_detected_in_both
+    assert result.sensors_mutually_verified
+    assert result.compliance.compliant
+    assert result.health_at_or_above_b

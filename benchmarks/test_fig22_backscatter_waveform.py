@@ -1,0 +1,32 @@
+"""Benchmark: Fig. 22 -- received and demodulated backscatter signal."""
+
+from conftest import report
+
+from repro.experiments import fig22_backscatter_waveform
+
+
+def test_fig22(benchmark):
+    result = benchmark.pedantic(
+        fig22_backscatter_waveform.run, iterations=1, rounds=1
+    )
+
+    report(
+        "Fig. 22 -- demodulated backscatter waveform",
+        [
+            (
+                "idle CBW region",
+                "backscatter from ~4 ms",
+                f"{result.idle_samples / result.sample_rate * 1e3:.1f} ms",
+            ),
+            ("edge duration", "0.5 ms each", f"{result.edge_duration * 1e3:.2f} ms"),
+            (
+                "square-wave contrast",
+                "two alternating amplitudes",
+                f"{result.modulation_depth:.2f}x",
+            ),
+        ],
+    )
+
+    assert result.idle_samples / result.sample_rate == 4e-3
+    assert result.edge_duration == 0.5e-3
+    assert result.modulation_depth > 1.3

@@ -1,0 +1,31 @@
+"""Benchmark: Fig. 24 -- uplink spectrum with the guard-banded sidebands."""
+
+from conftest import report
+
+from repro.experiments import fig24_self_interference
+
+
+def test_fig24(benchmark):
+    result = benchmark.pedantic(fig24_self_interference.run, iterations=1, rounds=1)
+
+    peaks = result.peak_frequencies(3)
+    expected = sorted(
+        [result.carrier - result.blf, result.carrier, result.carrier + result.blf]
+    )
+    rows = [
+        (
+            "spectral peaks",
+            " / ".join(f"{f / 1e3:.0f} kHz" for f in expected),
+            " / ".join(f"{f / 1e3:.0f} kHz" for f in peaks),
+        ),
+        (
+            "guard-band depth",
+            "clean separation",
+            f"{result.guard_band_depth_db():.0f} dB",
+        ),
+    ]
+    report("Fig. 24 -- self-interference elimination (3 peaks + guard band)", rows)
+
+    for found, want in zip(peaks, expected):
+        assert abs(found - want) < 1.5e3
+    assert result.guard_band_depth_db() > 10.0

@@ -1,0 +1,28 @@
+"""Benchmark: Helmholtz resonator array design point (Eqn. 5)."""
+
+from conftest import report
+
+from repro.experiments import tables
+
+
+def test_hra_design(benchmark):
+    point = benchmark(tables.hra_design_point)
+
+    report(
+        "HRA design (Sec. 4.1, Eqn. 5)",
+        [
+            ("neck area A_n", "0.78 mm^2", f"{point.neck_area_mm2:.2f} mm^2"),
+            ("cavity volume V_c", "2.76 mm^3", f"{point.cavity_volume_mm3:.2f} mm^3"),
+            ("neck length H_n", "0.8 mm", f"{point.neck_length_mm:.1f} mm"),
+            (
+                "resonance target",
+                "~230 kHz",
+                f"{point.resonance_at_design_speed / 1e3:.0f} kHz "
+                f"@ Cs={point.design_speed:.0f} m/s",
+            ),
+        ],
+    )
+
+    assert abs(point.resonance_at_design_speed - 230e3) < 1.0
+    # The design speed matches high-performance concrete's S-wave band.
+    assert 2500.0 < point.design_speed < 3100.0

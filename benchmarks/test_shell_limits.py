@@ -1,0 +1,27 @@
+"""Benchmark: shell design points -- dP_max and building-height limits."""
+
+from conftest import report
+
+from repro.experiments import tables
+
+
+def test_shell_limits(benchmark):
+    points = benchmark(tables.shell_design_points)
+
+    by_material = {p.material: p for p in points}
+    resin = by_material["SLA resin"]
+    steel = by_material["alloy steel"]
+    report(
+        "Shell limits (Sec. 4.1): thin-sphere stress + deformation",
+        [
+            ("resin dP_max", "~4.3 MPa", f"{resin.max_pressure_mpa:.2f} MPa"),
+            ("resin h_max", "~195 m (~55 floors)", f"{resin.max_height_m:.0f} m"),
+            ("steel dP_max", "~115.2 MPa", f"{steel.max_pressure_mpa:.1f} MPa"),
+            ("steel h_max", "~4985 m", f"{steel.max_height_m:.0f} m"),
+        ],
+    )
+
+    assert abs(resin.max_pressure_mpa - 4.3) < 0.1
+    assert abs(resin.max_height_m - 195.0) < 3.0
+    assert abs(steel.max_pressure_mpa - 115.2) < 0.5
+    assert abs(steel.max_height_m - 4985.0) < 60.0

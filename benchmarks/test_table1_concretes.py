@@ -1,0 +1,40 @@
+"""Benchmark: Table 1 -- concrete mix proportions and properties."""
+
+from conftest import report
+
+from repro.experiments import tables
+
+
+def test_table1(benchmark):
+    rows_data = benchmark(tables.table1)
+
+    rows = []
+    paper = {
+        "NC": (54.1, 27.8, 0.18, 0.263),
+        "UHPC": (195.3, 52.5, 0.21, 0.447),
+        "UHPFRC": (215.0, 52.7, 0.21, 0.447),
+    }
+    for row in rows_data:
+        fco, ec, nu, eps = paper[row.concrete]
+        rows.append(
+            (
+                f"{row.concrete} (fco/Ec/nu/eps)",
+                f"{fco} MPa / {ec} GPa / {nu} / {eps} %",
+                f"{row.fco_mpa:.1f} / {row.ec_gpa:.1f} / {row.poisson:.2f} / "
+                f"{row.strain_percent:.3f}",
+            )
+        )
+        rows.append(
+            (
+                f"{row.concrete} velocities",
+                "Cp ~ 3338, Cs ~ 1941 (NC ref)",
+                f"Cp {row.cp:.0f} / Cs {row.cs:.0f} m/s",
+            )
+        )
+    report("Table 1 -- concrete mixes and properties", rows)
+
+    for row in rows_data:
+        fco, ec, nu, eps = paper[row.concrete]
+        assert abs(row.fco_mpa - fco) < 1e-6
+        assert abs(row.ec_gpa - ec) < 1e-6
+        assert abs(row.poisson - nu) < 1e-6

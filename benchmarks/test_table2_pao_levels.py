@@ -1,0 +1,32 @@
+"""Benchmark: Table 2 -- PAO health levels for four regions."""
+
+from conftest import report
+
+from repro.experiments import tables
+from repro.shm import PAO_THRESHOLDS
+
+
+def test_table2(benchmark):
+    table = benchmark(tables.table2)
+
+    paper = {
+        "united_states": {"A": 3.85, "B": 2.30, "C": 1.39, "D": 0.93, "E": 0.46},
+        "hong_kong": {"A": 3.25, "B": 2.16, "C": 1.40, "D": 0.80, "E": 0.52},
+        "bangkok": {"A": 2.38, "B": 1.60, "C": 0.98, "D": 0.65, "E": 0.37},
+        "manila": {"A": 3.25, "B": 2.05, "C": 1.65, "D": 1.25, "E": 0.56},
+    }
+    rows = []
+    for region, bounds in table.items():
+        rows.append(
+            (
+                region,
+                " ".join(f"{g}>{paper[region][g]}" for g in "ABCDE"),
+                " ".join(f"{g}>{bounds[g]}" for g in "ABCDE"),
+            )
+        )
+    for pao, region, letter in tables.table2_examples():
+        rows.append((f"grade({pao} m2/ped, {region})", "-", letter))
+    report("Table 2 -- PAO health thresholds", rows)
+
+    assert table == paper
+    assert table == {r: dict(b) for r, b in PAO_THRESHOLDS.items()}

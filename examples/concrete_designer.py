@@ -1,0 +1,90 @@
+"""Concrete designer: size an EcoCapsule deployment for a building.
+
+A pre-construction planning tool built on the library's design helpers:
+
+* shell material vs building height (Eqn. 4 + thin-shell limits);
+* Helmholtz resonator geometry for the host concrete's S-wave speed;
+* prism angle for the host concrete;
+* reader placement: how many reader stations cover a wall of given
+  size at the 250 V rail.
+
+Run with ``python examples/concrete_designer.py [height_m]``.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+from repro.acoustics import (
+    StructureGeometry,
+    WavePrism,
+    design_resonator,
+    paper_resonator,
+)
+from repro.link import PowerUpLink
+from repro.materials import PLA, get_concrete
+from repro.node import SphericalShell, resin_shell, steel_shell
+
+
+def pick_shell(height: float) -> SphericalShell:
+    """Cheapest shell that survives at the base of ``height`` metres."""
+    resin = resin_shell()
+    if resin.survives(height):
+        return resin
+    steel = steel_shell()
+    if steel.survives(height):
+        return steel
+    raise SystemExit(
+        f"no available shell survives a {height:.0f} m building "
+        f"(steel limit: {steel.max_height():.0f} m)"
+    )
+
+
+def main() -> None:
+    height = float(sys.argv[1]) if len(sys.argv) > 1 else 120.0
+    concrete = get_concrete("UHPC")
+    print(f"Designing for a {height:.0f} m building in {concrete.name}")
+
+    # 1. Shell selection.
+    shell = pick_shell(height)
+    print(
+        f"Shell: {shell.material.name} "
+        f"(dP_max {shell.max_pressure / 1e6:.1f} MPa, "
+        f"h_max {shell.max_height():.0f} m, "
+        f"utilisation {shell.utilisation(height):.0%})"
+    )
+
+    # 2. HRA tuned to the host concrete.
+    reference = paper_resonator()
+    tuned = design_resonator(230e3, concrete.cs)
+    print(
+        f"HRA cavity: paper geometry {reference.cavity_volume * 1e9:.2f} mm^3 -> "
+        f"tuned {tuned.cavity_volume * 1e9:.2f} mm^3 for Cs={concrete.cs:.0f} m/s "
+        f"(f_r {tuned.resonant_frequency(concrete.cs) / 1e3:.0f} kHz)"
+    )
+
+    # 3. Prism angle for this concrete.
+    prism = WavePrism(PLA, concrete.medium)
+    low, high = prism.critical_angles
+    best = prism.recommend_angle()
+    print(
+        f"Prism: S-only window [{math.degrees(low):.0f}, "
+        f"{math.degrees(high):.0f}] deg, recommended {math.degrees(best):.0f} deg"
+    )
+
+    # 4. Reader coverage of a 20 m wall at the 250 V rail.
+    wall = StructureGeometry(
+        "facade wall", length=20.0, thickness=0.20, medium=concrete.medium
+    )
+    budget = PowerUpLink(wall)
+    reach = budget.max_range(250.0)
+    stations = math.ceil(wall.length / (2.0 * reach))
+    print(
+        f"Coverage: one station reaches {reach:.1f} m each way at 250 V -> "
+        f"{stations} station(s) for a {wall.length:.0f} m wall"
+    )
+
+
+if __name__ == "__main__":
+    main()

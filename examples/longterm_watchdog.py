@@ -1,0 +1,67 @@
+"""Long-term watchdog: years of capsule strain data, degradation alarms.
+
+The scenario the paper's introduction motivates: a building's implanted
+EcoCapsules report strain for years; an analytics watchdog learns each
+capsule's healthy baseline and raises a graded alarm when slow
+degradation (corroding reinforcement, an opening crack) begins -- long
+before any structural limit is approached.
+
+Run with ``python examples/longterm_watchdog.py``.
+"""
+
+from __future__ import annotations
+
+from repro.materials import get_concrete
+from repro.node import EnergyScheduler
+from repro.shm import DamageDetector, strain_capacity_margin, synthesize_history
+
+
+def main() -> None:
+    detector = DamageDetector()
+    concrete = get_concrete("NC")
+
+    # Three capsules in the same wall: one healthy, two degrading at
+    # different rates from day 450.
+    fleet = {
+        "capsule 1 (healthy)": synthesize_history(n_days=900, seed=101),
+        "capsule 2 (slow corrosion)": synthesize_history(
+            n_days=900, degradation_start=450, degradation_rate=0.6, seed=102
+        ),
+        "capsule 3 (opening crack)": synthesize_history(
+            n_days=900, degradation_start=450, degradation_rate=2.8, seed=103
+        ),
+    }
+
+    print("Two-and-a-half years of daily strain reports, per capsule:")
+    for label, history in fleet.items():
+        alarm = detector.detect(history)
+        final_strain = float(history.strain[-1])
+        margin = strain_capacity_margin(final_strain, concrete.peak_strain)
+        if alarm is None:
+            print(f"  {label}: no alarm; capacity margin {margin:.0%}")
+        else:
+            print(
+                f"  {label}: {alarm.severity.upper()} alarm on day "
+                f"{alarm.day:.0f} (drift {alarm.drift_estimate:+.2f} ue/day); "
+                f"capacity margin now {margin:.0%}"
+            )
+
+    # How often can a capsule at the edge of coverage deliver its daily
+    # report?  The duty-cycle planner answers from the field strength.
+    scheduler = EnergyScheduler()
+    print("Report cadence vs field strength at the capsule:")
+    for field_v in (0.55, 0.8, 1.5):
+        plan = scheduler.plan(field_v)
+        mode = "continuous" if plan.continuous else f"{plan.duty_cycle:.1%} duty"
+        print(
+            f"  {field_v:.2f} V: {mode}, up to {plan.reports_per_hour:,.0f} "
+            "reports/hour"
+        )
+    print(
+        "Even the weakest powered capsule delivers daily strain reports "
+        "with orders of magnitude to spare."
+    )
+
+
+if __name__ == "__main__":
+    main()

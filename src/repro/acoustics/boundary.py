@@ -1,0 +1,253 @@
+"""Reflection, refraction and mode conversion at media boundaries.
+
+Implements the three boundary results the paper builds on:
+
+* Eqn. 1 -- normal-incidence reflection coefficient
+  ``R = (Z2 - Z1) / (Z2 + Z1)``, which for concrete/air is ~99.98 %
+  and traps body waves inside a wall (the "S-reflections" of Fig. 3d);
+* Eqn. 2/3 -- Snell refraction with mode conversion: an incident
+  longitudinal wave in the prism refracts into both a P-wave and a
+  slower S-wave in the concrete, with the P-wave refracting at the
+  larger angle and disappearing first (first critical angle);
+* the oblique-incidence energy partition at a fluid-on-solid interface
+  (classic Krautkramer/Brekhovskikh impedance formulation), which yields
+  the relative P/S amplitudes of Fig. 4 as a function of incident angle.
+
+The prism is modelled as an effective fluid for the incident
+longitudinal wave -- the standard angle-beam wedge approximation in
+ultrasonic NDT -- because only its longitudinal mode is driven by the
+disc PZT.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import AcousticsError, TotalReflectionError
+from ..materials import Medium
+
+
+def reflection_coefficient(z_from: float, z_to: float) -> float:
+    """Normal-incidence pressure reflection coefficient (paper Eqn. 1).
+
+    ``R = (Z_to - Z_from) / (Z_to + Z_from)`` evaluated for a wave
+    travelling from impedance ``z_from`` into ``z_to``.  The paper quotes
+    the magnitude for the concrete->air boundary: R = 99.98 %.
+    """
+    if z_from <= 0.0 or z_to <= 0.0:
+        raise AcousticsError("acoustic impedances must be positive")
+    return (z_to - z_from) / (z_to + z_from)
+
+
+def transmission_energy_fraction(z_from: float, z_to: float) -> float:
+    """Fraction of incident energy transmitted across a normal boundary.
+
+    ``T = 1 - R^2 = 4 Z1 Z2 / (Z1 + Z2)^2``.
+    """
+    r = reflection_coefficient(z_from, z_to)
+    return 1.0 - r * r
+
+
+def snell_angle(
+    incident_angle: float,
+    velocity_in: float,
+    velocity_out: float,
+    mode: str = "p",
+) -> float:
+    """Refracted angle (rad) via Snell's law (paper Eqn. 2).
+
+    Raises:
+        TotalReflectionError: when the refracted mode is evanescent
+            (incident angle beyond that mode's critical angle).
+    """
+    if not 0.0 <= incident_angle < math.pi / 2.0:
+        raise AcousticsError(
+            f"incident angle must be in [0, 90) deg, got {math.degrees(incident_angle):.1f}"
+        )
+    sin_out = math.sin(incident_angle) * velocity_out / velocity_in
+    if sin_out > 1.0:
+        critical = critical_angle(velocity_in, velocity_out)
+        raise TotalReflectionError(
+            math.degrees(incident_angle), math.degrees(critical), mode
+        )
+    return math.asin(sin_out)
+
+
+def critical_angle(velocity_in: float, velocity_out: float) -> float:
+    """Critical incident angle (rad) for refraction into a faster medium.
+
+    Only defined when ``velocity_out > velocity_in`` (otherwise refraction
+    never becomes evanescent and this raises).
+    """
+    if velocity_in <= 0.0 or velocity_out <= 0.0:
+        raise AcousticsError("velocities must be positive")
+    if velocity_out <= velocity_in:
+        raise AcousticsError(
+            "no critical angle: refracted medium is not faster "
+            f"({velocity_out} <= {velocity_in})"
+        )
+    return math.asin(velocity_in / velocity_out)
+
+
+@dataclass(frozen=True)
+class RefractionResult:
+    """Energy partition of an obliquely incident longitudinal wave.
+
+    All ``*_energy`` fields are fractions of the incident energy and sum
+    to 1 (reflected + transmitted P + transmitted S).  ``*_angle`` fields
+    are refraction angles in radians, ``None`` when that mode is
+    evanescent.
+    """
+
+    incident_angle: float
+    reflected_energy: float
+    p_energy: float
+    s_energy: float
+    p_angle: Optional[float]
+    s_angle: Optional[float]
+
+    @property
+    def p_amplitude(self) -> float:
+        """Relative amplitude of the transmitted P-wave (sqrt of energy)."""
+        return math.sqrt(max(self.p_energy, 0.0))
+
+    @property
+    def s_amplitude(self) -> float:
+        """Relative amplitude of the transmitted S-wave (sqrt of energy)."""
+        return math.sqrt(max(self.s_energy, 0.0))
+
+    @property
+    def transmitted_energy(self) -> float:
+        return self.p_energy + self.s_energy
+
+
+def _complex_cos_from_sin(sin_value: float) -> complex:
+    """cos(theta) for a possibly evanescent angle (|sin| may exceed 1).
+
+    Past the critical angle the cosine becomes purely imaginary; the
+    positive-imaginary branch describes a wave decaying away from the
+    boundary, which carries no real power.
+    """
+    return cmath.sqrt(1.0 - sin_value * sin_value)
+
+
+def refract(
+    medium_in: Medium,
+    medium_out: Medium,
+    incident_angle: float,
+) -> RefractionResult:
+    """Partition an incident longitudinal wave at a (fluid-like) solid boundary.
+
+    Uses the series-impedance formulation: with
+    ``Z1 = rho1 c1 / cos(theta_i)``, ``Zp = rho2 cp / cos(theta_p)``,
+    ``Zs = rho2 cs / cos(theta_s)`` the solid presents the input impedance
+
+        ``Z_in = Zp cos^2(2 theta_s) + Zs sin^2(2 theta_s)``
+
+    and the pressure reflection coefficient is
+    ``R = (Z_in - Z1) / (Z_in + Z1)``.  The transmitted power splits
+    between the P and S branches in proportion to the real parts of their
+    series impedances, so an evanescent mode (imaginary cosine -> imaginary
+    impedance) automatically receives zero power.  This reproduces the
+    Fig. 4 amplitude-vs-angle curves, including both critical angles.
+
+    Args:
+        medium_in: Medium carrying the incident longitudinal wave (the
+            prism, treated as an effective fluid).
+        medium_out: The solid being insonified (concrete).
+        incident_angle: Incident angle from the normal (rad).
+    """
+    if medium_out.is_fluid:
+        raise AcousticsError(
+            f"refract() expects a solid output medium, got fluid {medium_out.name}"
+        )
+    if not 0.0 <= incident_angle < math.pi / 2.0:
+        raise AcousticsError(
+            f"incident angle must be in [0, 90) deg, got {math.degrees(incident_angle):.1f}"
+        )
+
+    c1 = medium_in.cp
+    cp = medium_out.cp
+    cs = medium_out.cs
+    rho1 = medium_in.density
+    rho2 = medium_out.density
+
+    sin_i = math.sin(incident_angle)
+    cos_i = math.cos(incident_angle)
+    sin_p = sin_i * cp / c1
+    sin_s = sin_i * cs / c1
+    cos_p = _complex_cos_from_sin(sin_p)
+    cos_s = _complex_cos_from_sin(sin_s)
+
+    def oblique_impedance(density: float, speed: float, cosine: complex) -> complex:
+        # Exactly at a critical angle the cosine vanishes (grazing
+        # refraction) and the branch impedance diverges; a tiny complex
+        # regulariser keeps the limit finite without moving the curves.
+        if abs(cosine) < 1e-9:
+            cosine = 1e-9 + 0.0j
+        return density * speed / cosine
+
+    z1 = rho1 * c1 / cos_i
+    zp = oblique_impedance(rho2, cp, cos_p)
+    zs = oblique_impedance(rho2, cs, cos_s)
+
+    # cos(2 theta_s) and sin(2 theta_s) via double-angle identities so the
+    # expressions stay valid for complex angles.
+    cos_2s = 1.0 - 2.0 * sin_s * sin_s
+    sin_2s = 2.0 * sin_s * cos_s
+
+    z_in = zp * cos_2s * cos_2s + zs * sin_2s * sin_2s
+    reflection = (z_in - z1) / (z_in + z1)
+    reflected = abs(reflection) ** 2
+    transmitted = max(0.0, 1.0 - reflected)
+
+    branch_p = (zp * cos_2s * cos_2s).real
+    branch_s = (zs * sin_2s * sin_2s).real
+    branch_total = branch_p + branch_s
+    if branch_total <= 0.0:
+        p_energy = 0.0
+        s_energy = 0.0
+    else:
+        p_energy = transmitted * branch_p / branch_total
+        s_energy = transmitted * branch_s / branch_total
+
+    p_angle = math.asin(sin_p) if sin_p <= 1.0 else None
+    s_angle = math.asin(sin_s) if sin_s <= 1.0 else None
+
+    return RefractionResult(
+        incident_angle=incident_angle,
+        reflected_energy=1.0 - (p_energy + s_energy),
+        p_energy=p_energy,
+        s_energy=s_energy,
+        p_angle=p_angle,
+        s_angle=s_angle,
+    )
+
+
+def first_critical_angle(medium_in: Medium, medium_out: Medium) -> float:
+    """Incident angle (rad) where the refracted P-wave becomes evanescent."""
+    return critical_angle(medium_in.cp, medium_out.cp)
+
+
+def second_critical_angle(medium_in: Medium, medium_out: Medium) -> float:
+    """Incident angle (rad) where the refracted S-wave becomes evanescent."""
+    if medium_out.is_fluid:
+        raise AcousticsError(f"{medium_out.name} carries no S-waves")
+    return critical_angle(medium_in.cp, medium_out.cs)
+
+
+def s_only_window(medium_in: Medium, medium_out: Medium) -> tuple:
+    """Incident-angle window (rad) where only the S-wave enters the solid.
+
+    The paper's PLA-on-concrete window is approximately [34 deg, 73 deg].
+    """
+    low = first_critical_angle(medium_in, medium_out)
+    high = second_critical_angle(medium_in, medium_out)
+    if high <= low:
+        raise AcousticsError(
+            "degenerate S-only window: second critical angle does not exceed the first"
+        )
+    return low, high

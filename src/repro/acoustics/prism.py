@@ -1,0 +1,168 @@
+"""Wave-prism design (paper Sec. 3.2, Fig. 3, Fig. 19).
+
+The reader injects its continuous body wave through a polymer wedge so
+that the waves enter the wall at a chosen non-zero incident angle.  When
+the incident angle sits between the two critical angles, only S-waves
+enter the concrete; the near-total internal reflection at concrete/air
+boundaries then fills the whole wall with "S-reflections" that charge
+EcoCapsules anywhere in the structure.
+
+This module packages the boundary math into a designer object that:
+
+* reports both critical angles and the S-only window;
+* scores an incident angle (how much energy enters, and how "clean" the
+  injected mode mix is for decoding);
+* recommends an angle for a given prism/concrete pair (the paper uses
+  60 deg PLA-on-concrete by default).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import DesignError
+from ..materials import PLA, Medium
+from .boundary import RefractionResult, refract, s_only_window
+
+
+@dataclass(frozen=True)
+class InjectionQuality:
+    """How well one incident angle injects a decodable wave into the wall.
+
+    Attributes:
+        incident_angle: The evaluated incident angle (rad).
+        refraction: Full energy partition at that angle.
+        mode_purity: Fraction of the *transmitted* energy carried by the
+            dominant mode.  1.0 means a single clean copy of the signal;
+            values near 0.5 mean two equal copies (P and S) that overlap
+            at the receiver and corrupt decoding (paper Sec. 3.2).
+        injected_energy: Fraction of the incident energy entering the wall.
+        effective_snr_gain: Linear SNR factor combining purity and energy;
+            the raytracer/channel multiplies this into the link budget.
+    """
+
+    incident_angle: float
+    refraction: RefractionResult
+    mode_purity: float
+    injected_energy: float
+    effective_snr_gain: float
+
+    @property
+    def s_only(self) -> bool:
+        """True when effectively all transmitted energy is S-wave."""
+        return self.refraction.p_energy <= 1e-6 and self.refraction.s_energy > 0.0
+
+
+class WavePrism:
+    """A polymer wedge that couples the reader PZT into a concrete wall.
+
+    Args:
+        prism_material: The wedge medium (defaults to PLA).
+        concrete: The solid being insonified.
+        incident_angle: Wedge angle (rad).  The paper's default is 60 deg.
+
+    Raises:
+        DesignError: when the angle is outside [0, 90) deg or the pair of
+            media admits no S-only window at all.
+    """
+
+    def __init__(
+        self,
+        prism_material: Medium = PLA,
+        concrete: Optional[Medium] = None,
+        incident_angle: float = math.radians(60.0),
+    ):
+        if concrete is None:
+            raise DesignError("WavePrism requires a concrete medium")
+        if not 0.0 <= incident_angle < math.pi / 2.0:
+            raise DesignError(
+                f"incident angle must be in [0, 90) deg, got "
+                f"{math.degrees(incident_angle):.1f}"
+            )
+        self.prism_material = prism_material
+        self.concrete = concrete
+        self.incident_angle = incident_angle
+
+    @property
+    def critical_angles(self) -> Tuple[float, float]:
+        """(first, second) critical angles in radians (~34 deg, ~73 deg)."""
+        return s_only_window(self.prism_material, self.concrete)
+
+    @property
+    def in_s_only_window(self) -> bool:
+        """True when the configured angle injects S-waves only."""
+        low, high = self.critical_angles
+        return low <= self.incident_angle <= high
+
+    def refraction(self, incident_angle: Optional[float] = None) -> RefractionResult:
+        """Energy partition at ``incident_angle`` (defaults to configured)."""
+        angle = self.incident_angle if incident_angle is None else incident_angle
+        return refract(self.prism_material, self.concrete, angle)
+
+    def injection_quality(
+        self, incident_angle: Optional[float] = None
+    ) -> InjectionQuality:
+        """Score an incident angle for link quality (used by Fig. 19).
+
+        Two injected copies of the same signal arriving with a 40 % speed
+        difference overlap destructively at the receiver, so the quality
+        combines transmitted energy with mode purity.  A 0 deg incidence
+        is a special case: only a P-wave exists (no conversion), so the
+        mix is pure even though no S-reflections are triggered -- this is
+        why the paper's Fig. 19 shows a locally high SNR at 0 deg.
+        """
+        angle = self.incident_angle if incident_angle is None else incident_angle
+        result = self.refraction(angle)
+        transmitted = result.transmitted_energy
+        if transmitted <= 0.0:
+            purity = 0.0
+        else:
+            purity = max(result.p_energy, result.s_energy) / transmitted
+        # The S-wave is the usable carrier: it survives the reflections
+        # that fill the wall (Fig. 3d) and reaches nodes everywhere.  Any
+        # co-injected P-wave carries a 40 %-faster copy of the same data
+        # that lands as structured interference at the receiver, so the
+        # effective SNR is the S energy derated by the P/S ratio.  The
+        # interference weight is calibrated against Fig. 19's measured
+        # drops at 15 and 30 deg incidence.
+        s = result.s_energy
+        p = result.p_energy
+        if s <= 0.0:
+            gain = 0.0
+        else:
+            gain = s / (1.0 + 0.15 * (p / s))
+        return InjectionQuality(
+            incident_angle=angle,
+            refraction=result,
+            mode_purity=purity,
+            injected_energy=transmitted,
+            effective_snr_gain=gain,
+        )
+
+    def recommend_angle(self, samples: int = 181) -> float:
+        """Best incident angle (rad) inside the S-only window.
+
+        Scans the window and returns the angle maximising the effective
+        SNR gain.  For PLA on the paper's concrete this lands in the
+        50-65 deg region, matching the paper's 60 deg default.
+        """
+        low, high = self.critical_angles
+        if samples < 2:
+            raise DesignError("samples must be >= 2")
+        best_angle = low
+        best_gain = -1.0
+        for index in range(samples):
+            angle = low + (high - low) * index / (samples - 1)
+            # Stay strictly inside the window to avoid boundary degeneracy.
+            angle = min(max(angle, low + 1e-6), high - 1e-6)
+            gain = self.injection_quality(angle).effective_snr_gain
+            if gain > best_gain:
+                best_gain = gain
+                best_angle = angle
+        return best_angle
+
+    def sweep(self, angles_deg: List[float]) -> List[InjectionQuality]:
+        """Evaluate a list of incident angles in degrees (Fig. 19 harness)."""
+        return [self.injection_quality(math.radians(a)) for a in angles_deg]

@@ -1,0 +1,145 @@
+"""Concrete frequency response (paper Sec. 3.3, Fig. 5b).
+
+The paper sweeps a 100 V sinusoid from 20 to 400 kHz through four
+concrete blocks and finds (1) a resonance band between 200 and 250 kHz
+regardless of concrete type, beyond which propagation attenuates
+rapidly, and (2) much larger peak responses for UHPC/UHPFRC than NC.
+
+We model the through-block response as the product of a resonance term
+(a second-order band-pass centred in the 200-250 kHz band, whose centre
+shifts slightly with the block's stiffness-to-thickness ratio) and a
+high-frequency absorption roll-off.  The model is calibrated so the NC
+peak is ~2.3 V and the UHPC/UHPFRC peaks are ~6-7 V as in Fig. 5b.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..errors import AcousticsError
+from ..materials import Concrete, get_concrete
+
+#: The paper's resonance band (Hz): holds for all tested concretes.
+CARRIER_BAND = (200e3, 250e3)
+
+#: The paper's default carrier / off-resonance frequencies (Hz).
+RESONANT_FREQUENCY = 230e3
+OFF_RESONANT_FREQUENCY = 180e3
+
+
+@dataclass(frozen=True)
+class ConcreteBlock:
+    """A cast test block: a concrete type with a thickness (Fig. 5a)."""
+
+    concrete: Concrete
+    thickness: float  # m
+
+    def __post_init__(self) -> None:
+        if self.thickness <= 0.0:
+            raise AcousticsError(f"thickness must be positive, got {self.thickness}")
+
+    @property
+    def label(self) -> str:
+        return f"{self.concrete.name}-{self.thickness * 100:.0f}cm"
+
+
+class FrequencyResponse:
+    """Through-transmission frequency response of a concrete block.
+
+    ``gain(f)`` is the linear amplitude ratio RX/TX for a continuous
+    sinusoid at ``f``; ``rx_amplitude(f, tx_voltage)`` maps a drive
+    voltage to the received PZT amplitude in volts, matching Fig. 5b's
+    axes (100 V drive -> millivolt-to-volt scale response).
+    """
+
+    #: Electromechanical conversion from drive volts to received volts at
+    #: unity channel gain, folding both PZT conversions and the contact
+    #: coupling into one constant, calibrated to Fig. 5b's NC-15cm peak.
+    CONVERSION = 0.045
+
+    def __init__(self, block: ConcreteBlock, quality_factor: float = 8.0):
+        if quality_factor <= 0.0:
+            raise AcousticsError("quality factor must be positive")
+        self.block = block
+        self.quality_factor = quality_factor
+
+    @property
+    def resonant_frequency(self) -> float:
+        """Block resonance (Hz), inside the paper's 200-250 kHz band.
+
+        The centre scales weakly with the stiffness/density ratio so the
+        four tested blocks land at slightly different peaks, all within
+        the carrier band, as in Fig. 5b.
+        """
+        concrete = self.block.concrete
+        stiffness_ratio = (concrete.elastic_modulus / concrete.density) / (
+            27.8e9 / 2309.0
+        )
+        base = 215e3 * stiffness_ratio**0.12
+        low, high = CARRIER_BAND
+        return min(max(base, low + 5e3), high - 5e3)
+
+    def gain(self, frequency: float) -> float:
+        """Linear amplitude gain through the block at ``frequency``."""
+        if frequency <= 0.0:
+            raise AcousticsError(f"frequency must be positive, got {frequency}")
+        f0 = self.resonant_frequency
+        q = self.quality_factor
+        # Second-order band-pass magnitude.
+        x = frequency / f0
+        resonance = 1.0 / math.sqrt(1.0 + q * q * (x - 1.0 / x) ** 2)
+        # Material absorption plus geometric spreading through the block.
+        absorption_db = self.block.concrete.medium.attenuation_db(
+            frequency, self.block.thickness
+        )
+        absorption = 10.0 ** (-absorption_db / 20.0)
+        spreading = min(1.0, 0.05 / self.block.thickness)
+        # Stronger concrete couples the wave better (the paper's finding 2:
+        # higher compressive strength -> smaller intermolecular distances
+        # -> better elastic-wave propagation).  Normalised against NC.
+        strength_ratio = self.block.concrete.compressive_strength / 54.1e6
+        coupling = min(strength_ratio, 5.0)
+        return resonance * absorption * spreading * coupling
+
+    def rx_amplitude(self, frequency: float, tx_voltage: float = 100.0) -> float:
+        """Received PZT amplitude (V) for a ``tx_voltage`` sinusoid."""
+        if tx_voltage <= 0.0:
+            raise AcousticsError("drive voltage must be positive")
+        return self.CONVERSION * tx_voltage * self.gain(frequency)
+
+    def sweep(
+        self,
+        frequencies: Sequence[float],
+        tx_voltage: float = 100.0,
+    ) -> List[Tuple[float, float]]:
+        """(frequency, rx amplitude) pairs over ``frequencies`` (Fig. 5b)."""
+        return [(f, self.rx_amplitude(f, tx_voltage)) for f in frequencies]
+
+    def off_resonance_suppression_db(
+        self,
+        resonant: float = RESONANT_FREQUENCY,
+        off_resonant: float = OFF_RESONANT_FREQUENCY,
+    ) -> float:
+        """How many dB the block suppresses the off-resonance tone.
+
+        This is the FSK-in/OOK-out mechanism of Sec. 3.3: driving the PZT
+        at 180 kHz instead of stopping it yields a naturally attenuated
+        low-voltage edge at the node.
+        """
+        high = self.gain(resonant)
+        low = self.gain(off_resonant)
+        if low <= 0.0:
+            raise AcousticsError("off-resonant gain collapsed to zero")
+        return 20.0 * math.log10(high / low)
+
+
+def paper_test_blocks() -> List[ConcreteBlock]:
+    """The four blocks of Fig. 5a: NC-7cm, NC-15cm, UHPC-15cm, UHPFRC-15cm."""
+    return [
+        ConcreteBlock(get_concrete("NC"), 0.07),
+        ConcreteBlock(get_concrete("NC"), 0.15),
+        ConcreteBlock(get_concrete("UHPC"), 0.15),
+        ConcreteBlock(get_concrete("UHPFRC"), 0.15),
+    ]

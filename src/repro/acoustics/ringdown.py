@@ -1,0 +1,163 @@
+"""PZT ring effect and its FSK-based suppression (paper Sec. 3.3, Fig. 7).
+
+A driven PZT keeps oscillating after the drive stops: a damped
+exponential "tail" that bleeds the high-voltage edge of a PIE symbol
+into the following low-voltage edge (intra-symbol interference).  The
+paper's trick is to never stop the PZT: the low-voltage edge is
+transmitted at an off-resonant frequency (FSK), which the concrete's
+frequency response suppresses naturally -- so the node still sees OOK,
+but without the inertia tail.
+
+This module provides a time-domain model of both behaviours so the
+downlink simulator (and the Fig. 7 / Fig. 20 benchmarks) can compare
+them quantitatively.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AcousticsError
+from ..units import TWO_PI
+from .response import FrequencyResponse
+
+
+@dataclass(frozen=True)
+class RingdownModel:
+    """Exponential ring-down of a resonant transducer.
+
+    Attributes:
+        frequency: Oscillation frequency during ring-down (Hz).
+        quality_factor: Mechanical Q of the PZT; the decay time constant
+            is ``tau = Q / (pi f)``.  The paper's ~0.3 ms tail at 230 kHz
+            corresponds to Q of roughly 70-100.
+    """
+
+    frequency: float = 230e3
+    quality_factor: float = 85.0
+
+    def __post_init__(self) -> None:
+        if self.frequency <= 0.0:
+            raise AcousticsError("frequency must be positive")
+        if self.quality_factor <= 0.0:
+            raise AcousticsError("quality factor must be positive")
+
+    @property
+    def time_constant(self) -> float:
+        """Amplitude decay time constant tau = Q / (pi f) (s)."""
+        return self.quality_factor / (math.pi * self.frequency)
+
+    def tail_duration(self, threshold: float = 0.05) -> float:
+        """Time (s) for the tail to decay below ``threshold`` x initial.
+
+        With the default Q this is ~0.35 ms, matching Fig. 7a's ~0.3 ms.
+        """
+        if not 0.0 < threshold < 1.0:
+            raise AcousticsError("threshold must be in (0, 1)")
+        return -self.time_constant * math.log(threshold)
+
+    def envelope(self, t: np.ndarray) -> np.ndarray:
+        """Ring-down amplitude envelope at times ``t`` (s) after drive-off."""
+        t = np.asarray(t, dtype=float)
+        out = np.exp(-np.maximum(t, 0.0) / self.time_constant)
+        out[t < 0.0] = 1.0
+        return out
+
+
+def ook_symbol_waveform(
+    ring: RingdownModel,
+    high_duration: float,
+    low_duration: float,
+    sample_rate: float,
+    amplitude: float = 1.0,
+) -> np.ndarray:
+    """A PIE edge pair transmitted with plain OOK, including the ring tail.
+
+    The high edge is a full-amplitude carrier burst; when the drive turns
+    off the carrier decays with the PZT's ring-down envelope instead of
+    stopping, leaking into the low edge (Fig. 7a).
+    """
+    _check_edges(high_duration, low_duration, sample_rate)
+    n_high = int(round(high_duration * sample_rate))
+    n_low = int(round(low_duration * sample_rate))
+    t = np.arange(n_high + n_low) / sample_rate
+    carrier = np.sin(TWO_PI * ring.frequency * t)
+    envelope = np.ones_like(t)
+    tail_t = t[n_high:] - t[n_high]
+    envelope[n_high:] = ring.envelope(tail_t)
+    return amplitude * envelope * carrier
+
+
+def fsk_symbol_waveform(
+    ring: RingdownModel,
+    response: FrequencyResponse,
+    high_duration: float,
+    low_duration: float,
+    sample_rate: float,
+    amplitude: float = 1.0,
+    off_frequency: float = 180e3,
+    pzt_loaded_q: float = 8.0,
+) -> np.ndarray:
+    """A PIE edge pair transmitted with the paper's FSK trick.
+
+    The low edge keeps the PZT driven at ``off_frequency``; that tone is
+    suppressed twice -- by the PZT's own resonant response (loaded Q
+    ``pzt_loaded_q``) and by the concrete's off-resonance damping -- so
+    the received waveform shows a cleanly attenuated low edge with no
+    inertia tail (Fig. 7b).  Both edges are scaled by the combined gain
+    at their respective frequencies, mimicking what the node's envelope
+    detector sees.
+    """
+    _check_edges(high_duration, low_duration, sample_rate)
+    if pzt_loaded_q <= 0.0:
+        raise AcousticsError("PZT loaded Q must be positive")
+    n_high = int(round(high_duration * sample_rate))
+    n_low = int(round(low_duration * sample_rate))
+    t = np.arange(n_high + n_low) / sample_rate
+
+    def pzt_gain(frequency: float) -> float:
+        x = frequency / ring.frequency
+        return 1.0 / math.sqrt(1.0 + (pzt_loaded_q * (x - 1.0 / x)) ** 2)
+
+    gain_high = response.gain(ring.frequency) * pzt_gain(ring.frequency)
+    gain_low = response.gain(off_frequency) * pzt_gain(off_frequency)
+
+    waveform = np.empty_like(t)
+    waveform[:n_high] = gain_high * np.sin(TWO_PI * ring.frequency * t[:n_high])
+    waveform[n_high:] = gain_low * np.sin(TWO_PI * off_frequency * t[n_high:])
+    # Normalise so the high edge has the requested amplitude.
+    if gain_high > 0.0:
+        waveform /= gain_high
+    return amplitude * waveform
+
+
+def low_edge_residual(
+    waveform: np.ndarray,
+    high_duration: float,
+    sample_rate: float,
+) -> float:
+    """RMS amplitude in the low edge relative to the high edge.
+
+    The Fig. 7 comparison metric: OOK leaves a large residual from the
+    ring tail, FSK leaves only the suppressed off-resonance tone.
+    """
+    n_high = int(round(high_duration * sample_rate))
+    if n_high <= 0 or n_high >= waveform.size:
+        raise AcousticsError("high edge must cover part, not all, of the waveform")
+    high = waveform[:n_high]
+    low = waveform[n_high:]
+    high_rms = float(np.sqrt(np.mean(high**2)))
+    low_rms = float(np.sqrt(np.mean(low**2)))
+    if high_rms <= 0.0:
+        raise AcousticsError("degenerate waveform: silent high edge")
+    return low_rms / high_rms
+
+
+def _check_edges(high_duration: float, low_duration: float, sample_rate: float) -> None:
+    if high_duration <= 0.0 or low_duration <= 0.0:
+        raise AcousticsError("edge durations must be positive")
+    if sample_rate <= 0.0:
+        raise AcousticsError("sample rate must be positive")

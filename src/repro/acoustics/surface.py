@@ -1,0 +1,127 @@
+"""Surface (Rayleigh) waves: the reader's main self-interference source.
+
+Sec. 3.1 sets surface waves aside for *node* communication (EcoCapsules
+sit deep in the concrete), but they matter at the *reader*: Sec. 3.4
+notes that "the S-reflections and the surface waves leaked from the
+transmitting PZT are 10x stronger than the backscattered signals" at
+the receiving PZT.  The evaluation also exploits their behaviour --
+"the surface waves are almost filtered out because of the sharp edges
+and corners" of the test blocks (Sec. 3.3).
+
+This module models what those two observations need:
+
+* the Rayleigh velocity (the classic Bergmann/Viktorov approximation
+  from the Poisson ratio: C_R ~ Cs * (0.87 + 1.12 nu) / (1 + nu));
+* propagation along a surface path with exponential decay in depth
+  (surface waves live within ~one wavelength of the face);
+* edge scattering: each sharp edge/corner on the path strips most of
+  the remaining surface-wave energy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import AcousticsError
+from ..materials import Medium
+
+
+def rayleigh_velocity(medium: Medium) -> float:
+    """Rayleigh surface-wave velocity (m/s) of a solid medium.
+
+    Uses the standard rational approximation
+    ``C_R = Cs (0.87 + 1.12 nu) / (1 + nu)``; when the medium carries no
+    Poisson ratio, nu = 0.25 (a typical solid) is assumed.
+    """
+    if medium.is_fluid:
+        raise AcousticsError(f"{medium.name} is a fluid: no Rayleigh waves")
+    nu = medium.poisson_ratio if medium.poisson_ratio is not None else 0.25
+    return medium.cs * (0.87 + 1.12 * nu) / (1.0 + nu)
+
+
+def penetration_depth(medium: Medium, frequency: float) -> float:
+    """Depth (m) at which the Rayleigh amplitude falls to 1/e.
+
+    Approximately one Rayleigh wavelength; nodes deeper than a couple of
+    these are invisible to surface waves -- the reason the paper can
+    ignore them for in-concrete links.
+    """
+    if frequency <= 0.0:
+        raise AcousticsError("frequency must be positive")
+    return rayleigh_velocity(medium) / frequency
+
+
+@dataclass(frozen=True)
+class SurfaceWavePath:
+    """A surface propagation path between two points on the same face.
+
+    Attributes:
+        medium: The host solid.
+        length: Path length along the surface (m).
+        edges_crossed: Sharp edges/corners on the path; each one strips
+            ``edge_transmission`` of the surviving amplitude (the test
+            blocks' "sharp edges and corners" filtering).
+        edge_transmission: Amplitude fraction surviving one edge.
+    """
+
+    medium: Medium
+    length: float
+    edges_crossed: int = 0
+    edge_transmission: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.length < 0.0:
+            raise AcousticsError("path length cannot be negative")
+        if self.edges_crossed < 0:
+            raise AcousticsError("edge count cannot be negative")
+        if not 0.0 <= self.edge_transmission <= 1.0:
+            raise AcousticsError("edge transmission must be in [0, 1]")
+
+    def amplitude_gain(self, frequency: float, reference: float = 0.05) -> float:
+        """Amplitude ratio at the path end relative to ``reference`` m.
+
+        Rayleigh waves spread cylindrically along the surface
+        (amplitude ~ 1/sqrt(r)) and suffer the medium's absorption plus
+        the per-edge stripping.
+        """
+        if frequency <= 0.0:
+            raise AcousticsError("frequency must be positive")
+        if reference <= 0.0:
+            raise AcousticsError("reference distance must be positive")
+        effective = max(self.length, reference)
+        spreading = math.sqrt(reference / effective)
+        absorption_db = self.medium.attenuation_db(frequency, self.length)
+        absorption = 10.0 ** (-absorption_db / 20.0)
+        edges = self.edge_transmission**self.edges_crossed
+        return spreading * absorption * edges
+
+    def delay(self, frequency: float = 230e3) -> float:
+        """Propagation delay (s) along the surface path."""
+        return self.length / rayleigh_velocity(self.medium)
+
+
+def leakage_ratio(
+    medium: Medium,
+    tx_rx_separation: float,
+    backscatter_gain: float,
+    frequency: float = 230e3,
+    coupling: float = 0.5,
+) -> float:
+    """Surface-leakage amplitude over backscatter amplitude at the RX PZT.
+
+    The Sec. 3.4 observation quantified: with the reader's TX and RX
+    ~20 cm apart on the same face, the direct surface wave (plus the
+    S-reflection clutter it stands in for) dwarfs the round-trip
+    backscatter.  ``coupling`` is the fraction of TX amplitude that
+    launches as a surface wave.
+
+    Returns the linear amplitude ratio (paper: ~10x).
+    """
+    if backscatter_gain <= 0.0:
+        raise AcousticsError("backscatter gain must be positive")
+    if not 0.0 <= coupling <= 1.0:
+        raise AcousticsError("coupling must be in [0, 1]")
+    path = SurfaceWavePath(medium=medium, length=tx_rx_separation)
+    leak = coupling * path.amplitude_gain(frequency)
+    return leak / backscatter_gain

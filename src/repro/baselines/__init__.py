@@ -1,0 +1,30 @@
+"""Baselines the paper compares against: PAB, U2B and embedded RFID."""
+
+from .pab import (
+    PAB_CARRIER,
+    PAB_WATERFALL_OFFSET_DB,
+    PabLink,
+    pab_harvester,
+    pab_snr_model,
+    pool_1,
+    pool_2,
+)
+from .rf_backscatter import (
+    DEFAULT_CONCRETE_RF_ATTENUATION,
+    RfBackscatterLink,
+)
+from .u2b import crossover_bitrate, u2b_snr_model
+
+__all__ = [
+    "PAB_CARRIER",
+    "PAB_WATERFALL_OFFSET_DB",
+    "PabLink",
+    "pab_harvester",
+    "pab_snr_model",
+    "pool_1",
+    "pool_2",
+    "DEFAULT_CONCRETE_RF_ATTENUATION",
+    "RfBackscatterLink",
+    "crossover_bitrate",
+    "u2b_snr_model",
+]

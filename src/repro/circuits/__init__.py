@@ -1,0 +1,31 @@
+"""Circuit substrate: harvester, demodulator, MCU power, sensors."""
+
+from .demodulator import EnvelopeDetector, LevelShifter, edge_intervals
+from .harvester import EnergyHarvester, LowDropoutRegulator, VoltageMultiplier
+from .mcu import McuPowerModel
+from .sensors import (
+    SensorBase,
+    SensorError,
+    SensorSuite,
+    accelerometer,
+    humidity_sensor,
+    strain_sensor,
+    temperature_sensor,
+)
+
+__all__ = [
+    "EnvelopeDetector",
+    "LevelShifter",
+    "edge_intervals",
+    "EnergyHarvester",
+    "LowDropoutRegulator",
+    "VoltageMultiplier",
+    "McuPowerModel",
+    "SensorBase",
+    "SensorError",
+    "SensorSuite",
+    "accelerometer",
+    "humidity_sensor",
+    "strain_sensor",
+    "temperature_sensor",
+]

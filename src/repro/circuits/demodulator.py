@@ -1,0 +1,107 @@
+"""Node-side downlink demodulator: envelope detector + level shifter.
+
+The EcoCapsule reuses its voltage multiplier as an envelope detector and
+binarizes the result with a level shifter (Sec. 4.2).  The MCU then
+measures edge-to-edge intervals with a timer interrupt to decode the PIE
+command stream.  This module implements that chain on sampled waveforms:
+
+    rectify -> RC low-pass (envelope) -> hysteresis comparator (bits)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..errors import DecodingError
+
+
+@dataclass(frozen=True)
+class EnvelopeDetector:
+    """Diode rectifier + RC low-pass envelope extractor.
+
+    ``cutoff`` must sit well below the carrier but above the PIE symbol
+    rate; the paper's carrier (230 kHz) and symbol rate (kHz-scale)
+    leave a comfortable decade on each side.
+    """
+
+    cutoff: float = 40e3
+    diode_drop: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cutoff <= 0.0:
+            raise DecodingError("cutoff must be positive")
+        if self.diode_drop < 0.0:
+            raise DecodingError("diode drop cannot be negative")
+
+    def detect(self, waveform: np.ndarray, sample_rate: float) -> np.ndarray:
+        """Envelope of ``waveform`` (single-pole RC follower)."""
+        if sample_rate <= 2.0 * self.cutoff:
+            raise DecodingError(
+                f"sample rate {sample_rate} too low for cutoff {self.cutoff}"
+            )
+        rectified = np.maximum(np.abs(np.asarray(waveform, dtype=float)) - self.diode_drop, 0.0)
+        alpha = 1.0 - math.exp(-2.0 * math.pi * self.cutoff / sample_rate)
+        envelope = np.empty_like(rectified)
+        state = 0.0
+        for i, sample in enumerate(rectified):
+            state += alpha * (sample - state)
+            envelope[i] = state
+        return envelope
+
+
+@dataclass(frozen=True)
+class LevelShifter:
+    """Hysteresis comparator producing a clean binary stream.
+
+    Thresholds are relative to the envelope's running peak so the node
+    adapts to channel gain; hysteresis rejects the high-frequency noise
+    the paper's TXB0302 filters out.
+    """
+
+    high_fraction: float = 0.55
+    low_fraction: float = 0.35
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.low_fraction < self.high_fraction < 1.0:
+            raise DecodingError(
+                "thresholds must satisfy 0 < low < high < 1, got "
+                f"low={self.low_fraction}, high={self.high_fraction}"
+            )
+
+    def binarize(self, envelope: np.ndarray) -> np.ndarray:
+        """Binary (0/1) stream from an envelope."""
+        envelope = np.asarray(envelope, dtype=float)
+        peak = float(np.max(envelope)) if envelope.size else 0.0
+        if peak <= 0.0:
+            raise DecodingError("envelope is silent; nothing to binarize")
+        high = self.high_fraction * peak
+        low = self.low_fraction * peak
+        bits = np.empty(envelope.size, dtype=np.int8)
+        state = 0
+        for i, value in enumerate(envelope):
+            if state == 0 and value >= high:
+                state = 1
+            elif state == 1 and value <= low:
+                state = 0
+            bits[i] = state
+        return bits
+
+
+def edge_intervals(binary: np.ndarray, sample_rate: float) -> List[float]:
+    """Durations (s) between consecutive edges of a binary stream.
+
+    This mirrors the MCU's timer-interrupt measurement: the PIE decoder
+    consumes these intervals directly.
+    """
+    binary = np.asarray(binary)
+    if binary.size < 2:
+        raise DecodingError("binary stream too short for edge timing")
+    edges = np.flatnonzero(np.diff(binary) != 0) + 1
+    if edges.size == 0:
+        raise DecodingError("no edges found in the binary stream")
+    boundaries = np.concatenate(([0], edges, [binary.size]))
+    return list(np.diff(boundaries) / sample_rate)

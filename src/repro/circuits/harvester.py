@@ -1,0 +1,170 @@
+"""Energy-harvesting chain: voltage multiplier, storage, cold start.
+
+The EcoCapsule harvests from the continuous body wave with a four-stage
+voltage multiplier (Dickson charge pump) followed by an LDO regulator
+(Sec. 4.2).  The behaviours the evaluation reports:
+
+* minimum activation: the MCU wakes only when the input reaches ~0.5 V
+  peak at the PZT terminals (Fig. 14);
+* cold-start time: ~55 ms at 0.5 V, dropping to ~4.4 ms at >= 2 V
+  (Fig. 14) -- the storage capacitor charges faster when the multiplier
+  output rides far above the regulator target;
+* steady supply: 1.8 V regulated output once the storage holds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import PowerError
+
+
+@dataclass(frozen=True)
+class VoltageMultiplier:
+    """N-stage Dickson multiplier driven by the PZT's AC output.
+
+    The open-circuit DC output is ``2 N (V_peak - V_diode)`` clamped at
+    zero; the source impedance grows with stage count, which the cold
+    start model folds into the charging time constant.
+    """
+
+    stages: int = 4
+    diode_drop: float = 0.12  # Schottky forward drop at micro-amp currents
+    stage_capacitance: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if self.stages < 1:
+            raise PowerError(f"multiplier needs >= 1 stage, got {self.stages}")
+        if self.diode_drop < 0.0:
+            raise PowerError("diode drop cannot be negative")
+        if self.stage_capacitance <= 0.0:
+            raise PowerError("stage capacitance must be positive")
+
+    def open_circuit_voltage(self, input_peak: float) -> float:
+        """DC output (V) for a sinusoidal input of ``input_peak`` volts."""
+        if input_peak < 0.0:
+            raise PowerError("input peak cannot be negative")
+        return max(0.0, 2.0 * self.stages * (input_peak - self.diode_drop))
+
+    def source_resistance(self, frequency: float) -> float:
+        """Equivalent source resistance (ohm): N / (f C) for a Dickson pump."""
+        if frequency <= 0.0:
+            raise PowerError("frequency must be positive")
+        return self.stages / (frequency * self.stage_capacitance)
+
+
+@dataclass(frozen=True)
+class LowDropoutRegulator:
+    """LDO regulator (LP5900-class): 1.8 V output, small dropout."""
+
+    output_voltage: float = 1.8
+    dropout: float = 0.08
+    quiescent_current: float = 25e-6
+
+    def __post_init__(self) -> None:
+        if self.output_voltage <= 0.0:
+            raise PowerError("output voltage must be positive")
+        if self.dropout < 0.0:
+            raise PowerError("dropout cannot be negative")
+
+    @property
+    def minimum_input(self) -> float:
+        """Lowest input voltage that still regulates (V)."""
+        return self.output_voltage + self.dropout
+
+    def regulate(self, input_voltage: float) -> float:
+        """Regulated output for ``input_voltage``; 0 below the dropout floor."""
+        if input_voltage < 0.0:
+            raise PowerError("input voltage cannot be negative")
+        if input_voltage < self.minimum_input:
+            return 0.0
+        return self.output_voltage
+
+
+@dataclass(frozen=True)
+class EnergyHarvester:
+    """The full harvesting chain with the paper's cold-start behaviour.
+
+    Attributes:
+        multiplier: The charge pump.
+        regulator: The output LDO.
+        storage_capacitance: Reservoir capacitor after the pump (F).
+        activation_voltage: Minimum PZT peak voltage that can ever wake
+            the MCU (paper: 0.5 V).
+        carrier_frequency: The CBW frequency the pump rides on (Hz).
+    """
+
+    multiplier: VoltageMultiplier = VoltageMultiplier()
+    regulator: LowDropoutRegulator = LowDropoutRegulator()
+    storage_capacitance: float = 1.892e-6
+    activation_voltage: float = 0.5
+    carrier_frequency: float = 230e3
+
+    def __post_init__(self) -> None:
+        if self.storage_capacitance <= 0.0:
+            raise PowerError("storage capacitance must be positive")
+        if self.activation_voltage <= 0.0:
+            raise PowerError("activation voltage must be positive")
+
+    def can_power_up(self, input_peak: float) -> bool:
+        """True when the CBW at the node's PZT can eventually wake the MCU.
+
+        Two conditions: the input must clear the paper's 0.5 V activation
+        floor, and the pump output must clear the regulator's dropout.
+        """
+        if input_peak < self.activation_voltage:
+            return False
+        return (
+            self.multiplier.open_circuit_voltage(input_peak)
+            >= self.regulator.minimum_input
+        )
+
+    def cold_start_time(self, input_peak: float) -> float:
+        """Time (s) from first wave arrival to a running MCU (Fig. 14).
+
+        RC charging of the storage capacitor toward the pump's
+        open-circuit voltage; the MCU runs once the reservoir passes the
+        regulator's minimum input:
+
+            t = R C ln(V_oc / (V_oc - V_min))
+
+        Calibrated so 0.5 V -> ~55 ms and >= 2 V -> ~4.4 ms, the two
+        anchors of Fig. 14.
+
+        Raises:
+            PowerError: when the input cannot power the node at all.
+        """
+        if not self.can_power_up(input_peak):
+            raise PowerError(
+                f"input peak {input_peak:.3f} V is below the activation "
+                f"threshold {self.activation_voltage} V"
+            )
+        v_oc = self.multiplier.open_circuit_voltage(input_peak)
+        v_min = self.regulator.minimum_input
+        r = self.multiplier.source_resistance(self.carrier_frequency)
+        # The pump delivers charge only near the waveform crests; the
+        # effective charging resistance is higher at low drive where the
+        # diodes barely conduct.  A conduction factor inversely
+        # proportional to the overdrive reproduces the steep low-voltage
+        # knee of Fig. 14.
+        overdrive = input_peak - self.multiplier.diode_drop
+        conduction = min(1.0, overdrive / 0.66)
+        effective_r = r / max(conduction, 1e-3)
+        tau = effective_r * self.storage_capacitance
+        return tau * math.log(v_oc / (v_oc - v_min))
+
+    def harvested_power(self, input_peak: float, load_voltage: float = None) -> float:
+        """Steady-state power (W) available to the load.
+
+        Maximum-power-transfer estimate: the pump behaves as V_oc behind
+        its source resistance; the LDO draws at ``load_voltage``.
+        """
+        if load_voltage is None:
+            load_voltage = self.regulator.minimum_input
+        v_oc = self.multiplier.open_circuit_voltage(input_peak)
+        if v_oc <= load_voltage:
+            return 0.0
+        r = self.multiplier.source_resistance(self.carrier_frequency)
+        current = (v_oc - load_voltage) / r
+        return load_voltage * current

@@ -1,0 +1,114 @@
+"""Sensor peripherals integrated in the EcoCapsule (Sec. 4.2).
+
+Three sensing functions are modelled:
+
+* AHT10-class integrated temperature + internal-relative-humidity (IRH);
+* BFH1K-class full-bridge strain gauge on the shell back (two-directional
+  internal strain);
+* a MEMS accelerometer for the pilot-study measurements.
+
+Each sensor converts a ground-truth environmental value into a quantised
+digital reading with datasheet-style accuracy, resolution and noise, so
+the SHM pipeline exercises realistic imperfect data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+class SensorError(ReproError):
+    """A sensor was read outside its operating range."""
+
+
+@dataclass
+class SensorBase:
+    """Shared quantised-reading machinery.
+
+    Attributes:
+        range: (low, high) measurable band in engineering units.
+        resolution: Quantisation step.
+        noise_rms: Gaussian read noise (same units).
+        seed: RNG seed for reproducible noise.
+    """
+
+    range: Tuple[float, float]
+    resolution: float
+    noise_rms: float
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        low, high = self.range
+        if low >= high:
+            raise SensorError(f"invalid range {self.range}")
+        if self.resolution <= 0.0:
+            raise SensorError("resolution must be positive")
+        if self.noise_rms < 0.0:
+            raise SensorError("noise cannot be negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    def read(self, true_value: float) -> float:
+        """One quantised, noisy reading of ``true_value``.
+
+        Raises:
+            SensorError: when the truth lies outside the sensor range.
+        """
+        low, high = self.range
+        if not low <= true_value <= high:
+            raise SensorError(
+                f"value {true_value} outside the sensor range [{low}, {high}]"
+            )
+        noisy = true_value + self._rng.normal(0.0, self.noise_rms)
+        quantised = round(noisy / self.resolution) * self.resolution
+        return float(min(max(quantised, low), high))
+
+
+def temperature_sensor(seed: int = 0) -> SensorBase:
+    """AHT10-class temperature channel: -40..85 C, 0.01 C step, 0.2 C noise."""
+    return SensorBase(range=(-40.0, 85.0), resolution=0.01, noise_rms=0.2, seed=seed)
+
+
+def humidity_sensor(seed: int = 0) -> SensorBase:
+    """AHT10-class IRH channel: 0..100 %RH, 0.024 % step, 1.8 % noise."""
+    return SensorBase(range=(0.0, 100.0), resolution=0.024, noise_rms=1.8, seed=seed)
+
+
+def strain_sensor(seed: int = 0) -> SensorBase:
+    """BFH1K-class full-bridge strain gauge: +/-5000 ue, 1 ue step."""
+    return SensorBase(range=(-5000.0, 5000.0), resolution=1.0, noise_rms=2.5, seed=seed)
+
+
+def accelerometer(seed: int = 0) -> SensorBase:
+    """MEMS accelerometer: +/-2 g in m/s^2, mg-scale resolution."""
+    return SensorBase(range=(-19.6, 19.6), resolution=0.001, noise_rms=0.004, seed=seed)
+
+
+@dataclass
+class SensorSuite:
+    """The EcoCapsule's standard payload: temperature, IRH, strain, accel."""
+
+    temperature: SensorBase = field(default_factory=temperature_sensor)
+    humidity: SensorBase = field(default_factory=humidity_sensor)
+    strain: SensorBase = field(default_factory=strain_sensor)
+    acceleration: SensorBase = field(default_factory=accelerometer)
+
+    def read_all(
+        self,
+        temperature: float,
+        humidity: float,
+        strain: float,
+        acceleration: float,
+    ) -> dict:
+        """Read every channel against a ground-truth environment."""
+        return {
+            "temperature": self.temperature.read(temperature),
+            "humidity": self.humidity.read(humidity),
+            "strain": self.strain.read(strain),
+            "acceleration": self.acceleration.read(acceleration),
+        }

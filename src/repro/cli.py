@@ -1,0 +1,204 @@
+"""Command-line interface for the EcoCapsule reproduction library.
+
+Subcommands mirror the operator workflows the paper describes::
+
+    python -m repro.cli prism --concrete NC
+    python -m repro.cli range --structure S3 --voltage 250
+    python -m repro.cli shell --height 120
+    python -m repro.cli survey --nodes 8 --length 8 --voltage 250
+    python -m repro.cli pilot
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import random
+import sys
+from typing import List, Optional
+
+from .acoustics import StructureGeometry, WavePrism, paper_structures
+from .link import PlacedNode, PowerUpLink, WallSession, plan_stations
+from .materials import PLA, get_concrete
+from .node import EcoCapsule, Environment, resin_shell, steel_shell
+
+
+def _cmd_prism(args: argparse.Namespace) -> int:
+    concrete = get_concrete(args.concrete)
+    prism = WavePrism(PLA, concrete.medium)
+    low, high = prism.critical_angles
+    best = prism.recommend_angle()
+    print(f"Concrete: {concrete.name} (Cp {concrete.cp:.0f}, Cs {concrete.cs:.0f} m/s)")
+    print(
+        f"S-only window: [{math.degrees(low):.1f}, {math.degrees(high):.1f}] deg"
+    )
+    print(f"Recommended incident angle: {math.degrees(best):.1f} deg")
+    quality = prism.injection_quality(best)
+    print(f"Injected energy at the optimum: {quality.injected_energy:.0%}")
+    return 0
+
+
+def _resolve_structure(name: str) -> StructureGeometry:
+    for structure in paper_structures():
+        if structure.name.lower().startswith(name.lower()):
+            return structure
+    raise SystemExit(
+        f"unknown structure {name!r}; options: "
+        + ", ".join(s.name.split()[0] for s in paper_structures())
+    )
+
+
+def _cmd_range(args: argparse.Namespace) -> int:
+    structure = _resolve_structure(args.structure)
+    budget = PowerUpLink(structure)
+    reach = budget.max_range(args.voltage)
+    print(f"Structure: {structure.name} ({structure.thickness * 100:.0f} cm thick)")
+    print(f"Max power-up range at {args.voltage:.0f} V: {reach:.2f} m")
+    plan = plan_stations(budget, tx_voltage=args.voltage)
+    print(
+        f"Stations to cover {structure.length:.0f} m: {len(plan.stations)} "
+        f"at positions " + ", ".join(f"{s.position:.1f} m" for s in plan.stations)
+    )
+    return 0
+
+
+def _cmd_shell(args: argparse.Namespace) -> int:
+    for shell, label in ((resin_shell(), "SLA resin"), (steel_shell(), "alloy steel")):
+        verdict = "OK" if shell.survives(args.height) else "FAILS"
+        print(
+            f"{label:12s} dP_max {shell.max_pressure / 1e6:6.1f} MPa  "
+            f"h_max {shell.max_height():7.0f} m  at {args.height:.0f} m: {verdict}"
+        )
+    return 0
+
+
+def _cmd_survey(args: argparse.Namespace) -> int:
+    concrete = get_concrete(args.concrete)
+    wall = StructureGeometry(
+        "cli wall", length=args.length, thickness=args.thickness,
+        medium=concrete.medium,
+    )
+    budget = PowerUpLink(wall)
+    rng = random.Random(args.seed)
+    nodes = [
+        PlacedNode(
+            capsule=EcoCapsule(
+                node_id=i + 1,
+                environment=Environment(
+                    temperature=rng.uniform(18.0, 32.0),
+                    humidity=rng.uniform(55.0, 90.0),
+                    strain=rng.uniform(-200.0, 300.0),
+                ),
+                seed=args.seed + i,
+            ),
+            distance=rng.uniform(0.2, args.length * 0.4),
+        )
+        for i in range(args.nodes)
+    ]
+    session = WallSession(
+        budget=budget, nodes=nodes, tx_voltage=args.voltage, seed=args.seed
+    )
+    result = session.run()
+    print(
+        f"Powered {len(result.powered_nodes)}/{args.nodes} nodes "
+        f"({result.coverage:.0%}); session took {result.elapsed:.2f} s over "
+        f"{result.slots_used} slots in {result.rounds_used} round(s)"
+    )
+    for node_id in sorted(result.reports):
+        values = {r.channel: r.value for r in result.reports[node_id]}
+        print(
+            f"  node {node_id:2d}: "
+            + "  ".join(f"{k}={v:.1f}" for k, v in sorted(values.items()))
+        )
+    if result.dark_nodes:
+        print(f"  dark nodes (out of range): {result.dark_nodes}")
+    return 0
+
+
+def _cmd_pilot(args: argparse.Namespace) -> int:
+    from .experiments import fig21_pilot_study
+
+    result = fig21_pilot_study.run(samples_per_hour=args.samples_per_hour)
+    print("Pilot study (synthetic July 2021):")
+    print(f"  storm detected in both channels: {result.storm_detected_in_both}")
+    print(f"  sensors mutually verified: {result.sensors_mutually_verified}")
+    print(
+        f"  compliance: |a|max {result.compliance.max_abs_acceleration:.3f} m/s^2, "
+        f"|s|max {result.compliance.max_abs_stress_mpa:.0f} MPa -> "
+        f"{'OK' if result.compliance.compliant else 'VIOLATION'}"
+    )
+    grades = ", ".join(f"{g}: {f:.0%}" for g, f in result.grade_fractions.items())
+    print(f"  bridge grades over the month: {grades}")
+    for health in result.section_health:
+        print(
+            f"  section {health.section}: No.{health.pedestrians} "
+            f"Health {health.grade} Speed {health.mean_speed:.1f} m/s"
+        )
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .reporting import EXPORTERS, export_all
+
+    figures = args.figures if args.figures else None
+    written = export_all(args.directory, figures=figures, fmt=args.format)
+    for path in written:
+        print(f"wrote {path}")
+    if not args.figures:
+        print(f"({len(written)} figures: {', '.join(sorted(EXPORTERS))})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="EcoCapsule reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    prism = sub.add_parser("prism", help="design the wave prism for a concrete")
+    prism.add_argument("--concrete", default="NC", help="NC, UHPC or UHPFRC")
+    prism.set_defaults(func=_cmd_prism)
+
+    rng = sub.add_parser("range", help="power-up range for a paper structure")
+    rng.add_argument("--structure", default="S3", help="S1, S2, S3 or S4")
+    rng.add_argument("--voltage", type=float, default=250.0)
+    rng.set_defaults(func=_cmd_range)
+
+    shell = sub.add_parser("shell", help="shell limits vs building height")
+    shell.add_argument("--height", type=float, default=120.0, help="metres")
+    shell.set_defaults(func=_cmd_shell)
+
+    survey = sub.add_parser("survey", help="simulate a wall survey session")
+    survey.add_argument("--nodes", type=int, default=6)
+    survey.add_argument("--length", type=float, default=8.0)
+    survey.add_argument("--thickness", type=float, default=0.20)
+    survey.add_argument("--concrete", default="UHPC")
+    survey.add_argument("--voltage", type=float, default=250.0)
+    survey.add_argument("--seed", type=int, default=7)
+    survey.set_defaults(func=_cmd_survey)
+
+    pilot = sub.add_parser("pilot", help="run the footbridge pilot analytics")
+    pilot.add_argument("--samples-per-hour", type=int, default=6)
+    pilot.set_defaults(func=_cmd_pilot)
+
+    export = sub.add_parser(
+        "export", help="export figure data as CSV/JSON for plotting"
+    )
+    export.add_argument("--directory", default="figures")
+    export.add_argument("--format", choices=("csv", "json"), default="csv")
+    export.add_argument(
+        "--figures", nargs="*", help="figure ids (default: all tabular figures)"
+    )
+    export.set_defaults(func=_cmd_export)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

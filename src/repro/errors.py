@@ -1,0 +1,55 @@
+"""Exception hierarchy for the EcoCapsule reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every library-specific error."""
+
+
+class MaterialError(ReproError):
+    """Unknown material, or a property combination that is unphysical."""
+
+
+class AcousticsError(ReproError):
+    """A propagation/boundary computation received invalid geometry."""
+
+
+class TotalReflectionError(AcousticsError):
+    """Snell refraction requested beyond the critical angle.
+
+    Carries the critical angle so callers can report or clamp it.
+    """
+
+    def __init__(self, incident_deg: float, critical_deg: float, mode: str):
+        self.incident_deg = incident_deg
+        self.critical_deg = critical_deg
+        self.mode = mode
+        super().__init__(
+            f"{mode}-wave is evanescent: incident angle {incident_deg:.1f} deg "
+            f"exceeds the critical angle {critical_deg:.1f} deg"
+        )
+
+
+class EncodingError(ReproError):
+    """A PHY encoder/decoder was given malformed symbols or bits."""
+
+
+class DecodingError(ReproError):
+    """The decoder could not recover data from the waveform."""
+
+
+class ProtocolError(ReproError):
+    """A reader/node state machine received an out-of-order event."""
+
+
+class CrcError(ProtocolError):
+    """Packet failed its CRC check."""
+
+
+class PowerError(ReproError):
+    """A node attempted to operate without sufficient harvested energy."""
+
+
+class DesignError(ReproError):
+    """A mechanical/acoustic design request is infeasible (shell, prism, HRA)."""

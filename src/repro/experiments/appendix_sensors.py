@@ -1,0 +1,83 @@
+"""Figs. 26-36: the appendix bridge-sensor channels for July 2021.
+
+Generates every appendix series (humidity, temperature, barometric
+pressure, six accelerometers, two stress gauges) and checks the
+paper-visible properties: the value bands of each plot, and the
+storm-window signature (high humidity, pressure trough, elevated
+response variance during 15-23 July).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..shm import JulyTimeSeriesGenerator, in_storm
+
+
+#: The visible value band of each appendix figure (for validation).
+EXPECTED_BANDS: Dict[str, Tuple[float, float]] = {
+    "humidity": (50.0, 100.0),
+    "temperature": (24.0, 36.0),
+    "barometric_pressure": (97.5, 100.0),
+    "acceleration_1": (-0.08, 0.08),
+    "acceleration_2": (-0.08, 0.08),
+    "acceleration_3": (-0.08, 0.08),
+    "acceleration_4": (-0.03, 0.03),
+    "acceleration_5": (-0.08, 0.08),
+    "acceleration_6": (-0.08, 0.08),
+    "stress_1": (0.0, 9.0),
+    "stress_2": (-15.0, -5.0),
+}
+
+
+@dataclass(frozen=True)
+class ChannelSummary:
+    name: str
+    minimum: float
+    maximum: float
+    storm_rms: float
+    quiet_rms: float
+
+    @property
+    def storm_contrast(self) -> float:
+        """Storm-to-quiet RMS ratio (about the channel median)."""
+        if self.quiet_rms <= 0.0:
+            return float("inf")
+        return self.storm_rms / self.quiet_rms
+
+
+@dataclass(frozen=True)
+class AppendixResult:
+    summaries: Dict[str, ChannelSummary]
+
+    def in_band(self, name: str, slack: float = 0.15) -> bool:
+        low, high = EXPECTED_BANDS[name]
+        span = high - low
+        s = self.summaries[name]
+        return (
+            s.minimum >= low - slack * span and s.maximum <= high + slack * span
+        )
+
+
+def run(seed: int = 2021, samples_per_hour: int = 12) -> AppendixResult:
+    """Generate and summarise every appendix channel."""
+    generator = JulyTimeSeriesGenerator(
+        samples_per_hour=samples_per_hour, seed=seed
+    )
+    summaries: Dict[str, ChannelSummary] = {}
+    for name, (hours, values) in generator.appendix_channels().items():
+        mask = in_storm(hours)
+        centred = values - float(np.median(values))
+        storm_rms = float(np.sqrt(np.mean(centred[mask] ** 2)))
+        quiet_rms = float(np.sqrt(np.mean(centred[~mask] ** 2)))
+        summaries[name] = ChannelSummary(
+            name=name,
+            minimum=float(np.min(values)),
+            maximum=float(np.max(values)),
+            storm_rms=storm_rms,
+            quiet_rms=quiet_rms,
+        )
+    return AppendixResult(summaries=summaries)

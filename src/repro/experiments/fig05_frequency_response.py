@@ -1,0 +1,58 @@
+"""Fig. 5b: concrete frequency response, four blocks, 20-400 kHz sweep.
+
+The paper's findings this experiment must reproduce:
+
+1. every block's resonance lands between 200 and 250 kHz, beyond which
+   propagation attenuates rapidly;
+2. the UHPC/UHPFRC peaks dwarf NC's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..acoustics import CARRIER_BAND, FrequencyResponse, paper_test_blocks
+
+
+@dataclass(frozen=True)
+class ResponseCurve:
+    """One block's sweep: (frequency Hz, RX amplitude V) pairs."""
+
+    label: str
+    points: List[Tuple[float, float]]
+
+    @property
+    def peak(self) -> Tuple[float, float]:
+        """(frequency, amplitude) of the maximum response."""
+        return max(self.points, key=lambda p: p[1])
+
+
+@dataclass(frozen=True)
+class Fig05Result:
+    curves: Dict[str, ResponseCurve]
+
+    def peak_in_carrier_band(self, label: str) -> bool:
+        low, high = CARRIER_BAND
+        freq, _ = self.curves[label].peak
+        return low <= freq <= high
+
+
+def run(
+    tx_voltage: float = 100.0,
+    f_start: float = 20e3,
+    f_stop: float = 400e3,
+    f_step: float = 10e3,
+) -> Fig05Result:
+    """Sweep the four Fig. 5a blocks exactly as the paper does."""
+    frequencies = []
+    f = f_start
+    while f <= f_stop + 1.0:
+        frequencies.append(f)
+        f += f_step
+    curves: Dict[str, ResponseCurve] = {}
+    for block in paper_test_blocks():
+        response = FrequencyResponse(block)
+        points = response.sweep(frequencies, tx_voltage)
+        curves[block.label] = ResponseCurve(label=block.label, points=points)
+    return Fig05Result(curves=curves)

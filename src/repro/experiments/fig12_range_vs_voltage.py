@@ -1,0 +1,67 @@
+"""Fig. 12: power-up range vs TX voltage for S1-S4 and the PAB pools.
+
+Produces one range-vs-voltage series per structure.  Anchors from the
+paper (cm): at 50 V -- S1 130, S2 56, S3 134, S4 60, Pool1 19; at 200 V
+-- S2 235, S3 500, S4 385, Pool1 200; Pool2 needs 84 V for 23 cm but
+reaches 6.5 m at 125 V; S3 exceeds 6 m at 250 V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..acoustics import paper_structures
+from ..baselines import PabLink, pool_1, pool_2
+from ..link import PowerUpLink
+
+
+@dataclass(frozen=True)
+class RangeCurve:
+    label: str
+    points: List[Tuple[float, float]]  # (voltage V, range m)
+
+    def range_at(self, voltage: float) -> float:
+        for v, r in self.points:
+            if abs(v - voltage) < 1e-9:
+                return r
+        raise KeyError(f"voltage {voltage} not in the sweep")
+
+
+@dataclass(frozen=True)
+class Fig12Result:
+    curves: Dict[str, RangeCurve]
+
+    def max_range(self) -> Tuple[str, float]:
+        """(structure, range) of the best *concrete* link at max voltage.
+
+        The paper's ">6 m" headline is about EcoCapsule in concrete; the
+        PAB pool curves are excluded (pool 2's waveguide caps at the
+        pool length).
+        """
+        best_label, best_range = "", 0.0
+        for label, curve in self.curves.items():
+            if label.startswith("PAB"):
+                continue
+            _, r = curve.points[-1]
+            if r > best_range:
+                best_label, best_range = label, r
+        return best_label, best_range
+
+
+def run(voltages: List[float] = None) -> Fig12Result:
+    """Sweep all six structures over ``voltages`` (default 10-250 V)."""
+    if voltages is None:
+        voltages = [10.0, 25.0, 50.0, 84.0, 100.0, 125.0, 150.0, 200.0, 250.0]
+    curves: Dict[str, RangeCurve] = {}
+    for structure in paper_structures():
+        link = PowerUpLink(structure)
+        curves[structure.name] = RangeCurve(
+            label=structure.name, points=link.range_curve(voltages)
+        )
+    for pool in (pool_1(), pool_2()):
+        link = PabLink(pool)
+        curves[pool.name] = RangeCurve(
+            label=pool.name, points=link.range_curve(voltages)
+        )
+    return Fig12Result(curves=curves)

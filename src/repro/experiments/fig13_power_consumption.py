@@ -1,0 +1,42 @@
+"""Fig. 13: node power consumption vs uplink bitrate.
+
+Anchors: 80.1 uW on standby (bitrate 0), and a total that fluctuates
+slightly around 360 uW regardless of bitrate from 1 to 8 kbps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..circuits import McuPowerModel
+
+
+@dataclass(frozen=True)
+class Fig13Result:
+    points: List[Tuple[float, float]]  # (bitrate bit/s, power W)
+    standby_power: float
+
+    @property
+    def active_mean(self) -> float:
+        active = [p for b, p in self.points if b > 0.0]
+        return sum(active) / len(active)
+
+    @property
+    def active_spread(self) -> float:
+        """Max-min active power (W): the 'fluctuates slightly' check."""
+        active = [p for b, p in self.points if b > 0.0]
+        return max(active) - min(active)
+
+
+def run(bitrates_kbps: List[float] = None) -> Fig13Result:
+    """Sweep 0-8 kbps as in the figure."""
+    if bitrates_kbps is None:
+        bitrates_kbps = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
+    mcu = McuPowerModel()
+    points: List[Tuple[float, float]] = []
+    for kbps in bitrates_kbps:
+        bitrate = kbps * 1e3
+        state = "standby" if bitrate == 0.0 else "active"
+        points.append((bitrate, mcu.power(state, bitrate)))
+    return Fig13Result(points=points, standby_power=mcu.power("standby"))

@@ -1,0 +1,86 @@
+"""Fig. 15: uplink BER vs SNR, EcoCapsule vs the PAB baseline.
+
+Monte-Carlo FM0 decoding over the baseband link simulator.  The paper's
+anchors: BER ~ 0.5 at ~2 dB (the sync floor), dropping to the 1e-5
+floor at SNRs >= 8 dB for EcoCapsule and >= 11 dB for PAB (the lower
+carrier costs PAB ~3 dB of decoding margin).
+
+Monte-Carlo cannot resolve 1e-5 cheaply, so each point reports the
+measured BER when errors were observed and the analytic FM0 tail
+(Q(sqrt(2 Eb/N0))) when the trial count saw none -- the standard
+semi-analytic extension, recorded per point in ``analytic_tail``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from ..baselines import PAB_WATERFALL_OFFSET_DB
+from ..link import UplinkBasebandSimulator
+from ..phy import q_function
+
+
+@dataclass(frozen=True)
+class BerPoint:
+    snr_db: float
+    ber: float
+    analytic_tail: bool  # True when below the Monte-Carlo floor
+
+
+@dataclass(frozen=True)
+class Fig15Result:
+    ecocapsule: List[BerPoint]
+    pab: List[BerPoint]
+
+    def floor_snr(self, series: str = "ecocapsule", floor: float = 1e-5) -> float:
+        """Lowest sampled SNR where BER reaches the 1e-5 floor."""
+        points = self.ecocapsule if series == "ecocapsule" else self.pab
+        for p in points:
+            if p.ber <= floor:
+                return p.snr_db
+        return math.inf
+
+
+def _analytic_ber(snr_db: float, processing_gain_db: float) -> float:
+    """Coherent FM0 tail: Q(sqrt(2 Eb/N0)) at the decoder's Eb/N0."""
+    ebn0 = 10.0 ** ((snr_db + processing_gain_db) / 10.0)
+    return q_function(math.sqrt(2.0 * ebn0))
+
+
+def _series(
+    snrs: List[float], offset_db: float, total_bits: int, seed: int
+) -> List[BerPoint]:
+    simulator = UplinkBasebandSimulator(seed=seed)
+    points: List[BerPoint] = []
+    for snr in snrs:
+        effective = snr - offset_db
+        measured = simulator.measure_ber(effective, total_bits=total_bits)
+        # Residual BER floor the Monte-Carlo run cannot resolve: rare
+        # detection failures (each costs a coin-flip packet) plus the
+        # coherent decoding tail.  Clamped at the paper's 1e-5
+        # measurement floor.
+        residual = 0.5 * (
+            1.0 - simulator.detection_probability(effective)
+        ) + _analytic_ber(effective, simulator.processing_gain_db)
+        residual = max(residual, 1e-5)
+        if measured > residual:
+            points.append(BerPoint(snr_db=snr, ber=measured, analytic_tail=False))
+        else:
+            points.append(BerPoint(snr_db=snr, ber=residual, analytic_tail=True))
+    return points
+
+
+def run(
+    snrs_db: List[float] = None,
+    total_bits: int = 20_000,
+    seed: int = 7,
+) -> Fig15Result:
+    """Sweep the Fig. 15 SNR grid for both systems."""
+    if snrs_db is None:
+        snrs_db = [0.0, 2.0, 4.0, 5.0, 6.0, 7.0, 8.0, 10.0, 12.0, 15.0, 18.0]
+    return Fig15Result(
+        ecocapsule=_series(snrs_db, 0.0, total_bits, seed),
+        pab=_series(snrs_db, PAB_WATERFALL_OFFSET_DB, total_bits, seed + 1),
+    )

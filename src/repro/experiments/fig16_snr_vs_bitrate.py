@@ -1,0 +1,44 @@
+"""Fig. 16: uplink SNR vs bitrate for EcoCapsule, PAB and U2B.
+
+Anchors: EcoCapsule's SNR drops rapidly to 3 dB past 13 kbps; PAB is
+limited to ~3 kbps; U2B overtakes EcoCapsule above ~9 kbps thanks to
+its wider band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..baselines import crossover_bitrate, pab_snr_model, u2b_snr_model
+from ..link import SnrBitrateModel
+
+
+@dataclass(frozen=True)
+class Fig16Result:
+    curves: Dict[str, List[Tuple[float, float]]]  # label -> (bitrate, snr dB)
+    ecocapsule_knee: float  # bitrate where SNR hits 3 dB
+    pab_knee: float
+    u2b_crossover: float  # bitrate where U2B overtakes EcoCapsule
+
+
+def run(bitrates_kbps: List[float] = None) -> Fig16Result:
+    """Sweep 1-15 kbps as in the figure."""
+    if bitrates_kbps is None:
+        bitrates_kbps = [1, 2, 4, 6, 8, 9, 10, 12, 13, 14, 15]
+    eco = SnrBitrateModel()
+    pab = pab_snr_model()
+    u2b = u2b_snr_model()
+    curves: Dict[str, List[Tuple[float, float]]] = {}
+    for label, model in (("EcoCapsule", eco), ("PAB", pab), ("U2B", u2b)):
+        curves[label] = [
+            (k * 1e3, model.snr_db(k * 1e3))
+            for k in bitrates_kbps
+            if k * 1e3 < model.band_limit
+        ]
+    return Fig16Result(
+        curves=curves,
+        ecocapsule_knee=eco.max_bitrate(min_snr_db=3.0),
+        pab_knee=pab.max_bitrate(min_snr_db=3.0),
+        u2b_crossover=crossover_bitrate(eco, u2b),
+    )

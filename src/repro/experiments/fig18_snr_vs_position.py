@@ -1,0 +1,105 @@
+"""Fig. 18: uplink SNR CDF vs node position (top / middle / bottom).
+
+The paper glues the node block near the wall's top margin, middle, and
+bottom margin and finds the margin positions achieve ~11 and ~8 dB
+median SNR versus ~7 dB in the middle: "S-waves are reflected at the
+margins, which benefits the nodes to harvest more power".  It also
+warns the reflection is "a double-edged sword" -- the superposition can
+turn destructive.
+
+The physics: a free surface reflects the S-wave with unit displacement
+coefficient, so the field near a margin is a standing wave whose
+amplitude factor is ``|1 + exp(2 j k d)| = 2 |cos(k d)|`` at distance
+``d`` from the face -- up to 2x (+6 dB) at an antinode, and a null at a
+destructive spacing.  Sampling the mounting distance over a wavelength
+of jitter produces the margin CDFs: higher median than the middle, but
+with a long low tail (the destructive cases).  The middle of a thick
+wall is many wavelengths from both faces and sees only mild incoherent
+fading.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..materials import get_concrete
+
+#: Baseline link SNR (dB) for a middle-mounted node at the tested
+#: distance, anchoring the middle CDF to the paper's ~7 dB median.
+MIDDLE_BASELINE_DB = 7.0
+
+
+@dataclass(frozen=True)
+class Fig18Result:
+    snr_samples_db: Dict[str, List[float]]
+
+    def median(self, position: str) -> float:
+        return float(np.median(self.snr_samples_db[position]))
+
+    def cdf(self, position: str) -> List[Tuple[float, float]]:
+        values = sorted(self.snr_samples_db[position])
+        n = len(values)
+        return [(v, (i + 1) / n) for i, v in enumerate(values)]
+
+    def low_tail_fraction(self, position: str, threshold_db: float) -> float:
+        """Fraction of trials below ``threshold_db`` (destructive cases)."""
+        values = self.snr_samples_db[position]
+        return sum(1 for v in values if v < threshold_db) / len(values)
+
+
+def run(
+    trials: int = 200,
+    concrete_name: str = "NC",
+    frequency: float = 230e3,
+    seed: int = 3,
+) -> Fig18Result:
+    """Sample the SNR distribution for the three mounting positions.
+
+    Margin positions ("top", "bottom") sit within a wavelength of a free
+    face; the standing-wave factor ``2 |cos(k d)|`` is sampled over
+    mounting jitter.  The top mounting in the paper's setup couples
+    slightly better than the bottom (11 vs 8 dB medians); we reflect
+    that with a small per-mount coupling offset.
+    """
+    medium = get_concrete(concrete_name).medium
+    wavelength = medium.cs / frequency
+    k = 2.0 * math.pi / wavelength
+    rng = np.random.default_rng(seed)
+
+    # (nominal distance to the face in wavelengths, coupling offset dB)
+    mounts = {
+        "top": (0.25, 1.5),
+        "bottom": (0.40, -1.0),
+        "middle": (None, 0.0),
+    }
+
+    samples: Dict[str, List[float]] = {}
+    for label, (face_distance_wl, offset_db) in mounts.items():
+        values: List[float] = []
+        for _ in range(trials):
+            fading_db = float(rng.normal(0.0, 1.0))
+            if face_distance_wl is None:
+                # Middle: incoherent multipath only -- mild fading.
+                snr = MIDDLE_BASELINE_DB + fading_db
+            else:
+                d = abs(
+                    face_distance_wl * wavelength
+                    + rng.normal(0.0, 0.35 * wavelength)
+                )
+                factor = abs(2.0 * math.cos(k * d))
+                # The direct field is still present under the standing
+                # wave; floor the factor just above a perfect null.
+                factor = max(factor, 0.1)
+                snr = (
+                    MIDDLE_BASELINE_DB
+                    + offset_db
+                    + 20.0 * math.log10(factor / 1.0)
+                    + fading_db
+                )
+            values.append(snr)
+        samples[label] = values
+    return Fig18Result(snr_samples_db=samples)

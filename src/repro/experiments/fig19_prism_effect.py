@@ -1,0 +1,69 @@
+"""Fig. 19: downlink SNR vs prism incident angle.
+
+Anchors: SNR peaks at ~15 dB around 50-70 deg (inside the theoretical
+[34, 73] deg S-only window); it drops ~73 % at 15 deg and ~30 % at
+30 deg because both wave modes coexist; 0 deg (no prism, pure P-wave)
+shows a locally high SNR because only one mode exists.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..acoustics import WavePrism
+from ..materials import PLA, get_concrete
+from ..units import db
+
+
+@dataclass(frozen=True)
+class Fig19Result:
+    points: List[Tuple[float, float]]  # (angle deg, SNR dB)
+    window_deg: Tuple[float, float]
+
+    def snr_at(self, angle_deg: float) -> float:
+        for a, s in self.points:
+            if abs(a - angle_deg) < 1e-9:
+                return s
+        raise KeyError(f"angle {angle_deg} not in the sweep")
+
+    @property
+    def peak(self) -> Tuple[float, float]:
+        return max(self.points, key=lambda p: p[1])
+
+
+def run(
+    angles_deg: List[float] = None,
+    concrete_name: str = "NC",
+    reference_snr_db: float = 15.3,
+) -> Fig19Result:
+    """Sweep the tested prism angles (the paper tests 0-75 deg).
+
+    ``reference_snr_db`` anchors a unity-quality injection; each angle's
+    SNR is the reference scaled by its injection quality (energy into
+    the wall x mode purity).  The 0 deg case is the no-prism direct
+    contact: a single P-wave mode with good energy but no S-reflections.
+    """
+    if angles_deg is None:
+        angles_deg = [0.0, 15.0, 30.0, 45.0, 50.0, 60.0, 75.0]
+    concrete = get_concrete(concrete_name).medium
+    prism = WavePrism(PLA, concrete)
+    low, high = prism.critical_angles
+    points: List[Tuple[float, float]] = []
+    for angle in angles_deg:
+        if angle == 0.0:
+            # Direct contact: single-mode P, energy ~ the normal-incidence
+            # transmission, purity 1 -- the paper's "relatively higher SNR
+            # at 0 deg" observation.
+            quality = prism.injection_quality(math.radians(0.0))
+            gain = quality.injected_energy  # single mode: no purity penalty
+        else:
+            quality = prism.injection_quality(math.radians(angle))
+            gain = quality.effective_snr_gain
+        snr = reference_snr_db + db(max(gain, 1e-6))
+        points.append((angle, snr))
+    return Fig19Result(
+        points=points,
+        window_deg=(math.degrees(low), math.degrees(high)),
+    )

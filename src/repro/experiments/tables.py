@@ -1,0 +1,130 @@
+"""Tables 1 and 2 plus the shell/HRA design-point reproductions.
+
+* Table 1 -- concrete mix proportions and properties (the materials DB);
+* Table 2 -- PAO health thresholds for four regions;
+* the shell design point: dP_max ~ 4.3 MPa -> h_max ~ 195 m (resin) and
+  115.2 MPa -> ~4985 m (alloy steel);
+* the HRA design point: the paper's geometry resonating near 230 kHz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..acoustics import paper_resonator, speed_for_target
+from ..materials import all_concretes
+from ..node import resin_shell, steel_shell
+from ..shm import PAO_THRESHOLDS, grade
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    concrete: str
+    mix: Dict[str, float]
+    fco_mpa: float
+    ec_gpa: float
+    poisson: float
+    strain_percent: float
+    cp: float
+    cs: float
+
+
+def table1() -> List[Table1Row]:
+    """The Table 1 reproduction, one row per concrete."""
+    rows: List[Table1Row] = []
+    for concrete in all_concretes():
+        mix = concrete.mix
+        rows.append(
+            Table1Row(
+                concrete=concrete.name,
+                mix={
+                    "cement": mix.cement,
+                    "silica_fume": mix.silica_fume,
+                    "fly_ash": mix.fly_ash,
+                    "quartz_powder": mix.quartz_powder,
+                    "sand": mix.sand,
+                    "granite": mix.granite,
+                    "steel_fiber": mix.steel_fiber,
+                    "water": mix.water,
+                    "hrwr": mix.hrwr,
+                },
+                fco_mpa=concrete.compressive_strength / 1e6,
+                ec_gpa=concrete.elastic_modulus / 1e9,
+                poisson=concrete.poisson_ratio,
+                strain_percent=concrete.peak_strain * 100.0,
+                cp=concrete.cp,
+                cs=concrete.cs,
+            )
+        )
+    return rows
+
+
+def table2() -> Dict[str, Dict[str, float]]:
+    """The Table 2 thresholds, keyed region -> grade -> lower bound."""
+    return {region: dict(bounds) for region, bounds in PAO_THRESHOLDS.items()}
+
+
+def table2_examples() -> List[Tuple[float, str, str]]:
+    """(PAO, region, grade) spot checks across the table."""
+    cases = [
+        (4.0, "united_states"),
+        (2.5, "united_states"),
+        (1.0, "hong_kong"),
+        (0.4, "bangkok"),
+        (3.0, "manila"),
+        (0.3, "manila"),
+    ]
+    return [(pao, region, grade(pao, region)) for pao, region in cases]
+
+
+@dataclass(frozen=True)
+class ShellDesignPoint:
+    material: str
+    max_pressure_mpa: float
+    max_height_m: float
+
+
+def shell_design_points() -> List[ShellDesignPoint]:
+    """The two shell limits the paper quotes (Sec. 4.1)."""
+    resin = resin_shell()
+    steel = steel_shell()
+    return [
+        ShellDesignPoint(
+            material="SLA resin",
+            max_pressure_mpa=resin.max_pressure / 1e6,
+            max_height_m=resin.max_height(),
+        ),
+        ShellDesignPoint(
+            material="alloy steel",
+            max_pressure_mpa=steel.max_pressure / 1e6,
+            max_height_m=steel.max_height(2360.0),
+        ),
+    ]
+
+
+@dataclass(frozen=True)
+class HraDesignPoint:
+    neck_area_mm2: float
+    cavity_volume_mm3: float
+    neck_length_mm: float
+    design_speed: float  # medium wave speed putting resonance at 230 kHz
+    resonance_at_design_speed: float
+
+
+def hra_design_point(target: float = 230e3) -> HraDesignPoint:
+    """The paper's HR geometry and the wave speed placing it at 230 kHz.
+
+    The required speed (~2.8 km/s) matches the S-wave velocity of
+    high-performance concrete rather than NC -- the capsules are aimed
+    at UHPC-class hosts.
+    """
+    resonator = paper_resonator()
+    speed = speed_for_target(resonator, target)
+    return HraDesignPoint(
+        neck_area_mm2=resonator.neck_area * 1e6,
+        cavity_volume_mm3=resonator.cavity_volume * 1e9,
+        neck_length_mm=resonator.neck_length * 1e3,
+        design_speed=speed,
+        resonance_at_design_speed=resonator.resonant_frequency(speed),
+    )

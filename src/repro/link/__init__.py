@@ -1,0 +1,57 @@
+"""Link layer: budgets, simulations, adaptation, sessions, deployment."""
+
+from .adaptation import CarrierTuner, ForeignObjectChannel, Notch, TuneResult
+from .localization import (
+    LocalizationError,
+    RangingMeasurement,
+    WallLocalizer,
+    locate,
+    simulate_round_trip,
+)
+from .budget import DEFAULT_COUPLING, PowerUpLink, harvested_headroom_db
+from .deployment import (
+    DeploymentError,
+    DeploymentPlan,
+    ReaderStation,
+    SurveyEstimate,
+    estimate_survey,
+    plan_stations,
+)
+from .session import PlacedNode, SessionResult, SessionTiming, WallSession
+from .simulation import (
+    DownlinkSimulator,
+    SnrBitrateModel,
+    UplinkBasebandSimulator,
+    UplinkPassbandSimulator,
+    UplinkResult,
+)
+
+__all__ = [
+    "LocalizationError",
+    "RangingMeasurement",
+    "WallLocalizer",
+    "locate",
+    "simulate_round_trip",
+    "CarrierTuner",
+    "ForeignObjectChannel",
+    "Notch",
+    "TuneResult",
+    "DEFAULT_COUPLING",
+    "PowerUpLink",
+    "harvested_headroom_db",
+    "DeploymentError",
+    "DeploymentPlan",
+    "ReaderStation",
+    "SurveyEstimate",
+    "estimate_survey",
+    "plan_stations",
+    "PlacedNode",
+    "SessionResult",
+    "SessionTiming",
+    "WallSession",
+    "DownlinkSimulator",
+    "SnrBitrateModel",
+    "UplinkBasebandSimulator",
+    "UplinkPassbandSimulator",
+    "UplinkResult",
+]

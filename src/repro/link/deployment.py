@@ -1,0 +1,176 @@
+"""Deployment planning: reader-station placement and capsule density.
+
+The operator-facing planning layer the paper's Fig. 1(f) workflow
+implies: given a structure and a fleet of implanted capsules, how many
+reader stations cover the wall, where do they go, and how long does a
+full survey take?  Built on the charging budget and the wall-session
+simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+from .budget import PowerUpLink
+
+
+class DeploymentError(ReproError):
+    """Infeasible deployment request."""
+
+
+@dataclass(frozen=True)
+class ReaderStation:
+    """One reader attachment point along the structure."""
+
+    position: float  # m along the structure
+    reach: float  # m of one-sided coverage at the planned voltage
+
+    @property
+    def interval(self) -> Tuple[float, float]:
+        return (self.position - self.reach, self.position + self.reach)
+
+    def covers(self, location: float) -> bool:
+        low, high = self.interval
+        return low <= location <= high
+
+
+@dataclass
+class DeploymentPlan:
+    """A station layout with its coverage accounting."""
+
+    stations: List[ReaderStation]
+    structure_length: float
+    tx_voltage: float
+
+    def covered(self, location: float) -> bool:
+        return any(s.covers(location) for s in self.stations)
+
+    def coverage_fraction(self, samples: int = 200) -> float:
+        """Fraction of the structure length inside some station's reach."""
+        if samples < 2:
+            raise DeploymentError("samples must be >= 2")
+        hits = 0
+        for i in range(samples):
+            x = self.structure_length * i / (samples - 1)
+            if self.covered(x):
+                hits += 1
+        return hits / samples
+
+    def uncovered_gaps(self, samples: int = 400) -> List[Tuple[float, float]]:
+        """Contiguous uncovered intervals (m) along the structure."""
+        gaps: List[Tuple[float, float]] = []
+        start: Optional[float] = None
+        for i in range(samples):
+            x = self.structure_length * i / (samples - 1)
+            if not self.covered(x):
+                if start is None:
+                    start = x
+            elif start is not None:
+                gaps.append((start, x))
+                start = None
+        if start is not None:
+            gaps.append((start, self.structure_length))
+        return gaps
+
+
+def plan_stations(
+    budget: PowerUpLink,
+    tx_voltage: float = 250.0,
+    margin: float = 0.9,
+) -> DeploymentPlan:
+    """Place the minimum number of stations covering the whole structure.
+
+    Stations are spaced ``2 * reach * margin`` apart; ``margin`` < 1 keeps
+    capsules near coverage edges comfortably above the activation
+    threshold.
+
+    Raises:
+        DeploymentError: when even one station cannot reach anything.
+    """
+    if not 0.0 < margin <= 1.0:
+        raise DeploymentError(f"margin must be in (0, 1], got {margin}")
+    reach = budget.max_range(tx_voltage) * margin
+    if reach <= 0.0:
+        raise DeploymentError(
+            f"no coverage at {tx_voltage} V: the budget reaches nothing"
+        )
+    length = budget.structure.length
+    spacing = 2.0 * reach
+    count = max(1, math.ceil(length / spacing))
+    stations = []
+    for i in range(count):
+        # Centre stations in equal segments of the structure.
+        position = length * (2 * i + 1) / (2 * count)
+        stations.append(ReaderStation(position=position, reach=reach))
+    return DeploymentPlan(
+        stations=stations, structure_length=length, tx_voltage=tx_voltage
+    )
+
+
+@dataclass(frozen=True)
+class SurveyEstimate:
+    """Time/energy estimate for a full survey of a deployment."""
+
+    stations: int
+    nodes: int
+    slot_duration: float
+    expected_slots: float
+    walk_time_per_station: float
+
+    @property
+    def air_time(self) -> float:
+        """Protocol airtime (s) across every station."""
+        return self.expected_slots * self.slot_duration
+
+    @property
+    def total_time(self) -> float:
+        return self.air_time + self.stations * self.walk_time_per_station
+
+
+def estimate_survey(
+    plan: DeploymentPlan,
+    nodes_per_station: Sequence[int],
+    slot_duration: float,
+    reads_per_node: int = 3,
+    aloha_efficiency: float = 0.35,
+    walk_time_per_station: float = 60.0,
+) -> SurveyEstimate:
+    """Estimate how long a full survey takes.
+
+    Slotted ALOHA singulates at most ~1/e of slots; each singulation
+    carries ``reads_per_node`` sensor exchanges.
+
+    Args:
+        plan: The station layout.
+        nodes_per_station: Capsule count each station must serve.
+        slot_duration: Duration of one inventory slot (s).
+        reads_per_node: Sensor channels read per singulated node.
+        aloha_efficiency: Expected singulations per slot.
+        walk_time_per_station: Operator repositioning time (s).
+    """
+    if len(nodes_per_station) != len(plan.stations):
+        raise DeploymentError(
+            f"{len(plan.stations)} stations but node counts for "
+            f"{len(nodes_per_station)}"
+        )
+    if not 0.0 < aloha_efficiency <= 1.0:
+        raise DeploymentError("ALOHA efficiency must be in (0, 1]")
+    if slot_duration <= 0.0:
+        raise DeploymentError("slot duration must be positive")
+    expected_slots = 0.0
+    for count in nodes_per_station:
+        if count < 0:
+            raise DeploymentError("node counts cannot be negative")
+        # Each node needs one singulated slot; non-singulated slots are
+        # overhead at 1/efficiency, and each read extends its slot.
+        expected_slots += count * reads_per_node / aloha_efficiency
+    return SurveyEstimate(
+        stations=len(plan.stations),
+        nodes=sum(nodes_per_station),
+        slot_duration=slot_duration,
+        expected_slots=expected_slots,
+        walk_time_per_station=walk_time_per_station,
+    )

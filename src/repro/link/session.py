@@ -1,0 +1,178 @@
+"""Wall-session simulator: charging, inventory and reads with timing/energy.
+
+Ties the whole stack together the way an operator uses it (Fig. 1f):
+attach the reader, blast the CBW until the in-range capsules cold-start,
+run TDMA inventory rounds, and collect sensor reports -- while tracking
+wall-clock time and per-node energy.  This is the engine behind the
+deployment planner and the protocol-level ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import PowerError, ProtocolError
+from ..node import EcoCapsule
+from ..phy import PieTiming
+from ..protocol import TdmaInventory, SensorReport
+from .budget import PowerUpLink
+
+
+@dataclass(frozen=True)
+class PlacedNode:
+    """A capsule implanted at a distance along the structure."""
+
+    capsule: EcoCapsule
+    distance: float  # m from the reader station
+
+    def __post_init__(self) -> None:
+        if self.distance < 0.0:
+            raise PowerError("distance cannot be negative")
+
+
+@dataclass
+class SessionTiming:
+    """Air-interface timing used for the session clock."""
+
+    pie: PieTiming = field(default_factory=PieTiming)
+    uplink_bitrate: float = 1e3
+    command_bits: int = 24  # mean downlink command length incl. framing
+    reply_bits: int = 43  # RN16 (16) or sensor report (43); use the larger
+    turnaround: float = 1e-3  # guard time between downlink and uplink
+
+    @property
+    def slot_duration(self) -> float:
+        """Worst-case duration of one inventory slot (s)."""
+        downlink = self.command_bits * self.pie.one_duration
+        uplink = self.reply_bits / self.uplink_bitrate
+        return downlink + self.turnaround + uplink + self.turnaround
+
+
+@dataclass
+class SessionResult:
+    """What a completed wall session produced."""
+
+    powered_nodes: List[int]
+    dark_nodes: List[int]
+    reports: Dict[int, List[SensorReport]]
+    elapsed: float  # s, wall-clock from CBW-on to last report
+    slots_used: int
+    rounds_used: int
+    node_energy: Dict[int, float]  # J consumed per powered node
+
+    @property
+    def coverage(self) -> float:
+        total = len(self.powered_nodes) + len(self.dark_nodes)
+        if total == 0:
+            raise ProtocolError("session had no nodes")
+        return len(self.powered_nodes) / total
+
+    @property
+    def reads_per_second(self) -> float:
+        if self.elapsed <= 0.0:
+            raise ProtocolError("session consumed no time")
+        return sum(len(r) for r in self.reports.values()) / self.elapsed
+
+
+@dataclass
+class WallSession:
+    """One reader station serving a set of implanted capsules.
+
+    Args:
+        budget: The structure's charging-link budget.
+        nodes: The implanted capsules and their distances.
+        tx_voltage: Reader drive voltage (V).
+        channels: Sensor channels to read per singulated node.
+        timing: Air-interface timing for the session clock.
+        initial_q: TDMA starting Q.
+        seed: RNG seed for the inventory.
+    """
+
+    budget: PowerUpLink
+    nodes: Sequence[PlacedNode]
+    tx_voltage: float = 250.0
+    channels: Sequence[str] = ("temperature", "humidity", "strain")
+    timing: SessionTiming = field(default_factory=SessionTiming)
+    initial_q: int = 2
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.tx_voltage <= 0.0:
+            raise PowerError("TX voltage must be positive")
+        if not self.nodes:
+            raise ProtocolError("session needs at least one node")
+
+    def charge(self) -> Tuple[List[PlacedNode], List[PlacedNode], float]:
+        """Apply the CBW field to every node.
+
+        Returns:
+            (powered nodes, dark nodes, charge time) where charge time is
+            the slowest cold start among the powered nodes.
+        """
+        powered: List[PlacedNode] = []
+        dark: List[PlacedNode] = []
+        slowest = 0.0
+        for placed in self.nodes:
+            field_v = self.budget.node_voltage(placed.distance, self.tx_voltage)
+            if placed.capsule.apply_field(field_v):
+                powered.append(placed)
+                slowest = max(slowest, placed.capsule.cold_start_time())
+            else:
+                dark.append(placed)
+        return powered, dark, slowest
+
+    def run(self, max_rounds: int = 20) -> SessionResult:
+        """Execute the full session: charge, inventory, read, account."""
+        powered, dark, charge_time = self.charge()
+        if not powered:
+            return SessionResult(
+                powered_nodes=[],
+                dark_nodes=[p.capsule.node_id for p in dark],
+                reports={},
+                elapsed=charge_time,
+                slots_used=0,
+                rounds_used=0,
+                node_energy={},
+            )
+
+        inventory = TdmaInventory(
+            nodes=[p.capsule.protocol for p in powered],
+            initial_q=self.initial_q,
+            channels=self.channels,
+            seed=self.seed,
+        )
+        reports: Dict[int, List[SensorReport]] = {}
+        slots_used = 0
+        rounds_used = 0
+        for _ in range(max_rounds):
+            round_result = inventory.run_round()
+            rounds_used += 1
+            slots_used += len(round_result.slots)
+            for slot in round_result.slots:
+                if slot.singulated_node_id is not None and slot.reports:
+                    # Later rounds re-singulate already-served nodes (they
+                    # power-cycle between rounds); keep the first full read.
+                    if slot.singulated_node_id not in reports:
+                        reports[slot.singulated_node_id] = list(slot.reports)
+            if len(reports) == len(powered):
+                break
+            for p in powered:
+                p.capsule.protocol.power_cycle()
+
+        elapsed = charge_time + slots_used * self.timing.slot_duration
+        energy = {
+            p.capsule.node_id: p.capsule.mcu.energy(
+                "active", elapsed, self.timing.uplink_bitrate
+            )
+            for p in powered
+        }
+        return SessionResult(
+            powered_nodes=sorted(p.capsule.node_id for p in powered),
+            dark_nodes=sorted(p.capsule.node_id for p in dark),
+            reports=reports,
+            elapsed=elapsed,
+            slots_used=slots_used,
+            rounds_used=rounds_used,
+            node_energy=energy,
+        )

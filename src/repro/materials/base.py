@@ -1,0 +1,152 @@
+"""Elastic-medium definitions and Lamé-parameter algebra.
+
+A medium is characterised by its density and either (a) measured body-wave
+velocities or (b) elastic moduli (Young's modulus + Poisson's ratio) from
+which the velocities follow via the Lamé parameters:
+
+    alpha (P-wave) = sqrt((lambda + 2 mu) / rho)      -- paper Eqn. 8
+    beta  (S-wave) = sqrt(mu / rho)                   -- paper Eqn. 10
+
+Fluids carry no shear, so their S-wave velocity is zero.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import MaterialError
+
+
+def lame_parameters(youngs_modulus: float, poisson_ratio: float) -> tuple:
+    """Return ``(lambda, mu)`` from Young's modulus E and Poisson's ratio nu.
+
+    lambda = E nu / ((1 + nu)(1 - 2 nu)),  mu = E / (2 (1 + nu))
+    """
+    if youngs_modulus <= 0.0:
+        raise MaterialError(f"Young's modulus must be positive, got {youngs_modulus}")
+    if not -1.0 < poisson_ratio < 0.5:
+        raise MaterialError(f"Poisson's ratio must lie in (-1, 0.5), got {poisson_ratio}")
+    lam = (
+        youngs_modulus
+        * poisson_ratio
+        / ((1.0 + poisson_ratio) * (1.0 - 2.0 * poisson_ratio))
+    )
+    mu = youngs_modulus / (2.0 * (1.0 + poisson_ratio))
+    return lam, mu
+
+
+def p_wave_velocity(lam: float, mu: float, density: float) -> float:
+    """P-wave velocity alpha = sqrt((lambda + 2 mu) / rho) (paper Eqn. 8)."""
+    if density <= 0.0:
+        raise MaterialError(f"density must be positive, got {density}")
+    return math.sqrt((lam + 2.0 * mu) / density)
+
+
+def s_wave_velocity(mu: float, density: float) -> float:
+    """S-wave velocity beta = sqrt(mu / rho) (paper Eqn. 10)."""
+    if density <= 0.0:
+        raise MaterialError(f"density must be positive, got {density}")
+    return math.sqrt(mu / density)
+
+
+@dataclass(frozen=True)
+class Medium:
+    """An acoustic medium with the properties the channel model needs.
+
+    Attributes:
+        name: Human-readable identifier.
+        density: Mass density (kg/m^3).
+        cp: P-wave (longitudinal) velocity (m/s).
+        cs: S-wave (shear) velocity (m/s); 0 for fluids.
+        attenuation_db_per_m: Base attenuation at the reference frequency
+            (dB/m); scaled by (f / f_ref)^attenuation_exponent.
+        attenuation_ref_hz: Reference frequency for attenuation (Hz).
+        attenuation_exponent: Frequency power law for attenuation.
+        youngs_modulus: Optional Young's modulus (Pa) when known.
+        poisson_ratio: Optional Poisson's ratio when known.
+    """
+
+    name: str
+    density: float
+    cp: float
+    cs: float = 0.0
+    attenuation_db_per_m: float = 0.0
+    attenuation_ref_hz: float = 230e3
+    attenuation_exponent: float = 1.0
+    youngs_modulus: Optional[float] = None
+    poisson_ratio: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.density <= 0.0:
+            raise MaterialError(f"{self.name}: density must be positive")
+        if self.cp <= 0.0:
+            raise MaterialError(f"{self.name}: P-wave velocity must be positive")
+        if self.cs < 0.0:
+            raise MaterialError(f"{self.name}: S-wave velocity cannot be negative")
+        if self.cs >= self.cp:
+            raise MaterialError(
+                f"{self.name}: S-wave velocity ({self.cs}) must be below "
+                f"P-wave velocity ({self.cp})"
+            )
+
+    @property
+    def is_fluid(self) -> bool:
+        """True when the medium carries no shear waves (air, water)."""
+        return self.cs == 0.0
+
+    @property
+    def impedance_p(self) -> float:
+        """Longitudinal acoustic impedance Z = rho * cp (kg/m^2 s)."""
+        return self.density * self.cp
+
+    @property
+    def impedance_s(self) -> float:
+        """Shear acoustic impedance Z = rho * cs (kg/m^2 s); 0 for fluids."""
+        return self.density * self.cs
+
+    def velocity(self, mode: str) -> float:
+        """Velocity of body-wave ``mode`` ('p' or 's')."""
+        mode = mode.lower()
+        if mode == "p":
+            return self.cp
+        if mode == "s":
+            if self.is_fluid:
+                raise MaterialError(f"{self.name} is a fluid and carries no S-waves")
+            return self.cs
+        raise MaterialError(f"unknown wave mode {mode!r}; expected 'p' or 's'")
+
+    def attenuation_db(self, frequency: float, distance: float) -> float:
+        """Attenuation (dB) over ``distance`` at ``frequency``.
+
+        Uses the power-law model
+        ``a(f) = a_ref * (f / f_ref)^n`` with ``a_ref`` in dB/m.
+        """
+        if distance < 0.0:
+            raise MaterialError(f"distance cannot be negative, got {distance}")
+        if frequency <= 0.0:
+            raise MaterialError(f"frequency must be positive, got {frequency}")
+        scale = (frequency / self.attenuation_ref_hz) ** self.attenuation_exponent
+        return self.attenuation_db_per_m * scale * distance
+
+    @classmethod
+    def from_elastic_moduli(
+        cls,
+        name: str,
+        density: float,
+        youngs_modulus: float,
+        poisson_ratio: float,
+        **kwargs,
+    ) -> "Medium":
+        """Build a solid medium from (rho, E, nu) via the Lamé parameters."""
+        lam, mu = lame_parameters(youngs_modulus, poisson_ratio)
+        return cls(
+            name=name,
+            density=density,
+            cp=p_wave_velocity(lam, mu, density),
+            cs=s_wave_velocity(mu, density),
+            youngs_modulus=youngs_modulus,
+            poisson_ratio=poisson_ratio,
+            **kwargs,
+        )

@@ -1,0 +1,27 @@
+"""EcoCapsule node: shell mechanics and the composed battery-free node."""
+
+from .capsule import EcoCapsule, Environment
+from .scheduler import DutyCyclePlan, EnergyScheduler
+from .shell import (
+    DEFAULT_CONCRETE_DENSITY,
+    DEFAULT_DISPLACEMENT_BUDGET,
+    SphericalShell,
+    max_building_height,
+    pressure_difference,
+    resin_shell,
+    steel_shell,
+)
+
+__all__ = [
+    "EcoCapsule",
+    "Environment",
+    "DutyCyclePlan",
+    "EnergyScheduler",
+    "DEFAULT_CONCRETE_DENSITY",
+    "DEFAULT_DISPLACEMENT_BUDGET",
+    "SphericalShell",
+    "max_building_height",
+    "pressure_difference",
+    "resin_shell",
+    "steel_shell",
+]

@@ -1,0 +1,144 @@
+"""The EcoCapsule node: shell + harvester + MCU + sensors + protocol.
+
+Composes the substrates into the battery-free backscatter node of
+Sec. 4: the spherical shell protects a motherboard carrying the energy
+harvester, an MSP430-class MCU, the impedance switch and the sensor
+suite.  The capsule exposes:
+
+* an energy model (powered/unpowered given the incident field, cold
+  start latency);
+* the protocol state machine (Gen2-style tag logic);
+* a sensing interface wired to a ground-truth environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..circuits import EnergyHarvester, McuPowerModel, SensorSuite
+from ..errors import PowerError
+from ..protocol import NodeStateMachine
+from .shell import SphericalShell, resin_shell
+
+
+@dataclass
+class Environment:
+    """Ground truth at a capsule's location inside the concrete."""
+
+    temperature: float = 23.0  # C
+    humidity: float = 65.0  # %RH
+    strain: float = 0.0  # microstrain
+    acceleration: float = 0.0  # m/s^2
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "temperature": self.temperature,
+            "humidity": self.humidity,
+            "strain": self.strain,
+            "acceleration": self.acceleration,
+        }
+
+
+@dataclass
+class EcoCapsule:
+    """One implanted node.
+
+    Args:
+        node_id: 8-bit identity used in sensor reports.
+        shell: Mechanical shell (defaults to the resin prototype).
+        harvester: Energy-harvesting chain.
+        mcu: Power model.
+        sensors: Sensor payload.
+        environment: Ground truth the sensors sample.
+        seed: RNG seed for protocol randomness.
+    """
+
+    node_id: int
+    shell: SphericalShell = field(default_factory=resin_shell)
+    harvester: EnergyHarvester = field(default_factory=EnergyHarvester)
+    mcu: McuPowerModel = field(default_factory=McuPowerModel)
+    sensors: SensorSuite = field(default_factory=SensorSuite)
+    environment: Environment = field(default_factory=Environment)
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.protocol = NodeStateMachine(
+            node_id=self.node_id,
+            read_sensor=self.read_sensor,
+            seed=self.seed,
+        )
+        self._input_peak = 0.0
+
+    # ------------------------------------------------------------------
+    # Power
+    # ------------------------------------------------------------------
+
+    @property
+    def input_peak(self) -> float:
+        """Current CBW peak voltage at the node's PZT terminals (V)."""
+        return self._input_peak
+
+    def apply_field(self, input_peak: float) -> bool:
+        """Expose the node to a CBW of ``input_peak`` volts at its PZT.
+
+        Returns True when the node is (or becomes) powered.  Dropping
+        below the activation threshold power-cycles the protocol state,
+        as a real passive tag forgets its state when the field dies.
+        """
+        if input_peak < 0.0:
+            raise PowerError("input peak cannot be negative")
+        was_powered = self.is_powered
+        self._input_peak = input_peak
+        if was_powered and not self.is_powered:
+            self.protocol.power_cycle()
+        return self.is_powered
+
+    @property
+    def is_powered(self) -> bool:
+        """True when the harvested field can run the MCU."""
+        return self.harvester.can_power_up(self._input_peak)
+
+    def cold_start_time(self) -> float:
+        """Cold start latency (s) at the current field strength."""
+        return self.harvester.cold_start_time(self._input_peak)
+
+    def power_budget_ok(self, bitrate: float) -> bool:
+        """True when harvested power covers active operation at ``bitrate``."""
+        available = self.harvester.harvested_power(self._input_peak)
+        return available >= self.mcu.power("active", bitrate)
+
+    # ------------------------------------------------------------------
+    # Sensing
+    # ------------------------------------------------------------------
+
+    def read_sensor(self, channel: str) -> float:
+        """One quantised reading of ``channel`` against the environment.
+
+        Raises:
+            PowerError: when the node is not powered.
+        """
+        if not self.is_powered:
+            raise PowerError(
+                f"node {self.node_id} is unpowered; cannot read {channel!r}"
+            )
+        truth = self.environment.as_dict()
+        if channel == "temperature":
+            return self.sensors.temperature.read(truth["temperature"])
+        if channel == "humidity":
+            return self.sensors.humidity.read(truth["humidity"])
+        if channel == "strain":
+            return self.sensors.strain.read(truth["strain"])
+        if channel == "acceleration":
+            return self.sensors.acceleration.read(truth["acceleration"])
+        raise PowerError(f"unknown sensor channel {channel!r}")
+
+    # ------------------------------------------------------------------
+    # Protocol passthrough
+    # ------------------------------------------------------------------
+
+    def handle(self, command):
+        """Process a downlink command (requires power)."""
+        if not self.is_powered:
+            raise PowerError(f"node {self.node_id} is unpowered")
+        return self.protocol.handle(command)

@@ -1,0 +1,158 @@
+"""Harvest-aware duty cycling: running a node on a weak field.
+
+A node at the edge of the power-up range harvests barely more than (or
+less than) its active draw.  The standard battery-free discipline is
+duty cycling: sleep while the reservoir charges, wake to backscatter a
+burst, repeat.  This module models that energy loop on top of the
+harvester and MCU models, answering the deployment questions the paper's
+range experiments raise implicitly:
+
+* can a node at field strength V sustain continuous operation?
+* if not, what duty cycle -- and therefore what report interval -- is
+  sustainable?
+* how long does one sensor report's worth of energy take to accumulate?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..circuits import EnergyHarvester, McuPowerModel
+from ..errors import PowerError
+
+
+@dataclass(frozen=True)
+class DutyCyclePlan:
+    """A sustainable operating plan for one field strength."""
+
+    field_voltage: float
+    harvested_power: float  # W
+    active_power: float  # W
+    duty_cycle: float  # fraction of time active (1.0 = continuous)
+    report_interval: float  # s between completed sensor reports
+    continuous: bool
+
+    @property
+    def reports_per_hour(self) -> float:
+        if self.report_interval <= 0.0:
+            raise PowerError("degenerate report interval")
+        return 3600.0 / self.report_interval
+
+
+@dataclass
+class EnergyScheduler:
+    """Plans duty cycles from the harvest/consumption balance.
+
+    Args:
+        harvester: The node's harvesting chain.
+        mcu: The node's power model.
+        bitrate: Uplink bitrate during active bursts (bit/s).
+        report_bits: Air bits per sensor report exchange (downlink
+            command + uplink report + margins).
+        sleep_overhead: Fraction of harvested power lost to sleep draw
+            and regulator quiescent current while recharging.
+    """
+
+    harvester: EnergyHarvester = field(default_factory=EnergyHarvester)
+    mcu: McuPowerModel = field(default_factory=McuPowerModel)
+    bitrate: float = 1e3
+    report_bits: int = 100
+    sleep_overhead: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.bitrate <= 0.0:
+            raise PowerError("bitrate must be positive")
+        if self.report_bits <= 0:
+            raise PowerError("report size must be positive")
+        if not 0.0 <= self.sleep_overhead < 1.0:
+            raise PowerError("sleep overhead must be in [0, 1)")
+
+    def report_duration(self) -> float:
+        """Active time (s) to complete one report exchange."""
+        return self.report_bits / self.bitrate
+
+    def report_energy(self) -> float:
+        """Energy (J) one report exchange costs."""
+        return self.mcu.energy("active", self.report_duration(), self.bitrate)
+
+    def plan(self, field_voltage: float) -> DutyCyclePlan:
+        """The sustainable plan at ``field_voltage``.
+
+        Raises:
+            PowerError: when the field cannot even power the node up.
+        """
+        if not self.harvester.can_power_up(field_voltage):
+            raise PowerError(
+                f"field of {field_voltage:.2f} V is below the activation "
+                f"threshold {self.harvester.activation_voltage} V"
+            )
+        harvested = self.harvester.harvested_power(field_voltage)
+        active = self.mcu.power("active", self.bitrate)
+        usable = harvested * (1.0 - self.sleep_overhead)
+
+        if usable >= active:
+            # Continuous operation: reports stream back-to-back.
+            return DutyCyclePlan(
+                field_voltage=field_voltage,
+                harvested_power=harvested,
+                active_power=active,
+                duty_cycle=1.0,
+                report_interval=self.report_duration(),
+                continuous=True,
+            )
+
+        # Duty-cycled: the node banks energy at (usable - sleep draw) and
+        # spends it at (active - usable) while transmitting.
+        net_recharge = usable - self.mcu.power("sleep")
+        if net_recharge <= 0.0:
+            raise PowerError(
+                f"field of {field_voltage:.2f} V cannot even cover the "
+                "sleep draw; the node will brown out"
+            )
+        burst = self.report_duration()
+        deficit = (active - usable) * burst
+        recharge_time = deficit / net_recharge
+        interval = burst + recharge_time
+        return DutyCyclePlan(
+            field_voltage=field_voltage,
+            harvested_power=harvested,
+            active_power=active,
+            duty_cycle=burst / interval,
+            report_interval=interval,
+            continuous=False,
+        )
+
+    def minimum_continuous_field(
+        self, low: float = 0.5, high: float = 10.0, tolerance: float = 1e-3
+    ) -> float:
+        """Lowest field voltage (V) sustaining continuous operation."""
+        def continuous(v: float) -> bool:
+            try:
+                return self.plan(v).continuous
+            except PowerError:
+                return False
+
+        if continuous(low):
+            return low
+        if not continuous(high):
+            raise PowerError(
+                f"even {high} V cannot sustain continuous operation"
+            )
+        while high - low > tolerance:
+            mid = 0.5 * (low + high)
+            if continuous(mid):
+                high = mid
+            else:
+                low = mid
+        return high
+
+    def sweep(self, voltages: List[float]) -> List[Tuple[float, Optional[DutyCyclePlan]]]:
+        """Plan at each voltage; None where the node cannot run at all."""
+        plans: List[Tuple[float, Optional[DutyCyclePlan]]] = []
+        for v in voltages:
+            try:
+                plans.append((v, self.plan(v)))
+            except PowerError:
+                plans.append((v, None))
+        return plans

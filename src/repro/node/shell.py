@@ -1,0 +1,178 @@
+"""Stressless spherical shell mechanics (paper Sec. 4.1, Fig. 8, Eqn. 4).
+
+The EcoCapsule is a ping-pong-sized hollow sphere.  The surrounding
+concrete loads it with the pressure difference
+
+    dP = rho g h - P_air                                    -- Eqn. 4
+
+between the hydrostatic concrete column of height h and the internal
+air.  The shell survives when both criteria hold:
+
+* membrane stress: thin-sphere stress sigma = dP r / (2 t) stays below
+  the material's allowable strength;
+* deformation: the radial displacement
+  delta = dP r^2 (1 - nu) / (2 E t) stays below the tolerated budget
+  (the paper accepts 5 % deformation; its Solidworks FEA shows maximum
+  resultant displacements of ~0.158 mm, Fig. 8c).
+
+With the SLA resin of the prototype (65 MPa, 2.2 GPa) these yield
+dP_max ~ 4.3 MPa and a maximum building height of ~195 m; alloy steel
+lifts those to ~115 MPa and ~4985 m, the paper's quoted limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DesignError
+from ..materials import (
+    ALLOY_STEEL,
+    ALLOY_STEEL_YIELD_STRENGTH,
+    RESIN,
+    RESIN_TENSILE_STRENGTH,
+    Medium,
+)
+from ..units import ATMOSPHERIC_PRESSURE, GRAVITY
+
+#: Displacement budget matching the paper's FEA (Fig. 8c URES ~ 0.158 mm).
+DEFAULT_DISPLACEMENT_BUDGET = 0.161e-3
+
+#: Default ordinary-concrete density for the Eqn. 4 height conversion.
+DEFAULT_CONCRETE_DENSITY = 2300.0
+
+
+def pressure_difference(
+    height: float,
+    concrete_density: float = DEFAULT_CONCRETE_DENSITY,
+) -> float:
+    """dP (Pa) on a capsule at the bottom of ``height`` metres of concrete.
+
+    Paper Eqn. 4: ``dP = rho g h - P_air``.  Negative values (shallow
+    implantation where atmosphere exceeds the column) clamp to zero.
+    """
+    if height < 0.0:
+        raise DesignError(f"height cannot be negative, got {height}")
+    if concrete_density <= 0.0:
+        raise DesignError("concrete density must be positive")
+    return max(0.0, concrete_density * GRAVITY * height - ATMOSPHERIC_PRESSURE)
+
+
+def max_building_height(
+    max_pressure: float,
+    concrete_density: float = DEFAULT_CONCRETE_DENSITY,
+) -> float:
+    """Tallest building (m) whose base pressure stays within ``max_pressure``.
+
+    Inverts Eqn. 4: ``h = (dP_max + P_air) / (rho g)``.
+    """
+    if max_pressure <= 0.0:
+        raise DesignError("max pressure must be positive")
+    if concrete_density <= 0.0:
+        raise DesignError("concrete density must be positive")
+    return (max_pressure + ATMOSPHERIC_PRESSURE) / (concrete_density * GRAVITY)
+
+
+@dataclass(frozen=True)
+class SphericalShell:
+    """A thin-walled spherical capsule shell.
+
+    Attributes:
+        outer_diameter: Sphere diameter (m); the prototype is 45 mm.
+        thickness: Wall thickness (m); the prototype is 2 mm.
+        material: Shell medium (needs Young's modulus and Poisson ratio).
+        allowable_stress: Material strength budget (Pa).
+        displacement_budget: Radial deformation budget (m).
+    """
+
+    outer_diameter: float = 0.045
+    thickness: float = 0.002
+    material: Medium = RESIN
+    allowable_stress: float = RESIN_TENSILE_STRENGTH
+    displacement_budget: float = DEFAULT_DISPLACEMENT_BUDGET
+
+    def __post_init__(self) -> None:
+        if self.outer_diameter <= 0.0 or self.thickness <= 0.0:
+            raise DesignError("shell dimensions must be positive")
+        if self.thickness >= self.outer_diameter / 2.0:
+            raise DesignError("shell is solid: thickness exceeds the radius")
+        if self.material.youngs_modulus is None or self.material.poisson_ratio is None:
+            raise DesignError(
+                f"shell material {self.material.name} needs elastic moduli"
+            )
+        if self.allowable_stress <= 0.0 or self.displacement_budget <= 0.0:
+            raise DesignError("strength and displacement budgets must be positive")
+
+    @property
+    def radius(self) -> float:
+        """Radius used by the thin-shell formulas (m).
+
+        The outer radius: the concrete loads the outer surface, and using
+        it keeps the estimate conservative (and matches the paper's FEA
+        anchors for both materials).
+        """
+        return self.outer_diameter / 2.0
+
+    def membrane_stress(self, pressure: float) -> float:
+        """Thin-sphere membrane stress sigma = dP r / (2 t) (Pa)."""
+        if pressure < 0.0:
+            raise DesignError("pressure cannot be negative")
+        return pressure * self.radius / (2.0 * self.thickness)
+
+    def radial_displacement(self, pressure: float) -> float:
+        """Elastic radial displacement delta = dP r^2 (1 - nu) / (2 E t) (m)."""
+        if pressure < 0.0:
+            raise DesignError("pressure cannot be negative")
+        r = self.radius
+        e = self.material.youngs_modulus
+        nu = self.material.poisson_ratio
+        return pressure * r * r * (1.0 - nu) / (2.0 * e * self.thickness)
+
+    @property
+    def stress_limited_pressure(self) -> float:
+        """dP (Pa) at which the membrane stress reaches the allowable."""
+        return self.allowable_stress * 2.0 * self.thickness / self.radius
+
+    @property
+    def displacement_limited_pressure(self) -> float:
+        """dP (Pa) at which the radial displacement exhausts the budget."""
+        r = self.radius
+        e = self.material.youngs_modulus
+        nu = self.material.poisson_ratio
+        return self.displacement_budget * 2.0 * e * self.thickness / (
+            r * r * (1.0 - nu)
+        )
+
+    @property
+    def max_pressure(self) -> float:
+        """dP_max (Pa): the binding criterion of the two."""
+        return min(self.stress_limited_pressure, self.displacement_limited_pressure)
+
+    def max_height(self, concrete_density: float = DEFAULT_CONCRETE_DENSITY) -> float:
+        """Tallest implantation (m) the shell survives (paper: ~195 m resin)."""
+        return max_building_height(self.max_pressure, concrete_density)
+
+    def survives(self, height: float, concrete_density: float = DEFAULT_CONCRETE_DENSITY) -> bool:
+        """True when a capsule at the base of ``height`` m of concrete holds."""
+        return pressure_difference(height, concrete_density) <= self.max_pressure
+
+    def utilisation(self, height: float, concrete_density: float = DEFAULT_CONCRETE_DENSITY) -> float:
+        """Fraction of dP_max consumed at ``height`` (1.0 = at the limit)."""
+        return pressure_difference(height, concrete_density) / self.max_pressure
+
+
+def resin_shell() -> SphericalShell:
+    """The prototype shell: 45 mm SLA resin sphere, 2 mm wall."""
+    return SphericalShell()
+
+
+def steel_shell() -> SphericalShell:
+    """The high-rise variant: same geometry in alloy steel.
+
+    The steel shell is stress-limited (its stiffness makes deformation a
+    non-issue), so the displacement budget is relaxed accordingly.
+    """
+    return SphericalShell(
+        material=ALLOY_STEEL,
+        allowable_stress=ALLOY_STEEL_YIELD_STRENGTH,
+        displacement_budget=5e-3,
+    )

@@ -1,0 +1,165 @@
+"""Frequency-division uplink: simultaneous nodes on distinct BLFs.
+
+Sec. 3.4 assigns each EcoCapsule a shifted backscatter link frequency
+so its sidebands dodge the CBW; once every node owns a distinct BLF
+with guard bands between them, the reader can decode *several nodes at
+once* by downconverting at each node's sideband independently -- a
+frequency-division overlay on the slotted TDMA (the reader's SetBlf
+plan in :class:`~repro.protocol.TdmaInventory` already spaces the BLFs
+for exactly this).
+
+This module provides the composite-waveform synthesis (many switch
+waveforms sharing one CBW) and the bank-of-downconverters receiver.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import DecodingError, EncodingError
+from .fm0 import Fm0Decoder
+from .modem import BackscatterModulator
+from . import dsp
+
+
+@dataclass(frozen=True)
+class FdmaPlan:
+    """BLF assignment for a set of simultaneously replying nodes.
+
+    Attributes:
+        carrier: The shared CBW frequency (Hz).
+        bitrate: Shared uplink bitrate (bit/s).
+        blf_by_node: node id -> BLF (Hz).  Adjacent BLFs need a guard of
+            at least ~3x the bitrate for the downconverters to separate
+            them.
+    """
+
+    carrier: float
+    bitrate: float
+    blf_by_node: Dict[int, float]
+    #: Carrier-only symbols preceding the payload: lets the receiver's
+    #: zero-phase filters settle before the first data symbol (the role
+    #: Gen2's preamble plays).
+    settle_symbols: int = 1
+
+    def __post_init__(self) -> None:
+        if self.carrier <= 0.0 or self.bitrate <= 0.0:
+            raise EncodingError("carrier and bitrate must be positive")
+        if not self.blf_by_node:
+            raise EncodingError("plan needs at least one node")
+        blfs = sorted(self.blf_by_node.values())
+        for a, b in zip(blfs, blfs[1:]):
+            if b - a < 3.0 * self.bitrate:
+                raise EncodingError(
+                    f"BLFs {a} and {b} too close for bitrate {self.bitrate}; "
+                    "need >= 3x bitrate of guard"
+                )
+        for node_id, blf in self.blf_by_node.items():
+            if blf <= 0.0:
+                raise EncodingError(f"node {node_id} has a non-positive BLF")
+            if blf >= self.carrier:
+                raise EncodingError(f"node {node_id} BLF exceeds the carrier")
+
+    def modulator_for(self, node_id: int) -> BackscatterModulator:
+        return BackscatterModulator(
+            blf=self.blf_by_node[node_id], bitrate=self.bitrate
+        )
+
+
+def composite_waveform(
+    plan: FdmaPlan,
+    payloads: Dict[int, Sequence[int]],
+    sample_rate: float,
+    channel_gain: float = 0.05,
+    leakage: float = 10.0,
+    noise_floor: float = 2e-3,
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """The reader's capture with every planned node backscattering at once.
+
+    All payloads must have equal length (they share the slot).
+    """
+    if set(payloads) != set(plan.blf_by_node):
+        raise EncodingError("payloads must cover exactly the planned nodes")
+    lengths = {len(bits) for bits in payloads.values()}
+    if len(lengths) != 1:
+        raise EncodingError("all payloads must have equal length")
+    n_bits = lengths.pop()
+    if n_bits == 0:
+        raise EncodingError("payloads cannot be empty")
+
+    reference = plan.modulator_for(next(iter(payloads)))
+    n = reference.samples_per_symbol(sample_rate)
+    settle = plan.settle_symbols * n
+    total = settle + n * n_bits
+    t = np.arange(total) / sample_rate
+    cbw = np.sin(2.0 * math.pi * plan.carrier * t)
+
+    capture = leakage * channel_gain * cbw.copy()
+    for node_id, bits in payloads.items():
+        modulator = plan.modulator_for(node_id)
+        reflected = modulator.reflect(cbw[settle:], list(bits), sample_rate)
+        capture[settle:] = capture[settle:] + channel_gain * reflected
+    rng = np.random.default_rng(seed)
+    return capture + rng.normal(0.0, noise_floor, size=capture.size)
+
+
+@dataclass
+class FdmaReceiver:
+    """Bank of sideband downconverters, one per planned node."""
+
+    plan: FdmaPlan
+    sample_rate: float = 1e6
+
+    def __post_init__(self) -> None:
+        if self.sample_rate <= 0.0:
+            raise DecodingError("sample rate must be positive")
+        nyquist = self.sample_rate / 2.0
+        worst = self.plan.carrier + max(self.plan.blf_by_node.values())
+        if worst >= nyquist:
+            raise DecodingError(
+                f"highest sideband {worst} Hz exceeds Nyquist {nyquist} Hz"
+            )
+
+    def _bandwidth(self) -> float:
+        """Per-branch low-pass: inside half the closest BLF spacing."""
+        blfs = sorted(self.plan.blf_by_node.values())
+        spacings = [b - a for a, b in zip(blfs, blfs[1:])]
+        # The CBW itself sits one BLF from the lowest sideband.
+        spacings.append(min(blfs))
+        guard = min(spacings)
+        return min(0.4 * guard, 3.0 * self.plan.bitrate)
+
+    def decode_node(self, waveform: np.ndarray, node_id: int, n_bits: int) -> List[int]:
+        """Decode one node's payload from the composite capture."""
+        if node_id not in self.plan.blf_by_node:
+            raise DecodingError(f"node {node_id} is not in the plan")
+        blf = self.plan.blf_by_node[node_id]
+        sideband = self.plan.carrier + blf
+        baseband = np.abs(
+            dsp.downconvert(waveform, self.sample_rate, sideband, self._bandwidth())
+        )
+        modulator = self.plan.modulator_for(node_id)
+        n = modulator.samples_per_symbol(self.sample_rate)
+        settle = self.plan.settle_symbols * n
+        needed = settle + n * n_bits
+        if baseband.size < needed:
+            raise DecodingError(
+                f"capture holds {baseband.size} samples; node {node_id} "
+                f"needs {needed}"
+            )
+        payload = dsp.remove_dc(baseband[settle:needed])
+        return Fm0Decoder(samples_per_symbol=n).decode(payload)
+
+    def decode_all(
+        self, waveform: np.ndarray, n_bits: int
+    ) -> Dict[int, List[int]]:
+        """Decode every planned node from one capture."""
+        return {
+            node_id: self.decode_node(waveform, node_id, n_bits)
+            for node_id in self.plan.blf_by_node
+        }

@@ -1,0 +1,83 @@
+"""Link-quality metrics: BER, throughput, SNR bookkeeping."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ReproError
+
+
+class MetricsError(ReproError):
+    """Metric computation received inconsistent inputs."""
+
+
+def bit_errors(sent: Sequence[int], received: Sequence[int]) -> int:
+    """Number of differing bits; lengths must match."""
+    if len(sent) != len(received):
+        raise MetricsError(
+            f"length mismatch: sent {len(sent)} bits, received {len(received)}"
+        )
+    return sum(1 for a, b in zip(sent, received) if a != b)
+
+
+def bit_error_rate(sent: Sequence[int], received: Sequence[int]) -> float:
+    """Fraction of bits received incorrectly."""
+    if not sent:
+        raise MetricsError("cannot compute BER over zero bits")
+    return bit_errors(sent, received) / len(sent)
+
+
+def throughput(correct_bits: int, duration: float) -> float:
+    """Correctly decoded bits per second (the paper's Fig. 17 definition)."""
+    if duration <= 0.0:
+        raise MetricsError(f"duration must be positive, got {duration}")
+    if correct_bits < 0:
+        raise MetricsError("correct bit count cannot be negative")
+    return correct_bits / duration
+
+
+def fm0_ber_theoretical(snr_db: float) -> float:
+    """Theoretical BER of coherent FM0/bi-phase over AWGN.
+
+    FM0 is an orthogonal bi-phase code; per-bit error probability is
+    ``Q(sqrt(Eb/N0))``.  Used as the reference curve for Fig. 15.
+    """
+    ebn0 = 10.0 ** (snr_db / 10.0)
+    return q_function(math.sqrt(max(ebn0, 0.0)))
+
+
+def q_function(x: float) -> float:
+    """Gaussian tail probability Q(x)."""
+    return 0.5 * math.erfc(x / math.sqrt(2.0))
+
+
+@dataclass
+class LinkStatistics:
+    """Accumulates per-trial decode results into summary metrics."""
+
+    bits_sent: int = 0
+    bits_correct: int = 0
+    trials: int = 0
+    elapsed: float = 0.0
+
+    def record(self, sent: Sequence[int], received: Sequence[int], duration: float) -> None:
+        """Fold one trial into the running totals."""
+        errors = bit_errors(sent, received)
+        self.bits_sent += len(sent)
+        self.bits_correct += len(sent) - errors
+        self.trials += 1
+        if duration < 0.0:
+            raise MetricsError("duration cannot be negative")
+        self.elapsed += duration
+
+    @property
+    def ber(self) -> float:
+        if self.bits_sent == 0:
+            raise MetricsError("no bits recorded")
+        return 1.0 - self.bits_correct / self.bits_sent
+
+    @property
+    def throughput(self) -> float:
+        return throughput(self.bits_correct, self.elapsed)

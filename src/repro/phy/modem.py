@@ -1,0 +1,156 @@
+"""Downlink and uplink modulators/demodulators.
+
+Downlink (reader -> node): PIE symbols carried either by plain OOK
+(drive on/off, suffers the ring tail) or by the paper's dual-frequency
+FSK (high edge at the resonant frequency, low edge at an off-resonant
+frequency that the concrete suppresses).  The node always *receives*
+OOK: its envelope detector only sees amplitude.
+
+Uplink (node -> reader): the node toggles its impedance switch at the
+backscatter link frequency (BLF), amplitude-modulating the reflected
+CBW.  FM0 data rides on the switch waveform; the reader downconverts at
+``carrier +/- BLF`` to dodge the self-interference of the CBW and the
+surface leakage (Sec. 3.4, Appendix C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import EncodingError
+from ..units import TWO_PI
+from .fm0 import encode_baseband as fm0_encode_baseband
+from .pie import PieTiming, encode as pie_encode
+
+
+@dataclass(frozen=True)
+class DownlinkModulator:
+    """PIE-over-FSK (or OOK) downlink waveform synthesis.
+
+    Attributes:
+        resonant_frequency: Carrier for high edges (Hz), e.g. 230 kHz.
+        off_frequency: Carrier for low edges in FSK mode (Hz), e.g. 180 kHz.
+        timing: PIE timing parameters.
+        scheme: 'fsk' (the paper's anti-ring trick) or 'ook'.
+        low_level: Drive level during low edges: FSK keeps full drive at
+            the off frequency; OOK drops to zero.
+    """
+
+    resonant_frequency: float = 230e3
+    off_frequency: float = 180e3
+    timing: PieTiming = PieTiming()
+    scheme: str = "fsk"
+
+    def __post_init__(self) -> None:
+        if self.scheme not in ("fsk", "ook"):
+            raise EncodingError(f"unknown downlink scheme {self.scheme!r}")
+        if self.resonant_frequency <= 0.0 or self.off_frequency <= 0.0:
+            raise EncodingError("carrier frequencies must be positive")
+        if self.scheme == "fsk" and self.off_frequency == self.resonant_frequency:
+            raise EncodingError("FSK needs distinct high/low frequencies")
+
+    def drive_plan(
+        self, bits: Sequence[int], sample_rate: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(baseband envelope, per-sample carrier frequency) for ``bits``.
+
+        In FSK mode the envelope never drops: the information is in the
+        frequency track, and the concrete's response converts it to an
+        amplitude pattern at the node.
+        """
+        if sample_rate <= 0.0:
+            raise EncodingError("sample rate must be positive")
+        envelopes: List[np.ndarray] = []
+        carriers: List[np.ndarray] = []
+        for duration, level in pie_encode(bits, self.timing):
+            n = int(round(duration * sample_rate))
+            if n == 0:
+                raise EncodingError("sample rate too low for the PIE timing")
+            if level == 1:
+                envelopes.append(np.ones(n))
+                carriers.append(np.full(n, self.resonant_frequency))
+            elif self.scheme == "fsk":
+                envelopes.append(np.ones(n))
+                carriers.append(np.full(n, self.off_frequency))
+            else:
+                envelopes.append(np.zeros(n))
+                carriers.append(np.full(n, self.resonant_frequency))
+        return np.concatenate(envelopes), np.concatenate(carriers)
+
+
+@dataclass(frozen=True)
+class BackscatterModulator:
+    """Node-side uplink: FM0 bits -> impedance-switch waveform -> reflection.
+
+    Attributes:
+        blf: Backscatter link frequency (Hz) -- the square-wave subcarrier
+            the switch toggles at; sets the spectral offset from the CBW.
+        bitrate: Uplink data rate (bit/s).
+        reflective_gain: Reflection amplitude in the reflective state
+            relative to the incident wave at the node (absorptive ~ 0).
+    """
+
+    blf: float = 10e3
+    bitrate: float = 1e3
+    reflective_gain: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.blf <= 0.0 or self.bitrate <= 0.0:
+            raise EncodingError("BLF and bitrate must be positive")
+        if self.blf < self.bitrate:
+            raise EncodingError(
+                f"BLF {self.blf} must be at least the bitrate {self.bitrate}"
+            )
+        if not 0.0 < self.reflective_gain <= 1.0:
+            raise EncodingError("reflective gain must be in (0, 1]")
+
+    def samples_per_symbol(self, sample_rate: float) -> int:
+        n = int(round(sample_rate / self.bitrate))
+        if n % 2 != 0:
+            n += 1
+        if n < 2:
+            raise EncodingError("sample rate too low for the bitrate")
+        return n
+
+    def switch_waveform(
+        self, bits: Sequence[int], sample_rate: float
+    ) -> np.ndarray:
+        """Impedance-switch state (0/1 per sample) for the FM0 payload.
+
+        The FM0 baseband gates a BLF square subcarrier: level 1 toggles
+        the switch at the BLF, level 0 holds it absorptive.  This is the
+        shifted-BLF scheme of Appendix C -- the reflected energy appears
+        at carrier +/- BLF instead of on top of the CBW.
+        """
+        n = self.samples_per_symbol(sample_rate)
+        baseband = fm0_encode_baseband(bits, n)
+        t = np.arange(baseband.size) / sample_rate
+        subcarrier = (np.sin(TWO_PI * self.blf * t) > 0.0).astype(float)
+        return baseband * subcarrier
+
+    def reflect(
+        self,
+        incident: np.ndarray,
+        bits: Sequence[int],
+        sample_rate: float,
+    ) -> np.ndarray:
+        """Backscattered waveform: incident CBW gated by the switch."""
+        incident = np.asarray(incident, dtype=float)
+        switch = self.switch_waveform(bits, sample_rate)
+        if switch.size > incident.size:
+            raise EncodingError(
+                f"payload needs {switch.size} samples but the incident "
+                f"waveform has {incident.size}"
+            )
+        out = np.zeros_like(incident)
+        out[: switch.size] = incident[: switch.size] * switch * self.reflective_gain
+        return out
+
+    def sideband_frequencies(self, carrier: float) -> Tuple[float, float]:
+        """The two AM sidebands (Hz) the reader sees (Fig. 24)."""
+        if carrier <= self.blf:
+            raise EncodingError("carrier must exceed the BLF")
+        return carrier - self.blf, carrier + self.blf

@@ -1,0 +1,91 @@
+"""CRC-5 and CRC-16 as used by the EPC UHF Gen2 air interface.
+
+The paper's downlink packet structure follows Gen2 (Sec. 5.1), so the
+reproduction uses the same integrity checks: CRC-5 (poly 0x09, preset
+0x09) on Query commands and CRC-16/CCITT (poly 0x1021, preset 0xFFFF,
+inverted) on longer messages.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..errors import ProtocolError
+
+
+def _check_bits(bits: Sequence[int]) -> None:
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ProtocolError(f"bits must be 0/1, got {bit!r}")
+
+
+def crc5(bits: Sequence[int]) -> List[int]:
+    """Gen2 CRC-5 over a bit sequence; returns 5 check bits (MSB first)."""
+    _check_bits(bits)
+    register = 0b01001  # Gen2 preset
+    for bit in bits:
+        msb = (register >> 4) & 1
+        register = ((register << 1) & 0b11111) | 0
+        if msb ^ bit:
+            register ^= 0b01001
+    return [(register >> i) & 1 for i in range(4, -1, -1)]
+
+
+def crc16(bits: Sequence[int]) -> List[int]:
+    """Gen2 CRC-16 (CCITT) over bits; returns 16 check bits (MSB first)."""
+    _check_bits(bits)
+    register = 0xFFFF
+    for bit in bits:
+        msb = (register >> 15) & 1
+        register = (register << 1) & 0xFFFF
+        if msb ^ bit:
+            register ^= 0x1021
+    register ^= 0xFFFF
+    return [(register >> i) & 1 for i in range(15, -1, -1)]
+
+
+def append_crc16(bits: Sequence[int]) -> List[int]:
+    """Message bits with their CRC-16 appended."""
+    return list(bits) + crc16(bits)
+
+
+def verify_crc16(bits_with_crc: Sequence[int]) -> List[int]:
+    """Validate and strip a trailing CRC-16.
+
+    Returns:
+        The payload bits without the CRC.
+
+    Raises:
+        ProtocolError: when the message is too short or the CRC fails.
+    """
+    if len(bits_with_crc) < 17:
+        raise ProtocolError(
+            f"message of {len(bits_with_crc)} bits cannot carry a CRC-16"
+        )
+    payload = list(bits_with_crc[:-16])
+    expected = crc16(payload)
+    actual = list(bits_with_crc[-16:])
+    if expected != actual:
+        from ..errors import CrcError
+
+        raise CrcError("CRC-16 mismatch")
+    return payload
+
+
+def bits_from_int(value: int, width: int) -> List[int]:
+    """Big-endian bit list of ``value`` in ``width`` bits."""
+    if width <= 0:
+        raise ProtocolError(f"width must be positive, got {width}")
+    if value < 0 or value >= (1 << width):
+        raise ProtocolError(f"value {value} does not fit in {width} bits")
+    return [(value >> i) & 1 for i in range(width - 1, -1, -1)]
+
+
+def int_from_bits(bits: Iterable[int]) -> int:
+    """Big-endian integer from a bit list."""
+    value = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ProtocolError(f"bits must be 0/1, got {bit!r}")
+        value = (value << 1) | bit
+    return value

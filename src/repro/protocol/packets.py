@@ -1,0 +1,267 @@
+"""Gen2-style packet formats for the EcoCapsule air interface.
+
+The downlink packet structure follows the EPC UHF Gen2 protocol
+(Sec. 5.1): the reader issues Query/QueryRep/Ack commands, plus an
+EcoCapsule-specific SetBlf (configure a node's backscatter link
+frequency) and ReadSensor (request a sensed value).  Uplink replies are
+RN16 handles and sensor reports, protected by CRC-16.
+
+Packets serialize to bit lists so they travel through the real PHY.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, List, Sequence
+
+from ..errors import ProtocolError
+from .crc import append_crc16, bits_from_int, crc5, int_from_bits, verify_crc16
+
+#: Command codes (4 bits).
+QUERY = 0b0001
+QUERY_REP = 0b0010
+ACK = 0b0011
+SET_BLF = 0b0100
+READ_SENSOR = 0b0101
+
+#: Sensor channel codes for ReadSensor (3 bits).
+SENSOR_CHANNELS = {
+    "temperature": 0b000,
+    "humidity": 0b001,
+    "strain": 0b010,
+    "acceleration": 0b011,
+}
+SENSOR_CHANNEL_NAMES = {code: name for name, code in SENSOR_CHANNELS.items()}
+
+
+@dataclass(frozen=True)
+class Query:
+    """Starts an inventory round with 2^q slots (Gen2 Query)."""
+
+    q: int
+    session: int = 0
+
+    COMMAND: ClassVar[int] = QUERY
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.q <= 15:
+            raise ProtocolError(f"Q must be in [0, 15], got {self.q}")
+        if not 0 <= self.session <= 3:
+            raise ProtocolError(f"session must be in [0, 3], got {self.session}")
+
+    def to_bits(self) -> List[int]:
+        body = (
+            bits_from_int(self.COMMAND, 4)
+            + bits_from_int(self.q, 4)
+            + bits_from_int(self.session, 2)
+        )
+        return body + crc5(body)
+
+    @classmethod
+    def from_bits(cls, bits: Sequence[int]) -> "Query":
+        if len(bits) != 15:
+            raise ProtocolError(f"Query must be 15 bits, got {len(bits)}")
+        body, check = list(bits[:10]), list(bits[10:])
+        if crc5(body) != check:
+            from ..errors import CrcError
+
+            raise CrcError("Query CRC-5 mismatch")
+        if int_from_bits(body[:4]) != cls.COMMAND:
+            raise ProtocolError("not a Query packet")
+        return cls(q=int_from_bits(body[4:8]), session=int_from_bits(body[8:10]))
+
+
+@dataclass(frozen=True)
+class QueryRep:
+    """Advances the inventory round to the next slot."""
+
+    session: int = 0
+
+    COMMAND: ClassVar[int] = QUERY_REP
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.session <= 3:
+            raise ProtocolError(f"session must be in [0, 3], got {self.session}")
+
+    def to_bits(self) -> List[int]:
+        return bits_from_int(self.COMMAND, 4) + bits_from_int(self.session, 2)
+
+    @classmethod
+    def from_bits(cls, bits: Sequence[int]) -> "QueryRep":
+        if len(bits) != 6:
+            raise ProtocolError(f"QueryRep must be 6 bits, got {len(bits)}")
+        if int_from_bits(bits[:4]) != cls.COMMAND:
+            raise ProtocolError("not a QueryRep packet")
+        return cls(session=int_from_bits(bits[4:6]))
+
+
+@dataclass(frozen=True)
+class Ack:
+    """Acknowledges a node's RN16, singulating it."""
+
+    rn16: int
+
+    COMMAND: ClassVar[int] = ACK
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.rn16 <= 0xFFFF:
+            raise ProtocolError(f"RN16 out of range: {self.rn16}")
+
+    def to_bits(self) -> List[int]:
+        return bits_from_int(self.COMMAND, 4) + bits_from_int(self.rn16, 16)
+
+    @classmethod
+    def from_bits(cls, bits: Sequence[int]) -> "Ack":
+        if len(bits) != 20:
+            raise ProtocolError(f"Ack must be 20 bits, got {len(bits)}")
+        if int_from_bits(bits[:4]) != cls.COMMAND:
+            raise ProtocolError("not an Ack packet")
+        return cls(rn16=int_from_bits(bits[4:20]))
+
+
+@dataclass(frozen=True)
+class SetBlf:
+    """Configures the acknowledged node's backscatter link frequency."""
+
+    blf_khz: int
+
+    COMMAND: ClassVar[int] = SET_BLF
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.blf_khz <= 255:
+            raise ProtocolError(f"BLF must be 1-255 kHz, got {self.blf_khz}")
+
+    def to_bits(self) -> List[int]:
+        body = bits_from_int(self.COMMAND, 4) + bits_from_int(self.blf_khz, 8)
+        return append_crc16(body)
+
+    @classmethod
+    def from_bits(cls, bits: Sequence[int]) -> "SetBlf":
+        body = verify_crc16(bits)
+        if len(body) != 12 or int_from_bits(body[:4]) != cls.COMMAND:
+            raise ProtocolError("not a SetBlf packet")
+        return cls(blf_khz=int_from_bits(body[4:12]))
+
+
+@dataclass(frozen=True)
+class ReadSensor:
+    """Requests one sensor channel from the acknowledged node."""
+
+    channel: str
+
+    COMMAND: ClassVar[int] = READ_SENSOR
+
+    def __post_init__(self) -> None:
+        if self.channel not in SENSOR_CHANNELS:
+            raise ProtocolError(
+                f"unknown sensor channel {self.channel!r}; "
+                f"expected one of {sorted(SENSOR_CHANNELS)}"
+            )
+
+    def to_bits(self) -> List[int]:
+        body = bits_from_int(self.COMMAND, 4) + bits_from_int(
+            SENSOR_CHANNELS[self.channel], 3
+        )
+        return append_crc16(body)
+
+    @classmethod
+    def from_bits(cls, bits: Sequence[int]) -> "ReadSensor":
+        body = verify_crc16(bits)
+        if len(body) != 7 or int_from_bits(body[:4]) != cls.COMMAND:
+            raise ProtocolError("not a ReadSensor packet")
+        return cls(channel=SENSOR_CHANNEL_NAMES[int_from_bits(body[4:7])])
+
+
+@dataclass(frozen=True)
+class Rn16Reply:
+    """Uplink: a node's 16-bit random handle."""
+
+    rn16: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.rn16 <= 0xFFFF:
+            raise ProtocolError(f"RN16 out of range: {self.rn16}")
+
+    def to_bits(self) -> List[int]:
+        return bits_from_int(self.rn16, 16)
+
+    @classmethod
+    def from_bits(cls, bits: Sequence[int]) -> "Rn16Reply":
+        if len(bits) != 16:
+            raise ProtocolError(f"RN16 reply must be 16 bits, got {len(bits)}")
+        return cls(rn16=int_from_bits(bits))
+
+
+@dataclass(frozen=True)
+class SensorReport:
+    """Uplink: node id + channel + a 16-bit fixed-point reading, CRC-16.
+
+    Readings are engineering values scaled by ``SCALE`` and offset so the
+    16-bit field covers the sensor ranges used in the pilot study.
+    """
+
+    node_id: int
+    channel: str
+    raw: int
+
+    SCALE: ClassVar[float] = 32.0
+    OFFSET: ClassVar[int] = 1 << 15
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.node_id <= 0xFF:
+            raise ProtocolError(f"node id out of range: {self.node_id}")
+        if self.channel not in SENSOR_CHANNELS:
+            raise ProtocolError(f"unknown sensor channel {self.channel!r}")
+        if not 0 <= self.raw <= 0xFFFF:
+            raise ProtocolError(f"raw reading out of range: {self.raw}")
+
+    @classmethod
+    def from_value(cls, node_id: int, channel: str, value: float) -> "SensorReport":
+        """Quantise an engineering value into a report."""
+        raw = int(round(value * cls.SCALE)) + cls.OFFSET
+        if not 0 <= raw <= 0xFFFF:
+            raise ProtocolError(
+                f"value {value} does not fit the report's fixed-point range"
+            )
+        return cls(node_id=node_id, channel=channel, raw=raw)
+
+    @property
+    def value(self) -> float:
+        """Engineering value carried by the report."""
+        return (self.raw - self.OFFSET) / self.SCALE
+
+    def to_bits(self) -> List[int]:
+        body = (
+            bits_from_int(self.node_id, 8)
+            + bits_from_int(SENSOR_CHANNELS[self.channel], 3)
+            + bits_from_int(self.raw, 16)
+        )
+        return append_crc16(body)
+
+    @classmethod
+    def from_bits(cls, bits: Sequence[int]) -> "SensorReport":
+        body = verify_crc16(bits)
+        if len(body) != 27:
+            raise ProtocolError(f"sensor report body must be 27 bits, got {len(body)}")
+        return cls(
+            node_id=int_from_bits(body[:8]),
+            channel=SENSOR_CHANNEL_NAMES[int_from_bits(body[8:11])],
+            raw=int_from_bits(body[11:27]),
+        )
+
+
+def parse_command(bits: Sequence[int]):
+    """Parse any downlink command from its bits (dispatch on the 4-bit code)."""
+    if len(bits) < 4:
+        raise ProtocolError("command too short")
+    code = int_from_bits(bits[:4])
+    parsers = {
+        QUERY: Query.from_bits,
+        QUERY_REP: QueryRep.from_bits,
+        ACK: Ack.from_bits,
+        SET_BLF: SetBlf.from_bits,
+        READ_SENSOR: ReadSensor.from_bits,
+    }
+    if code not in parsers:
+        raise ProtocolError(f"unknown command code {code:#06b}")
+    return parsers[code](bits)

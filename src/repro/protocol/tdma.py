@@ -1,0 +1,174 @@
+"""Reader-side inventory: slotted-ALOHA TDMA over multiple EcoCapsules.
+
+The reader starts a round with Query(Q); each node picks a random slot
+among 2^Q.  Slots with exactly one replier are singulated (Ack), then
+served (SetBlf assignment, sensor reads); empty and collided slots
+advance via QueryRep.  The Q parameter adapts between rounds with the
+standard Gen2 Q-algorithm so the slot count tracks the population.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ProtocolError
+from .node_sm import NodeStateMachine
+from .packets import Ack, Query, QueryRep, ReadSensor, Rn16Reply, SensorReport, SetBlf
+
+
+@dataclass
+class SlotOutcome:
+    """What happened in one TDMA slot."""
+
+    slot_index: int
+    repliers: int
+    singulated_node_id: Optional[int] = None
+    reports: List[SensorReport] = field(default_factory=list)
+
+    @property
+    def collided(self) -> bool:
+        return self.repliers > 1
+
+    @property
+    def empty(self) -> bool:
+        return self.repliers == 0
+
+
+@dataclass
+class InventoryRound:
+    """Result of one full Query...QueryRep round."""
+
+    q: int
+    slots: List[SlotOutcome] = field(default_factory=list)
+
+    @property
+    def singulated(self) -> int:
+        return sum(1 for s in self.slots if s.singulated_node_id is not None)
+
+    @property
+    def collisions(self) -> int:
+        return sum(1 for s in self.slots if s.collided)
+
+    @property
+    def empties(self) -> int:
+        return sum(1 for s in self.slots if s.empty)
+
+    @property
+    def efficiency(self) -> float:
+        """Singulated slots per slot used (ALOHA efficiency, <= ~0.37)."""
+        if not self.slots:
+            raise ProtocolError("round has no slots")
+        return self.singulated / len(self.slots)
+
+
+@dataclass
+class TdmaInventory:
+    """Runs inventory rounds against a population of node state machines.
+
+    Args:
+        nodes: The reachable nodes (their state machines).
+        initial_q: Starting Q (2^Q slots per round).
+        channels: Sensor channels to read from each singulated node.
+        blf_plan_khz: BLFs assigned round-robin so simultaneous nodes
+            occupy distinct sidebands (Sec. 3.4 guard-band scheme).
+        seed: RNG seed for reproducibility.
+    """
+
+    nodes: Sequence[NodeStateMachine]
+    initial_q: int = 2
+    channels: Sequence[str] = ("temperature",)
+    blf_plan_khz: Sequence[int] = (10, 14, 18, 22)
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.initial_q <= 15:
+            raise ProtocolError(f"Q must be in [0, 15], got {self.initial_q}")
+        if not self.blf_plan_khz:
+            raise ProtocolError("BLF plan cannot be empty")
+        self._rng = random.Random(self.seed)
+        self._q_float = float(self.initial_q)
+
+    def run_round(self, q: Optional[int] = None) -> InventoryRound:
+        """Execute one inventory round and return per-slot outcomes."""
+        if q is None:
+            q = int(round(self._q_float))
+        q = min(max(q, 0), 15)
+        round_result = InventoryRound(q=q)
+        blf_cursor = 0
+
+        # Slot 0: responses to the Query itself.
+        replies: Dict[int, Rn16Reply] = {}
+        query = Query(q=q)
+        for node in self.nodes:
+            reply = node.handle(query)
+            if isinstance(reply, Rn16Reply):
+                replies[node.node_id] = reply
+
+        for slot_index in range(1 << q):
+            outcome = SlotOutcome(slot_index=slot_index, repliers=len(replies))
+            if len(replies) == 1:
+                node_id, reply = next(iter(replies.items()))
+                node = self._node_by_id(node_id)
+                node.handle(Ack(rn16=reply.rn16))
+                if node.is_acknowledged:
+                    outcome.singulated_node_id = node_id
+                    blf = self.blf_plan_khz[blf_cursor % len(self.blf_plan_khz)]
+                    blf_cursor += 1
+                    node.handle(SetBlf(blf_khz=blf))
+                    for channel in self.channels:
+                        report = node.handle(ReadSensor(channel=channel))
+                        if isinstance(report, SensorReport):
+                            outcome.reports.append(report)
+            round_result.slots.append(outcome)
+
+            # Adapt Q between slots (Gen2 Q-algorithm, c = 0.3).
+            if outcome.collided:
+                self._q_float = min(15.0, self._q_float + 0.3)
+            elif outcome.empty:
+                self._q_float = max(0.0, self._q_float - 0.3)
+
+            # Advance to the next slot.
+            replies = {}
+            query_rep = QueryRep()
+            for node in self.nodes:
+                reply = node.handle(query_rep)
+                if isinstance(reply, Rn16Reply):
+                    replies[node.node_id] = reply
+
+        return round_result
+
+    def inventory_all(self, max_rounds: int = 20) -> Dict[int, List[SensorReport]]:
+        """Run rounds until every node has been singulated at least once.
+
+        Returns:
+            node_id -> list of sensor reports collected.
+
+        Raises:
+            ProtocolError: when ``max_rounds`` elapse with nodes unheard
+                (e.g. a population far larger than 2^Q_max).
+        """
+        collected: Dict[int, List[SensorReport]] = {}
+        for _ in range(max_rounds):
+            round_result = self.run_round()
+            for slot in round_result.slots:
+                if slot.singulated_node_id is not None and slot.reports:
+                    collected.setdefault(slot.singulated_node_id, []).extend(
+                        slot.reports
+                    )
+            if len(collected) == len(self.nodes):
+                return collected
+            for node in self.nodes:
+                node.power_cycle()
+        missing = {n.node_id for n in self.nodes} - set(collected)
+        raise ProtocolError(
+            f"inventory incomplete after {max_rounds} rounds; unheard nodes: "
+            f"{sorted(missing)}"
+        )
+
+    def _node_by_id(self, node_id: int) -> NodeStateMachine:
+        for node in self.nodes:
+            if node.node_id == node_id:
+                return node
+        raise ProtocolError(f"unknown node id {node_id}")

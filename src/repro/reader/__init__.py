@@ -1,0 +1,6 @@
+"""Reader: transmit chain (prism + PZT + PIE/FSK) and receive/decode DSP."""
+
+from .receiver import DEFAULT_SAMPLE_RATE, ReaderReceiver
+from .transmitter import ReaderTransmitter
+
+__all__ = ["DEFAULT_SAMPLE_RATE", "ReaderReceiver", "ReaderTransmitter"]

@@ -1,0 +1,206 @@
+"""Result export: experiment outputs to CSV/JSON for plotting tools.
+
+The experiment modules return structured dataclasses; this module
+flattens the figure-shaped ones into rows and writes them as CSV or
+JSON so the paper's plots can be regenerated in any plotting stack
+(matplotlib, gnuplot, a spreadsheet) without importing the library.
+
+``export_all`` writes one file per supported figure into a directory --
+the one-command path from a fresh checkout to plottable data.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Union
+
+from .errors import ReproError
+
+
+class ReportingError(ReproError):
+    """Export received an unsupported result or destination."""
+
+
+Row = Dict[str, Union[str, float, int]]
+
+
+def write_csv(path: Union[str, Path], rows: Sequence[Row]) -> Path:
+    """Write dict-rows to ``path`` as CSV; returns the written path."""
+    rows = list(rows)
+    if not rows:
+        raise ReportingError("no rows to write")
+    path = Path(path)
+    fieldnames = list(rows[0].keys())
+    for row in rows:
+        if list(row.keys()) != fieldnames:
+            raise ReportingError("rows have inconsistent columns")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def write_json(path: Union[str, Path], rows: Sequence[Row]) -> Path:
+    """Write dict-rows to ``path`` as a JSON array."""
+    rows = list(rows)
+    if not rows:
+        raise ReportingError("no rows to write")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        json.dump(rows, handle, indent=2)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Flatteners: experiment result -> rows
+# ----------------------------------------------------------------------
+
+
+def fig04_rows() -> List[Row]:
+    from .experiments import fig04_mode_amplitudes
+
+    result = fig04_mode_amplitudes.run()
+    return [
+        {
+            "incident_deg": r.incident_deg,
+            "p_amplitude": r.p_amplitude,
+            "s_amplitude": r.s_amplitude,
+            "reflected_energy": r.reflected_energy,
+        }
+        for r in result.rows
+    ]
+
+
+def fig05_rows() -> List[Row]:
+    from .experiments import fig05_frequency_response
+
+    result = fig05_frequency_response.run()
+    rows: List[Row] = []
+    for label, curve in result.curves.items():
+        for frequency, amplitude in curve.points:
+            rows.append(
+                {
+                    "block": label,
+                    "frequency_hz": frequency,
+                    "rx_amplitude_v": amplitude,
+                }
+            )
+    return rows
+
+
+def fig12_rows() -> List[Row]:
+    from .experiments import fig12_range_vs_voltage
+
+    result = fig12_range_vs_voltage.run()
+    rows: List[Row] = []
+    for label, curve in result.curves.items():
+        for voltage, reach in curve.points:
+            rows.append(
+                {"structure": label, "voltage_v": voltage, "range_m": reach}
+            )
+    return rows
+
+
+def fig13_rows() -> List[Row]:
+    from .experiments import fig13_power_consumption
+
+    result = fig13_power_consumption.run()
+    return [
+        {"bitrate_bps": bitrate, "power_w": power}
+        for bitrate, power in result.points
+    ]
+
+
+def fig14_rows() -> List[Row]:
+    from .experiments import fig14_cold_start
+
+    result = fig14_cold_start.run()
+    return [
+        {"input_peak_v": voltage, "cold_start_s": t}
+        for voltage, t in result.points
+    ]
+
+
+def fig16_rows() -> List[Row]:
+    from .experiments import fig16_snr_vs_bitrate
+
+    result = fig16_snr_vs_bitrate.run()
+    rows: List[Row] = []
+    for label, curve in result.curves.items():
+        for bitrate, snr in curve:
+            rows.append({"system": label, "bitrate_bps": bitrate, "snr_db": snr})
+    return rows
+
+
+def fig19_rows() -> List[Row]:
+    from .experiments import fig19_prism_effect
+
+    result = fig19_prism_effect.run()
+    return [
+        {"incident_deg": angle, "snr_db": snr} for angle, snr in result.points
+    ]
+
+
+def fig20_rows() -> List[Row]:
+    from .experiments import fig20_fsk_vs_ook
+
+    result = fig20_fsk_vs_ook.run()
+    rows: List[Row] = []
+    for (bitrate, fsk), (_, ook) in zip(result.fsk, result.ook):
+        rows.append({"bitrate_bps": bitrate, "fsk_snr_db": fsk, "ook_snr_db": ook})
+    return rows
+
+
+#: Figure id -> row generator for the tabular figures.
+EXPORTERS = {
+    "fig04": fig04_rows,
+    "fig05": fig05_rows,
+    "fig12": fig12_rows,
+    "fig13": fig13_rows,
+    "fig14": fig14_rows,
+    "fig16": fig16_rows,
+    "fig19": fig19_rows,
+    "fig20": fig20_rows,
+}
+
+
+def export_all(
+    directory: Union[str, Path],
+    figures: Iterable[str] = None,
+    fmt: str = "csv",
+) -> List[Path]:
+    """Export every (or the selected) tabular figure into ``directory``.
+
+    Args:
+        directory: Destination directory (created if missing).
+        figures: Figure ids from ``EXPORTERS``; None exports all.
+        fmt: 'csv' or 'json'.
+
+    Returns:
+        The written paths.
+    """
+    if fmt not in ("csv", "json"):
+        raise ReportingError(f"unsupported format {fmt!r}")
+    directory = Path(directory)
+    selected = list(EXPORTERS) if figures is None else list(figures)
+    written: List[Path] = []
+    for figure in selected:
+        try:
+            exporter = EXPORTERS[figure]
+        except KeyError:
+            raise ReportingError(
+                f"unknown figure {figure!r}; available: {sorted(EXPORTERS)}"
+            ) from None
+        rows = exporter()
+        path = directory / f"{figure}.{fmt}"
+        if fmt == "csv":
+            write_csv(path, rows)
+        else:
+            write_json(path, rows)
+        written.append(path)
+    return written

@@ -1,0 +1,190 @@
+"""Footbridge structural model and sensor layout (paper Sec. 6, Fig. 25).
+
+The pilot-study bridge: an 84.24 m butterfly-arch footbridge linking two
+campuses -- a 64.26 m main span over a highway plus a 19.98 m side span.
+Its structural limits (the paper's damage thresholds):
+
+* vertical deck acceleration <= 0.7 m/s^2, lateral <= 0.15 m/s^2;
+* steelwork stress <= 355 MPa;
+* mid-span deflection <= 0.1083 m;
+* pedestrian area occupancy >= 1 m^2/ped (below which collapse risk).
+
+88 conventional sensors of 13 types are installed (environmental
+parameters, loads, bridge responses); five EcoCapsules join them in the
+preliminary in-concrete deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..errors import ReproError
+
+
+class ShmError(ReproError):
+    """Invalid SHM configuration or data."""
+
+
+#: The bridge's five monitored sections (Fig. 21c labels them A-E).
+SECTION_NAMES = ("A", "B", "C", "D", "E")
+
+#: The 13 conventional sensor types, grouped as the paper groups them.
+SENSOR_TYPES: Dict[str, Tuple[str, ...]] = {
+    "environmental": (
+        "air_temperature",
+        "air_pressure",
+        "humidity",
+        "rain_gauge",
+        "solar_radiation",
+    ),
+    "loads": ("anemometer", "structural_temperature"),
+    "responses": (
+        "strain_gauge",
+        "displacement_transducer",
+        "accelerometer",
+        "gps_station",
+        "tiltmeter",
+        "camera",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class StructuralLimits:
+    """The bridge's damage thresholds (Sec. 6)."""
+
+    max_vertical_acceleration: float = 0.7  # m/s^2
+    max_lateral_acceleration: float = 0.15  # m/s^2
+    max_steel_stress: float = 355e6  # Pa
+    max_midspan_deflection: float = 0.1083  # m
+    min_area_per_pedestrian: float = 1.0  # m^2/ped
+
+    def acceleration_ok(self, vertical: float, lateral: float = 0.0) -> bool:
+        return (
+            abs(vertical) <= self.max_vertical_acceleration
+            and abs(lateral) <= self.max_lateral_acceleration
+        )
+
+    def stress_ok(self, stress: float) -> bool:
+        return abs(stress) <= self.max_steel_stress
+
+    def deflection_ok(self, deflection: float) -> bool:
+        return abs(deflection) <= self.max_midspan_deflection
+
+
+@dataclass(frozen=True)
+class SensorInstallation:
+    """One installed sensor: type, section and mounting."""
+
+    sensor_id: int
+    sensor_type: str
+    section: str
+    embedded: bool = False  # True for EcoCapsules inside the concrete
+
+    def __post_init__(self) -> None:
+        if self.section not in SECTION_NAMES:
+            raise ShmError(f"unknown section {self.section!r}")
+        all_types = [t for group in SENSOR_TYPES.values() for t in group]
+        if self.sensor_type not in all_types and self.sensor_type != "ecocapsule":
+            raise ShmError(f"unknown sensor type {self.sensor_type!r}")
+
+
+@dataclass
+class Footbridge:
+    """The pilot-study bridge with its geometry, limits and sensor fleet."""
+
+    total_length: float = 84.24
+    main_span: float = 64.26
+    side_span: float = 19.98
+    deck_width: float = 4.5
+    limits: StructuralLimits = field(default_factory=StructuralLimits)
+    sensors: List[SensorInstallation] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.total_length <= 0.0 or self.deck_width <= 0.0:
+            raise ShmError("bridge dimensions must be positive")
+        if abs(self.main_span + self.side_span - self.total_length) > 0.01:
+            raise ShmError(
+                "spans must sum to the total length "
+                f"({self.main_span} + {self.side_span} != {self.total_length})"
+            )
+        if not self.sensors:
+            self.sensors = standard_sensor_layout()
+
+    @property
+    def deck_area(self) -> float:
+        """Walkable deck area (m^2), the PAO denominator's numerator."""
+        return self.total_length * self.deck_width
+
+    def section_area(self, section: str) -> float:
+        """Walkable area of one of the five sections (m^2)."""
+        if section not in SECTION_NAMES:
+            raise ShmError(f"unknown section {section!r}")
+        return self.deck_area / len(SECTION_NAMES)
+
+    def sensors_in(self, section: str) -> List[SensorInstallation]:
+        return [s for s in self.sensors if s.section == section]
+
+    def sensors_of_type(self, sensor_type: str) -> List[SensorInstallation]:
+        return [s for s in self.sensors if s.sensor_type == sensor_type]
+
+    @property
+    def conventional_count(self) -> int:
+        return sum(1 for s in self.sensors if not s.embedded)
+
+    @property
+    def ecocapsule_count(self) -> int:
+        return sum(1 for s in self.sensors if s.embedded)
+
+
+def standard_sensor_layout() -> List[SensorInstallation]:
+    """The 88 conventional sensors plus 5 EcoCapsules of the pilot study.
+
+    The per-type counts follow the monitoring-item grouping of Fig. 25:
+    response sensors dominate (strain, displacement, acceleration), with
+    environmental and load stations distributed along the spans.
+    """
+    counts = {
+        "air_temperature": 4,
+        "air_pressure": 2,
+        "humidity": 4,
+        "rain_gauge": 2,
+        "solar_radiation": 2,
+        "anemometer": 4,
+        "structural_temperature": 10,
+        "strain_gauge": 24,
+        "displacement_transducer": 10,
+        "accelerometer": 16,
+        "gps_station": 4,
+        "tiltmeter": 4,
+        "camera": 2,
+    }
+    layout: List[SensorInstallation] = []
+    sensor_id = 0
+    for sensor_type, count in counts.items():
+        for i in range(count):
+            section = SECTION_NAMES[(sensor_id + i) % len(SECTION_NAMES)]
+            layout.append(
+                SensorInstallation(
+                    sensor_id=sensor_id, sensor_type=sensor_type, section=section
+                )
+            )
+            sensor_id += 1
+    for i in range(5):
+        layout.append(
+            SensorInstallation(
+                sensor_id=sensor_id,
+                sensor_type="ecocapsule",
+                section=SECTION_NAMES[i],
+                embedded=True,
+            )
+        )
+        sensor_id += 1
+    total_conventional = sum(counts.values())
+    if total_conventional != 88:
+        raise ShmError(
+            f"layout drifted: expected 88 conventional sensors, "
+            f"built {total_conventional}"
+        )
+    return layout

@@ -1,0 +1,141 @@
+"""Building-level aggregation: many self-sensing walls, one health view.
+
+The paper's vision (Fig. 1f) is a whole building cast from self-sensing
+concrete.  This layer aggregates per-wall survey results into the view
+a facility manager needs: which walls report, which capsules are dark,
+whose strain trends demand attention, and an overall building grade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .bridge import ShmError
+from .damage import DamageAlarm
+
+#: Wall health grades, best to worst.
+WALL_GRADES = ("healthy", "watch", "warning", "critical", "unreachable")
+
+
+@dataclass(frozen=True)
+class CapsuleStatus:
+    """The latest knowledge about one implanted capsule."""
+
+    node_id: int
+    wall: str
+    reachable: bool
+    last_strain: Optional[float] = None  # microstrain
+    alarm: Optional[DamageAlarm] = None
+
+    @property
+    def grade(self) -> str:
+        if not self.reachable:
+            return "unreachable"
+        if self.alarm is None:
+            return "healthy"
+        return self.alarm.severity
+
+
+@dataclass(frozen=True)
+class WallHealth:
+    """Aggregated health of one wall."""
+
+    wall: str
+    capsules: Tuple[CapsuleStatus, ...]
+
+    def __post_init__(self) -> None:
+        if not self.capsules:
+            raise ShmError(f"wall {self.wall!r} has no capsules")
+
+    @property
+    def reachability(self) -> float:
+        return sum(1 for c in self.capsules if c.reachable) / len(self.capsules)
+
+    @property
+    def grade(self) -> str:
+        """The worst capsule grade; a fully dark wall is 'unreachable'."""
+        reachable = [c for c in self.capsules if c.reachable]
+        if not reachable:
+            return "unreachable"
+        worst = max(
+            (c.grade for c in reachable), key=WALL_GRADES.index
+        )
+        return worst
+
+
+@dataclass
+class BuildingMonitor:
+    """Aggregates capsule statuses across a building's walls."""
+
+    name: str = "building"
+    _statuses: Dict[Tuple[str, int], CapsuleStatus] = field(default_factory=dict)
+
+    def record(self, status: CapsuleStatus) -> None:
+        """Fold in the latest status of one capsule."""
+        self._statuses[(status.wall, status.node_id)] = status
+
+    def record_survey(
+        self,
+        wall: str,
+        powered: Sequence[int],
+        dark: Sequence[int],
+        strains: Optional[Dict[int, float]] = None,
+        alarms: Optional[Dict[int, DamageAlarm]] = None,
+    ) -> None:
+        """Fold in a whole wall-survey outcome."""
+        strains = strains or {}
+        alarms = alarms or {}
+        overlap = set(powered) & set(dark)
+        if overlap:
+            raise ShmError(f"nodes {sorted(overlap)} both powered and dark")
+        for node_id in powered:
+            self.record(
+                CapsuleStatus(
+                    node_id=node_id,
+                    wall=wall,
+                    reachable=True,
+                    last_strain=strains.get(node_id),
+                    alarm=alarms.get(node_id),
+                )
+            )
+        for node_id in dark:
+            self.record(
+                CapsuleStatus(node_id=node_id, wall=wall, reachable=False)
+            )
+
+    def walls(self) -> List[WallHealth]:
+        """Per-wall aggregation, sorted by wall name."""
+        if not self._statuses:
+            raise ShmError("no capsule statuses recorded")
+        by_wall: Dict[str, List[CapsuleStatus]] = {}
+        for (wall, _), status in self._statuses.items():
+            by_wall.setdefault(wall, []).append(status)
+        return [
+            WallHealth(wall=wall, capsules=tuple(sorted(
+                statuses, key=lambda s: s.node_id
+            )))
+            for wall, statuses in sorted(by_wall.items())
+        ]
+
+    def building_grade(self) -> str:
+        """The worst wall grade, the building-level headline."""
+        return max((w.grade for w in self.walls()), key=WALL_GRADES.index)
+
+    def attention_list(self) -> List[CapsuleStatus]:
+        """Capsules needing action: alarmed or unreachable, worst first."""
+        flagged = [
+            s
+            for s in self._statuses.values()
+            if not s.reachable or s.alarm is not None
+        ]
+        return sorted(
+            flagged, key=lambda s: WALL_GRADES.index(s.grade), reverse=True
+        )
+
+    def summary(self) -> Dict[str, int]:
+        """Capsule counts per grade."""
+        counts: Dict[str, int] = {g: 0 for g in WALL_GRADES}
+        for status in self._statuses.values():
+            counts[status.grade] += 1
+        return counts

@@ -1,0 +1,122 @@
+"""Pedestrian-area-occupancy (PAO) health grading (paper Table 2, Sec. 6).
+
+Bridge health is graded A-F by the average deck area each pedestrian
+occupies (m^2/ped), per the level-of-service standards the paper cites.
+Table 2 gives the regional thresholds; the paper's headline rules:
+H > 2 is healthy, H <= 2 risks structural damage, H <= 1 risks collapse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import ReproError
+
+
+class PaoError(ReproError):
+    """Invalid PAO computation input."""
+
+
+#: Table 2: lower bounds of grades A-E per region (F is everything below E).
+#: Grade g applies when PAO > threshold[g]; thresholds descend A -> E.
+PAO_THRESHOLDS: Dict[str, Dict[str, float]] = {
+    "united_states": {"A": 3.85, "B": 2.30, "C": 1.39, "D": 0.93, "E": 0.46},
+    "hong_kong": {"A": 3.25, "B": 2.16, "C": 1.40, "D": 0.80, "E": 0.52},
+    "bangkok": {"A": 2.38, "B": 1.60, "C": 0.98, "D": 0.65, "E": 0.37},
+    "manila": {"A": 3.25, "B": 2.05, "C": 1.65, "D": 1.25, "E": 0.56},
+}
+
+GRADES = ("A", "B", "C", "D", "E", "F")
+
+
+def pedestrian_area_occupancy(area: float, pedestrians: int) -> float:
+    """PAO H = area / pedestrians (m^2/ped); infinite for an empty deck."""
+    if area <= 0.0:
+        raise PaoError(f"area must be positive, got {area}")
+    if pedestrians < 0:
+        raise PaoError(f"pedestrian count cannot be negative, got {pedestrians}")
+    if pedestrians == 0:
+        return float("inf")
+    return area / pedestrians
+
+
+def grade(pao: float, region: str = "hong_kong") -> str:
+    """Health grade A-F for a PAO value under ``region``'s thresholds.
+
+    The bridge of the pilot study is in Hong Kong, hence the default.
+    """
+    if pao < 0.0:
+        raise PaoError(f"PAO cannot be negative, got {pao}")
+    try:
+        thresholds = PAO_THRESHOLDS[region]
+    except KeyError:
+        raise PaoError(
+            f"unknown region {region!r}; available: {sorted(PAO_THRESHOLDS)}"
+        ) from None
+    for letter in ("A", "B", "C", "D", "E"):
+        if pao > thresholds[letter]:
+            return letter
+    return "F"
+
+
+def is_safe(pao: float) -> bool:
+    """The paper's headline rule: H > 2 means the bridge is in good health."""
+    return pao > 2.0
+
+
+def collapse_risk(pao: float) -> bool:
+    """H <= 1: the bridge is overloaded and will collapse (Sec. 6)."""
+    return pao <= 1.0
+
+
+@dataclass(frozen=True)
+class SectionHealth:
+    """Per-section snapshot matching the Fig. 21(c) dashboard rows."""
+
+    section: str
+    pedestrians: int
+    pao: float
+    grade: str
+    mean_speed: float  # m/s
+
+    @property
+    def healthy(self) -> bool:
+        return self.grade in ("A", "B")
+
+
+def grade_sections(
+    section_areas: Dict[str, float],
+    pedestrian_counts: Dict[str, int],
+    speeds: Dict[str, float],
+    region: str = "hong_kong",
+) -> List[SectionHealth]:
+    """Grade every bridge section (the Fig. 21c real-time panel).
+
+    Raises:
+        PaoError: when the three mappings disagree on sections.
+    """
+    if set(section_areas) != set(pedestrian_counts) or set(section_areas) != set(speeds):
+        raise PaoError("section keys of areas/counts/speeds must match")
+    out: List[SectionHealth] = []
+    for section in sorted(section_areas):
+        pao = pedestrian_area_occupancy(
+            section_areas[section], pedestrian_counts[section]
+        )
+        out.append(
+            SectionHealth(
+                section=section,
+                pedestrians=pedestrian_counts[section],
+                pao=pao,
+                grade=grade(pao, region),
+                mean_speed=speeds[section],
+            )
+        )
+    return out
+
+
+def worst_grade(healths: List[SectionHealth]) -> str:
+    """The bridge-level grade: the worst of its sections."""
+    if not healths:
+        raise PaoError("no section healths to grade")
+    return max((h.grade for h in healths), key=GRADES.index)

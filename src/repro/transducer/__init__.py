@@ -1,0 +1,14 @@
+"""Transducer substrate: PZT discs and the reader's analog drive chain."""
+
+from .frontend import MatchingNetwork, PowerAmplifier, TransmitChain
+from .pzt import PztDisc, node_disc, reader_rx_disc, reader_tx_disc
+
+__all__ = [
+    "MatchingNetwork",
+    "PowerAmplifier",
+    "TransmitChain",
+    "PztDisc",
+    "node_disc",
+    "reader_rx_disc",
+    "reader_tx_disc",
+]

@@ -1,0 +1,118 @@
+"""Reader analog frontend: signal generator, power amplifier, matching.
+
+Models the reader's drive chain from Sec. 5.1: a Rigol-class signal
+generator feeding a Ciprian-class high-voltage amplifier through an L-C
+matching network into the transmitting PZT.  The behaviours that matter
+to the experiments are the voltage ceiling (250 V), the matching
+network's power-transfer efficiency, and baseband waveform synthesis
+for the PIE/FSK downlink.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DesignError
+from .pzt import PztDisc
+
+
+@dataclass(frozen=True)
+class MatchingNetwork:
+    """L-section impedance match between the amplifier and the PZT.
+
+    ``efficiency(f)`` is the fraction of amplifier power delivered to the
+    PZT; it is maximal at the tuned frequency and degrades quadratically
+    with fractional detuning (narrowband L-match behaviour).
+    """
+
+    tuned_frequency: float = 230e3
+    peak_efficiency: float = 0.85
+    fractional_bandwidth: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.tuned_frequency <= 0.0:
+            raise DesignError("tuned frequency must be positive")
+        if not 0.0 < self.peak_efficiency <= 1.0:
+            raise DesignError("peak efficiency must be in (0, 1]")
+        if self.fractional_bandwidth <= 0.0:
+            raise DesignError("fractional bandwidth must be positive")
+
+    def efficiency(self, frequency: float) -> float:
+        """Power-transfer efficiency at ``frequency``."""
+        if frequency <= 0.0:
+            raise DesignError("frequency must be positive")
+        detune = (frequency - self.tuned_frequency) / (
+            self.tuned_frequency * self.fractional_bandwidth
+        )
+        return self.peak_efficiency / (1.0 + detune * detune)
+
+
+@dataclass(frozen=True)
+class PowerAmplifier:
+    """High-voltage amplifier with a hard output ceiling."""
+
+    max_output_voltage: float = 250.0
+    gain_db: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.max_output_voltage <= 0.0:
+            raise DesignError("max output voltage must be positive")
+
+    def amplify(self, waveform: np.ndarray, target_peak: float) -> np.ndarray:
+        """Scale ``waveform`` to ``target_peak`` volts, clipping at the rail."""
+        if target_peak <= 0.0:
+            raise DesignError("target peak must be positive")
+        if target_peak > self.max_output_voltage:
+            raise DesignError(
+                f"requested {target_peak} V exceeds the amplifier ceiling "
+                f"{self.max_output_voltage} V"
+            )
+        waveform = np.asarray(waveform, dtype=float)
+        peak = float(np.max(np.abs(waveform)))
+        if peak == 0.0:
+            return waveform.copy()
+        scaled = waveform * (target_peak / peak)
+        return np.clip(scaled, -self.max_output_voltage, self.max_output_voltage)
+
+
+@dataclass
+class TransmitChain:
+    """Generator -> amplifier -> matching network -> PZT disc."""
+
+    disc: PztDisc
+    amplifier: PowerAmplifier = None
+    matching: MatchingNetwork = None
+
+    def __post_init__(self) -> None:
+        if self.amplifier is None:
+            self.amplifier = PowerAmplifier(max_output_voltage=self.disc.max_voltage)
+        if self.matching is None:
+            self.matching = MatchingNetwork(
+                tuned_frequency=self.disc.resonant_frequency
+            )
+
+    def effective_drive_voltage(self, requested: float, frequency: float) -> float:
+        """Drive voltage actually reaching the disc at ``frequency``.
+
+        Power efficiency maps to an amplitude factor of sqrt(efficiency).
+        """
+        if requested <= 0.0:
+            raise DesignError("requested voltage must be positive")
+        capped = min(requested, self.amplifier.max_output_voltage)
+        return capped * math.sqrt(self.matching.efficiency(frequency))
+
+    def transmit(
+        self,
+        baseband: np.ndarray,
+        carrier_frequency: np.ndarray,
+        sample_rate: float,
+        requested_voltage: float,
+    ) -> np.ndarray:
+        """Synthesize the emitted waveform for a baseband/carrier plan."""
+        carrier_frequency = np.asarray(carrier_frequency, dtype=float)
+        dominant = float(np.median(carrier_frequency))
+        drive = self.effective_drive_voltage(requested_voltage, dominant)
+        return self.disc.transmit(baseband, carrier_frequency, sample_rate, drive)

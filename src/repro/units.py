@@ -1,0 +1,131 @@
+"""Physical constants and small unit-conversion helpers.
+
+All quantities in this library are SI unless a name says otherwise
+(``*_khz``, ``*_mm`` ...).  This module centralises the handful of
+constants the paper's equations use so every subpackage agrees on them.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Standard gravitational acceleration (m/s^2), used by Eqn. 4 of the paper.
+GRAVITY = 9.80665
+
+#: Standard atmospheric pressure (Pa).  The paper quotes 101.325 kPa.
+ATMOSPHERIC_PRESSURE = 101_325.0
+
+#: Speed of sound in air at 20 C (m/s).
+SOUND_SPEED_AIR = 343.0
+
+#: Speed of sound in fresh water at 20 C (m/s).
+SOUND_SPEED_WATER = 1_481.0
+
+#: Boltzmann constant (J/K) for thermal-noise floors.
+BOLTZMANN = 1.380649e-23
+
+#: Reference temperature (K) for noise calculations.
+ROOM_TEMPERATURE = 293.15
+
+TWO_PI = 2.0 * math.pi
+
+
+def db(ratio: float) -> float:
+    """Convert a power ratio to decibels.
+
+    >>> round(db(100.0), 1)
+    20.0
+    """
+    if ratio <= 0.0:
+        raise ValueError(f"power ratio must be positive, got {ratio}")
+    return 10.0 * math.log10(ratio)
+
+
+def db_amplitude(ratio: float) -> float:
+    """Convert an amplitude ratio to decibels (20 log10)."""
+    if ratio <= 0.0:
+        raise ValueError(f"amplitude ratio must be positive, got {ratio}")
+    return 20.0 * math.log10(ratio)
+
+
+def from_db(decibels: float) -> float:
+    """Convert decibels to a power ratio."""
+    return 10.0 ** (decibels / 10.0)
+
+
+def from_db_amplitude(decibels: float) -> float:
+    """Convert decibels to an amplitude ratio."""
+    return 10.0 ** (decibels / 20.0)
+
+
+def khz(value: float) -> float:
+    """Kilohertz to hertz."""
+    return value * 1e3
+
+
+def mhz(value: float) -> float:
+    """Megahertz to hertz."""
+    return value * 1e6
+
+
+def mm(value: float) -> float:
+    """Millimetres to metres."""
+    return value * 1e-3
+
+
+def cm(value: float) -> float:
+    """Centimetres to metres."""
+    return value * 1e-2
+
+
+def mm2(value: float) -> float:
+    """Square millimetres to square metres."""
+    return value * 1e-6
+
+
+def mm3(value: float) -> float:
+    """Cubic millimetres to cubic metres."""
+    return value * 1e-9
+
+
+def mpa(value: float) -> float:
+    """Megapascals to pascals."""
+    return value * 1e6
+
+
+def gpa(value: float) -> float:
+    """Gigapascals to pascals."""
+    return value * 1e9
+
+
+def kbps(value: float) -> float:
+    """Kilobits per second to bits per second."""
+    return value * 1e3
+
+
+def microwatt(value: float) -> float:
+    """Microwatts to watts."""
+    return value * 1e-6
+
+
+def deg(value_rad: float) -> float:
+    """Radians to degrees."""
+    return math.degrees(value_rad)
+
+
+def rad(value_deg: float) -> float:
+    """Degrees to radians."""
+    return math.radians(value_deg)
+
+
+def wavelength(speed: float, frequency: float) -> float:
+    """Wavelength (m) of a wave travelling at ``speed`` with ``frequency``.
+
+    >>> round(wavelength(3338.0, 230e3) * 1e3, 2)  # mm, P-wave in concrete
+    14.51
+    """
+    if frequency <= 0.0:
+        raise ValueError(f"frequency must be positive, got {frequency}")
+    if speed <= 0.0:
+        raise ValueError(f"speed must be positive, got {speed}")
+    return speed / frequency

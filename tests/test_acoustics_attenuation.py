@@ -1,0 +1,106 @@
+"""Unit tests for spreading/absorption models and the range helper."""
+
+import pytest
+
+from repro.acoustics import (
+    SpreadingModel,
+    channel_amplitude_gain,
+    guidance_exponent,
+    range_for_gain,
+)
+from repro.errors import AcousticsError
+from repro.materials import get_concrete
+
+NC = get_concrete("NC").medium
+
+
+class TestSpreadingModel:
+    def test_unity_inside_reference(self):
+        model = SpreadingModel(exponent=1.0, reference_distance=0.05)
+        assert model.amplitude_gain(0.01) == 1.0
+        assert model.amplitude_gain(0.05) == 1.0
+
+    def test_spherical_inverse_distance(self):
+        model = SpreadingModel(exponent=1.0, reference_distance=0.05)
+        assert model.amplitude_gain(0.5) == pytest.approx(0.1)
+
+    def test_cylindrical_inverse_sqrt(self):
+        model = SpreadingModel(exponent=0.5, reference_distance=0.05)
+        assert model.amplitude_gain(5.0) == pytest.approx(0.1)
+
+    def test_guided_beats_spherical_at_distance(self):
+        guided = SpreadingModel(exponent=0.5)
+        bulk = SpreadingModel(exponent=1.0)
+        assert guided.amplitude_gain(3.0) > bulk.amplitude_gain(3.0)
+
+    def test_rejects_negative_distance(self):
+        with pytest.raises(AcousticsError):
+            SpreadingModel().amplitude_gain(-1.0)
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(AcousticsError):
+            SpreadingModel(exponent=2.0)
+
+
+class TestGuidanceExponent:
+    def test_thin_wall_guides_more(self):
+        lam = 1941.0 / 230e3  # S-wavelength in NC
+        thin = guidance_exponent(0.20, lam)
+        thick = guidance_exponent(0.70, lam)
+        assert thin < thick
+
+    def test_bounds(self):
+        lam = 1941.0 / 230e3
+        for thickness in (0.05, 0.15, 0.5, 2.0):
+            e = guidance_exponent(thickness, lam)
+            assert 0.35 <= e <= 0.67
+
+    def test_monotone_in_thickness(self):
+        lam = 1941.0 / 230e3
+        exponents = [guidance_exponent(t, lam) for t in (0.1, 0.2, 0.4, 0.8)]
+        assert exponents == sorted(exponents)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(AcousticsError):
+            guidance_exponent(0.0, 0.01)
+
+
+class TestChannelGain:
+    def test_combines_spreading_and_absorption(self):
+        model = SpreadingModel(exponent=0.5)
+        gain = channel_amplitude_gain(NC, 1.0, 230e3, model)
+        spreading_only = model.amplitude_gain(1.0)
+        assert gain < spreading_only  # absorption always subtracts
+
+    def test_gain_decreases_with_distance(self):
+        model = SpreadingModel(exponent=0.5)
+        gains = [channel_amplitude_gain(NC, d, 230e3, model) for d in (0.5, 1, 2, 4)]
+        assert gains == sorted(gains, reverse=True)
+
+
+class TestRangeForGain:
+    def test_zero_when_even_contact_fails(self):
+        model = SpreadingModel(exponent=1.0)
+        assert range_for_gain(NC, 230e3, model, required_gain=1.0) in (
+            0.0,
+            model.reference_distance,
+        ) or range_for_gain(NC, 230e3, model, required_gain=0.99999) >= 0.0
+
+    def test_solves_the_boundary(self):
+        model = SpreadingModel(exponent=0.5)
+        required = 0.05
+        distance = range_for_gain(NC, 230e3, model, required)
+        at = channel_amplitude_gain(NC, distance, 230e3, model)
+        assert at == pytest.approx(required, rel=0.01)
+
+    def test_caps_at_max_distance(self):
+        model = SpreadingModel(exponent=0.5)
+        assert (
+            range_for_gain(NC, 230e3, model, required_gain=1e-9, max_distance=3.0)
+            == 3.0
+        )
+
+    def test_rejects_gain_out_of_range(self):
+        model = SpreadingModel()
+        with pytest.raises(AcousticsError):
+            range_for_gain(NC, 230e3, model, required_gain=1.5)

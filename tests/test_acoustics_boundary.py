@@ -1,0 +1,129 @@
+"""Unit tests for reflection/refraction and mode conversion (Fig. 4)."""
+
+import math
+
+import pytest
+
+from repro.acoustics import (
+    critical_angle,
+    first_critical_angle,
+    reflection_coefficient,
+    refract,
+    s_only_window,
+    second_critical_angle,
+    snell_angle,
+    transmission_energy_fraction,
+)
+from repro.errors import AcousticsError, TotalReflectionError
+from repro.materials import AIR, PLA, WATER, get_concrete
+
+NC = get_concrete("NC").medium
+
+
+class TestReflectionCoefficient:
+    def test_concrete_air_is_nearly_total(self):
+        # Paper Eqn. 1: R = 99.98 % for concrete/air.
+        r = reflection_coefficient(4.66e6, 4.15e2)
+        assert abs(r) == pytest.approx(0.9998, abs=1e-4)
+
+    def test_equal_impedances_transmit_fully(self):
+        assert reflection_coefficient(1e6, 1e6) == 0.0
+        assert transmission_energy_fraction(1e6, 1e6) == pytest.approx(1.0)
+
+    def test_sign_flips_with_direction(self):
+        assert reflection_coefficient(1e6, 2e6) == -reflection_coefficient(2e6, 1e6)
+
+    def test_energy_conservation(self):
+        r = reflection_coefficient(4.66e6, 2.3e6)
+        t = transmission_energy_fraction(4.66e6, 2.3e6)
+        assert r * r + t == pytest.approx(1.0)
+
+    def test_rejects_nonpositive_impedance(self):
+        with pytest.raises(AcousticsError):
+            reflection_coefficient(0.0, 1e6)
+
+
+class TestSnell:
+    def test_straight_through_at_normal_incidence(self):
+        assert snell_angle(0.0, 1000.0, 3000.0) == 0.0
+
+    def test_faster_medium_bends_away(self):
+        out = snell_angle(math.radians(10.0), 1000.0, 3000.0)
+        assert out > math.radians(10.0)
+
+    def test_total_reflection_beyond_critical(self):
+        with pytest.raises(TotalReflectionError) as err:
+            snell_angle(math.radians(40.0), PLA.cp, NC.cp, mode="p")
+        assert err.value.mode == "p"
+        assert err.value.critical_deg == pytest.approx(34.0, abs=0.2)
+
+    def test_critical_angle_requires_faster_output(self):
+        with pytest.raises(AcousticsError):
+            critical_angle(3000.0, 1000.0)
+
+    def test_rejects_angle_out_of_range(self):
+        with pytest.raises(AcousticsError):
+            snell_angle(math.radians(95.0), 1000.0, 2000.0)
+
+
+class TestCriticalAngles:
+    def test_paper_window(self):
+        # The PLA-on-concrete window is ~[34, 73] deg.
+        low, high = s_only_window(PLA, NC)
+        assert math.degrees(low) == pytest.approx(34.0, abs=0.5)
+        assert math.degrees(high) == pytest.approx(73.0, abs=1.5)
+
+    def test_first_below_second(self):
+        assert first_critical_angle(PLA, NC) < second_critical_angle(PLA, NC)
+
+    def test_no_s_window_into_fluid(self):
+        with pytest.raises(AcousticsError):
+            second_critical_angle(PLA, WATER)
+
+
+class TestRefract:
+    def test_normal_incidence_is_pure_p(self):
+        result = refract(PLA, NC, 0.0)
+        assert result.s_energy == pytest.approx(0.0, abs=1e-9)
+        assert result.p_energy > 0.5  # most energy crosses (impedances similar)
+
+    def test_energy_conserved_everywhere(self):
+        for deg in range(0, 80, 5):
+            result = refract(PLA, NC, math.radians(deg))
+            total = result.reflected_energy + result.p_energy + result.s_energy
+            assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_both_modes_coexist_below_first_critical(self):
+        result = refract(PLA, NC, math.radians(20.0))
+        assert result.p_energy > 0.0
+        assert result.s_energy > 0.0
+
+    def test_s_only_inside_window(self):
+        result = refract(PLA, NC, math.radians(60.0))
+        assert result.p_energy == pytest.approx(0.0, abs=1e-9)
+        assert result.s_energy > 0.8
+        assert result.p_angle is None
+        assert result.s_angle is not None
+
+    def test_total_reflection_beyond_second_critical(self):
+        result = refract(PLA, NC, math.radians(78.0))
+        assert result.reflected_energy == pytest.approx(1.0, abs=1e-6)
+        assert result.p_angle is None
+        assert result.s_angle is None
+
+    def test_p_refracts_wider_than_s(self):
+        # Paper Eqn. 3: Cp > Cs => theta_p > theta_s.
+        result = refract(PLA, NC, math.radians(20.0))
+        assert result.p_angle > result.s_angle
+
+    def test_amplitudes_are_sqrt_of_energy(self):
+        result = refract(PLA, NC, math.radians(50.0))
+        assert result.s_amplitude == pytest.approx(math.sqrt(result.s_energy))
+
+    def test_requires_solid_output(self):
+        with pytest.raises(AcousticsError):
+            refract(PLA, WATER, math.radians(10.0))
+
+    def test_rejects_grazing_input(self):
+        with pytest.raises(AcousticsError):
+            refract(PLA, NC, math.radians(90.0))

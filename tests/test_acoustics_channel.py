@@ -1,0 +1,110 @@
+"""Unit tests for the end-to-end acoustic channel wrapper."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.acoustics import (
+    AcousticChannel,
+    HelmholtzResonatorArray,
+    NoiseModel,
+    StructureGeometry,
+    WavePrism,
+    paper_resonator,
+)
+from repro.errors import AcousticsError
+from repro.materials import PLA, get_concrete
+
+NC = get_concrete("NC").medium
+
+
+def make_channel(**kwargs):
+    wall = StructureGeometry("wall", length=10.0, thickness=0.2, medium=NC)
+    defaults = dict(
+        structure=wall,
+        node_position=(1.0, 0.1),
+        noise=NoiseModel(floor=1e-3, rng=np.random.default_rng(0)),
+        max_bounces=10,
+    )
+    defaults.update(kwargs)
+    return AcousticChannel(**defaults)
+
+
+class TestNoiseModel:
+    def test_add_changes_waveform(self):
+        noise = NoiseModel(floor=0.1, rng=np.random.default_rng(1))
+        x = np.zeros(100)
+        y = noise.add(x)
+        assert np.std(y) == pytest.approx(0.1, rel=0.3)
+
+    def test_zero_floor_is_passthrough(self):
+        noise = NoiseModel(floor=0.0)
+        x = np.ones(10)
+        assert np.array_equal(noise.add(x), x)
+
+    def test_snr(self):
+        noise = NoiseModel(floor=0.01)
+        assert noise.snr_db(0.1) == pytest.approx(20.0)
+        assert noise.snr_db(0.0) == -math.inf
+
+    def test_rejects_negative_floor(self):
+        with pytest.raises(AcousticsError):
+            NoiseModel(floor=-1.0)
+
+
+class TestGains:
+    def test_prism_improves_injection(self):
+        bare = make_channel()
+        with_prism = make_channel(prism=WavePrism(PLA, NC))
+        assert with_prism.injection_gain > 0.9 * bare.injection_gain
+
+    def test_hra_adds_gain(self):
+        hra = HelmholtzResonatorArray(paper_resonator(), count=7)
+        with_hra = make_channel(hra=hra)
+        without = make_channel()
+        assert with_hra.hra_gain >= without.hra_gain
+
+    def test_downlink_gain_positive(self):
+        assert make_channel().downlink_amplitude_gain() > 0.0
+
+    def test_round_trip_is_product(self):
+        channel = make_channel()
+        assert channel.round_trip_amplitude_gain() == pytest.approx(
+            channel.downlink_amplitude_gain() * channel.uplink_amplitude_gain()
+        )
+
+    def test_coherent_can_differ_from_incoherent(self):
+        channel = make_channel()
+        coherent = channel.downlink_amplitude_gain(coherent=True)
+        incoherent = channel.downlink_amplitude_gain(coherent=False)
+        assert coherent != pytest.approx(incoherent, rel=1e-6)
+
+
+class TestTransport:
+    def test_scalar_path_applies_gain(self):
+        channel = make_channel(noise=NoiseModel(floor=0.0))
+        x = np.ones(64)
+        y = channel.transport(x, 1e6, multipath=False, with_noise=False)
+        assert y[0] == pytest.approx(channel.downlink_amplitude_gain())
+
+    def test_multipath_convolution_preserves_length(self):
+        channel = make_channel()
+        x = np.random.default_rng(0).normal(size=256)
+        y = channel.transport(x, 1e6, with_noise=False)
+        assert y.size == x.size
+
+    def test_uplink_direction(self):
+        channel = make_channel(noise=NoiseModel(floor=0.0))
+        x = np.ones(64)
+        y = channel.transport(x, 1e6, direction="uplink", multipath=False,
+                              with_noise=False)
+        assert y[0] == pytest.approx(channel.uplink_amplitude_gain())
+
+    def test_rejects_unknown_direction(self):
+        with pytest.raises(AcousticsError):
+            make_channel().transport(np.ones(8), 1e6, direction="sideways")
+
+    def test_snr_reporting(self):
+        channel = make_channel()
+        assert channel.snr_db(1.0) > channel.snr_db(0.01)

@@ -1,0 +1,100 @@
+"""Unit tests for the Helmholtz resonator array (Eqn. 5, Fig. 8d)."""
+
+import math
+
+import pytest
+
+from repro.acoustics import (
+    HelmholtzResonator,
+    HelmholtzResonatorArray,
+    design_resonator,
+    paper_resonator,
+    speed_for_target,
+)
+from repro.errors import DesignError
+
+
+class TestEquation5:
+    def test_formula(self):
+        hr = paper_resonator()
+        cs = 2000.0
+        expected = (cs / (2 * math.pi)) * math.sqrt(
+            3 * hr.neck_area / (4 * hr.cavity_volume * hr.neck_length)
+        )
+        assert hr.resonant_frequency(cs) == pytest.approx(expected)
+
+    def test_paper_geometry(self):
+        hr = paper_resonator()
+        assert hr.neck_area == pytest.approx(0.78e-6)
+        assert hr.cavity_volume == pytest.approx(2.76e-9)
+        assert hr.neck_length == pytest.approx(0.8e-3)
+
+    def test_paper_geometry_targets_230khz_in_hp_concrete(self):
+        # The required S-speed (~2.8 km/s) matches UHPC-class concrete.
+        speed = speed_for_target(paper_resonator(), 230e3)
+        assert 2500.0 < speed < 3100.0
+
+    def test_resonance_scales_linearly_with_speed(self):
+        hr = paper_resonator()
+        assert hr.resonant_frequency(4000.0) == pytest.approx(
+            2.0 * hr.resonant_frequency(2000.0)
+        )
+
+    def test_bigger_cavity_lower_frequency(self):
+        small = HelmholtzResonator(0.78e-6, 0.8e-3, 2.0e-9)
+        large = HelmholtzResonator(0.78e-6, 0.8e-3, 4.0e-9)
+        assert large.resonant_frequency(2000.0) < small.resonant_frequency(2000.0)
+
+    def test_rejects_nonpositive_geometry(self):
+        with pytest.raises(DesignError):
+            HelmholtzResonator(0.0, 0.8e-3, 2.76e-9)
+        with pytest.raises(DesignError):
+            HelmholtzResonator(0.78e-6, -1.0, 2.76e-9)
+
+
+class TestAmplification:
+    def test_peak_at_resonance(self):
+        hr = paper_resonator()
+        cs = 2800.0
+        f0 = hr.resonant_frequency(cs)
+        assert hr.amplification(f0, cs) > hr.amplification(f0 * 0.5, cs)
+        assert hr.amplification(f0, cs) > hr.amplification(f0 * 2.0, cs)
+
+    def test_never_attenuates(self):
+        hr = paper_resonator()
+        for f in (50e3, 150e3, 230e3, 500e3):
+            assert hr.amplification(f, 2800.0) >= 1.0
+
+    def test_array_beats_single(self):
+        hr = paper_resonator()
+        array = HelmholtzResonatorArray(hr, count=7)
+        cs = 2800.0
+        f0 = hr.resonant_frequency(cs)
+        assert array.amplification(f0, cs) > hr.amplification(f0, cs)
+
+    def test_array_gain_sublinear(self):
+        hr = paper_resonator()
+        cs = 2800.0
+        f0 = hr.resonant_frequency(cs)
+        small = HelmholtzResonatorArray(hr, count=4).amplification(f0, cs)
+        large = HelmholtzResonatorArray(hr, count=16).amplification(f0, cs)
+        assert large < 4.0 * small
+
+    def test_rejects_empty_array(self):
+        with pytest.raises(DesignError):
+            HelmholtzResonatorArray(paper_resonator(), count=0)
+
+
+class TestDesignResonator:
+    def test_hits_target(self):
+        hr = design_resonator(230e3, 1941.0)
+        assert hr.resonant_frequency(1941.0) == pytest.approx(230e3, rel=1e-9)
+
+    def test_slower_medium_needs_smaller_cavity(self):
+        fast = design_resonator(230e3, 2800.0)
+        slow = design_resonator(230e3, 1941.0)
+        assert slow.cavity_volume < fast.cavity_volume
+
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(DesignError):
+            design_resonator(0.0, 1941.0)

@@ -1,0 +1,95 @@
+"""Unit tests for the wave-prism designer (Fig. 3, Fig. 19)."""
+
+import math
+
+import pytest
+
+from repro.acoustics import WavePrism
+from repro.errors import DesignError
+from repro.materials import PLA, get_concrete
+
+NC = get_concrete("NC").medium
+
+
+@pytest.fixture
+def prism():
+    return WavePrism(PLA, NC)
+
+
+class TestWavePrism:
+    def test_default_angle_is_60_degrees(self, prism):
+        assert math.degrees(prism.incident_angle) == pytest.approx(60.0)
+
+    def test_requires_concrete(self):
+        with pytest.raises(DesignError):
+            WavePrism(PLA, None)
+
+    def test_rejects_out_of_range_angle(self):
+        with pytest.raises(DesignError):
+            WavePrism(PLA, NC, incident_angle=math.radians(95.0))
+
+    def test_critical_angles_match_paper(self, prism):
+        low, high = prism.critical_angles
+        assert math.degrees(low) == pytest.approx(34.0, abs=0.5)
+        assert math.degrees(high) == pytest.approx(73.0, abs=1.5)
+
+    def test_default_is_inside_s_only_window(self, prism):
+        assert prism.in_s_only_window
+
+    def test_shallow_angle_outside_window(self):
+        prism = WavePrism(PLA, NC, incident_angle=math.radians(15.0))
+        assert not prism.in_s_only_window
+
+
+class TestInjectionQuality:
+    def test_s_only_at_60_degrees(self, prism):
+        quality = prism.injection_quality()
+        assert quality.s_only
+        assert quality.mode_purity == pytest.approx(1.0, abs=1e-6)
+
+    def test_mixed_modes_at_20_degrees(self, prism):
+        quality = prism.injection_quality(math.radians(20.0))
+        assert not quality.s_only
+        assert quality.mode_purity < 0.9
+
+    def test_gain_peaks_inside_window(self, prism):
+        inside = prism.injection_quality(math.radians(60.0)).effective_snr_gain
+        below = prism.injection_quality(math.radians(15.0)).effective_snr_gain
+        beyond = prism.injection_quality(math.radians(78.0)).effective_snr_gain
+        assert inside > below
+        assert inside > beyond
+        assert beyond == pytest.approx(0.0, abs=1e-9)
+
+    def test_injected_energy_bounded(self, prism):
+        for deg in (10.0, 40.0, 60.0, 70.0):
+            quality = prism.injection_quality(math.radians(deg))
+            assert 0.0 <= quality.injected_energy <= 1.0
+
+
+class TestRecommendAngle:
+    def test_recommendation_in_window(self, prism):
+        low, high = prism.critical_angles
+        best = prism.recommend_angle()
+        assert low <= best <= high
+
+    def test_recommendation_near_paper_default(self, prism):
+        # The paper runs its reader at 60 deg; our optimum should sit in
+        # the 45-70 deg plateau.
+        best = math.degrees(prism.recommend_angle())
+        assert 45.0 <= best <= 70.0
+
+    def test_requires_two_samples(self, prism):
+        with pytest.raises(DesignError):
+            prism.recommend_angle(samples=1)
+
+
+class TestSweep:
+    def test_sweep_matches_single_calls(self, prism):
+        swept = prism.sweep([15.0, 60.0])
+        single = prism.injection_quality(math.radians(60.0))
+        assert swept[1].effective_snr_gain == pytest.approx(
+            single.effective_snr_gain
+        )
+
+    def test_sweep_length(self, prism):
+        assert len(prism.sweep([0.0, 30.0, 60.0])) == 3

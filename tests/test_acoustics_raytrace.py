@@ -1,0 +1,115 @@
+"""Unit tests for the image-source multipath model."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import Arrival, ImageSourceModel, StructureGeometry, paper_structures
+from repro.errors import AcousticsError
+from repro.materials import get_concrete
+
+NC = get_concrete("NC").medium
+
+
+def make_wall(thickness=0.2, length=10.0):
+    return StructureGeometry("wall", length=length, thickness=thickness, medium=NC)
+
+
+@pytest.fixture
+def model():
+    return ImageSourceModel(make_wall(), frequency=230e3, max_bounces=10)
+
+
+class TestGeometry:
+    def test_paper_structures(self):
+        names = [s.name for s in paper_structures()]
+        assert names == [
+            "S1 slab",
+            "S2 column",
+            "S3 common wall",
+            "S4 protective wall",
+        ]
+
+    def test_rejects_nonpositive_dimensions(self):
+        with pytest.raises(AcousticsError):
+            StructureGeometry("bad", length=0.0, thickness=0.2, medium=NC)
+
+
+class TestArrivals:
+    def test_direct_path_first(self, model):
+        arrivals = model.arrivals((0.0, 0.1), (1.0, 0.1))
+        direct = arrivals[0]
+        assert direct.bounces == 0
+        assert direct.path_length == pytest.approx(1.0)
+        assert direct.delay == pytest.approx(1.0 / NC.cs)
+
+    def test_sorted_by_delay(self, model):
+        arrivals = model.arrivals((0.0, 0.1), (1.0, 0.1))
+        delays = [a.delay for a in arrivals]
+        assert delays == sorted(delays)
+
+    def test_count_matches_orders(self, model):
+        arrivals = model.arrivals((0.0, 0.1), (1.0, 0.1))
+        assert len(arrivals) == 2 * model.max_bounces + 1
+
+    def test_higher_orders_weaker(self, model):
+        arrivals = model.arrivals((0.0, 0.1), (1.0, 0.1))
+        direct = max(arrivals, key=lambda a: a.amplitude)
+        assert direct.bounces == 0
+
+    def test_rejects_point_outside_thickness(self, model):
+        with pytest.raises(AcousticsError):
+            model.arrivals((0.0, 0.5), (1.0, 0.1))
+
+    def test_near_total_face_reflection(self, model):
+        # The Eqn. 1 concrete/air boundary keeps ~99.98 % amplitude.
+        assert model.face_reflection == pytest.approx(1.0, abs=1e-3)
+
+
+class TestGains:
+    def test_power_gain_positive(self, model):
+        assert model.power_gain((0.0, 0.1), (1.5, 0.1)) > 0.0
+
+    def test_power_gain_decreases_with_distance(self, model):
+        near = model.power_gain((0.0, 0.1), (0.5, 0.1))
+        far = model.power_gain((0.0, 0.1), (3.0, 0.1))
+        assert near > far
+
+    def test_complex_gain_bounded_by_incoherent_sum(self, model):
+        source, receiver = (0.0, 0.1), (1.0, 0.15)
+        coherent = abs(model.complex_gain(source, receiver))
+        amplitude_sum = sum(
+            a.amplitude for a in model.arrivals(source, receiver)
+        )
+        assert coherent <= amplitude_sum + 1e-12
+
+    def test_margin_receives_more_power_than_middle(self):
+        # Fig. 18's mechanism: margins are closer to their images.
+        wall = make_wall(thickness=1.0)
+        model = ImageSourceModel(wall, frequency=230e3, max_bounces=20)
+        margin = model.power_gain((0.0, 0.02), (1.0, 0.05))
+        middle = model.power_gain((0.0, 0.02), (1.0, 0.5))
+        assert margin > middle
+
+    def test_thin_wall_guides_better_far_away(self):
+        thin = ImageSourceModel(make_wall(0.2), frequency=230e3, max_bounces=30)
+        thick = ImageSourceModel(make_wall(0.7), frequency=230e3, max_bounces=30)
+        assert thin.power_gain((0.0, 0.1), (4.0, 0.1)) > thick.power_gain(
+            (0.0, 0.35), (4.0, 0.35)
+        )
+
+
+class TestImpulseResponse:
+    def test_taps_positive_and_normalised(self, model):
+        h = model.impulse_response((0.0, 0.1), (1.0, 0.1), sample_rate=1e6)
+        assert h.size > 0
+        assert np.all(h >= 0.0)
+        assert np.max(h) > 0.0
+
+    def test_first_tap_at_direct_delay(self, model):
+        h = model.impulse_response((0.0, 0.1), (1.0, 0.1), sample_rate=1e6)
+        first = np.flatnonzero(h)[0]
+        assert first == pytest.approx(round(1.0 / NC.cs * 1e6), abs=1)
+
+    def test_rejects_bad_sample_rate(self, model):
+        with pytest.raises(AcousticsError):
+            model.impulse_response((0.0, 0.1), (1.0, 0.1), sample_rate=0.0)

@@ -1,0 +1,104 @@
+"""Unit tests for the concrete frequency response model (Fig. 5b)."""
+
+import pytest
+
+from repro.acoustics import (
+    CARRIER_BAND,
+    OFF_RESONANT_FREQUENCY,
+    RESONANT_FREQUENCY,
+    ConcreteBlock,
+    FrequencyResponse,
+    paper_test_blocks,
+)
+from repro.errors import AcousticsError
+from repro.materials import get_concrete
+
+
+@pytest.fixture
+def nc_block():
+    return ConcreteBlock(get_concrete("NC"), 0.15)
+
+
+class TestConcreteBlock:
+    def test_label(self, nc_block):
+        assert nc_block.label == "NC-15cm"
+
+    def test_rejects_nonpositive_thickness(self):
+        with pytest.raises(AcousticsError):
+            ConcreteBlock(get_concrete("NC"), 0.0)
+
+    def test_paper_blocks(self):
+        labels = [b.label for b in paper_test_blocks()]
+        assert labels == ["NC-7cm", "NC-15cm", "UHPC-15cm", "UHPFRC-15cm"]
+
+
+class TestResonance:
+    def test_all_blocks_resonate_in_carrier_band(self):
+        low, high = CARRIER_BAND
+        for block in paper_test_blocks():
+            f0 = FrequencyResponse(block).resonant_frequency
+            assert low <= f0 <= high
+
+    def test_peak_gain_at_resonance(self, nc_block):
+        response = FrequencyResponse(nc_block)
+        f0 = response.resonant_frequency
+        assert response.gain(f0) > response.gain(f0 * 0.6)
+        assert response.gain(f0) > response.gain(f0 * 1.6)
+
+    def test_rapid_rolloff_above_band(self, nc_block):
+        # "beyond which the propagation attenuates rapidly"
+        response = FrequencyResponse(nc_block)
+        assert response.gain(400e3) < 0.5 * response.gain(230e3)
+
+
+class TestAmplitudes:
+    def test_uhpc_peak_far_above_nc(self):
+        # Paper finding 2: UHPC/UHPFRC peaks >> NC peak.
+        nc = FrequencyResponse(ConcreteBlock(get_concrete("NC"), 0.15))
+        uhpc = FrequencyResponse(ConcreteBlock(get_concrete("UHPC"), 0.15))
+        assert uhpc.rx_amplitude(230e3) > 2.0 * nc.rx_amplitude(230e3)
+
+    def test_thinner_block_responds_stronger(self):
+        thin = FrequencyResponse(ConcreteBlock(get_concrete("NC"), 0.07))
+        thick = FrequencyResponse(ConcreteBlock(get_concrete("NC"), 0.15))
+        assert thin.rx_amplitude(230e3) > thick.rx_amplitude(230e3)
+
+    def test_amplitude_scales_with_drive(self, nc_block):
+        response = FrequencyResponse(nc_block)
+        assert response.rx_amplitude(230e3, 200.0) == pytest.approx(
+            2.0 * response.rx_amplitude(230e3, 100.0)
+        )
+
+    def test_rejects_nonpositive_drive(self, nc_block):
+        with pytest.raises(AcousticsError):
+            FrequencyResponse(nc_block).rx_amplitude(230e3, 0.0)
+
+    def test_rejects_nonpositive_frequency(self, nc_block):
+        with pytest.raises(AcousticsError):
+            FrequencyResponse(nc_block).gain(0.0)
+
+
+class TestSweep:
+    def test_sweep_shape(self, nc_block):
+        response = FrequencyResponse(nc_block)
+        points = response.sweep([100e3, 200e3, 300e3])
+        assert len(points) == 3
+        assert all(amp >= 0.0 for _, amp in points)
+
+    def test_sweep_peak_in_band(self, nc_block):
+        response = FrequencyResponse(nc_block)
+        freqs = [20e3 + 10e3 * i for i in range(39)]
+        points = response.sweep(freqs)
+        peak_f, _ = max(points, key=lambda p: p[1])
+        assert CARRIER_BAND[0] <= peak_f <= CARRIER_BAND[1]
+
+
+class TestOffResonanceSuppression:
+    def test_positive_suppression(self, nc_block):
+        # The FSK-in/OOK-out mechanism needs the 180 kHz tone suppressed.
+        response = FrequencyResponse(nc_block)
+        assert response.off_resonance_suppression_db() > 3.0
+
+    def test_default_frequencies(self):
+        assert RESONANT_FREQUENCY == 230e3
+        assert OFF_RESONANT_FREQUENCY == 180e3

@@ -1,0 +1,111 @@
+"""Unit tests for the ring effect and its FSK suppression (Fig. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import (
+    ConcreteBlock,
+    FrequencyResponse,
+    RingdownModel,
+    fsk_symbol_waveform,
+    low_edge_residual,
+    ook_symbol_waveform,
+)
+from repro.errors import AcousticsError
+from repro.materials import get_concrete
+
+SAMPLE_RATE = 4e6
+EDGE = 0.5e-3
+
+
+@pytest.fixture
+def ring():
+    return RingdownModel()
+
+
+@pytest.fixture
+def response():
+    return FrequencyResponse(ConcreteBlock(get_concrete("NC"), 0.15))
+
+
+class TestRingdownModel:
+    def test_time_constant_formula(self, ring):
+        import math
+
+        assert ring.time_constant == pytest.approx(
+            ring.quality_factor / (math.pi * ring.frequency)
+        )
+
+    def test_paper_tail_duration(self, ring):
+        # Fig. 7a: the tail consumes ~0.3 ms after the transition.
+        assert ring.tail_duration() == pytest.approx(0.35e-3, rel=0.3)
+
+    def test_envelope_decays(self, ring):
+        t = np.array([0.0, 1e-4, 3e-4, 1e-3])
+        env = ring.envelope(t)
+        assert np.all(np.diff(env) < 0)
+
+    def test_envelope_unity_before_release(self, ring):
+        env = ring.envelope(np.array([-1e-4, 0.0]))
+        assert env[0] == 1.0
+
+    def test_rejects_bad_threshold(self, ring):
+        with pytest.raises(AcousticsError):
+            ring.tail_duration(threshold=0.0)
+
+    def test_rejects_nonpositive_q(self):
+        with pytest.raises(AcousticsError):
+            RingdownModel(quality_factor=0.0)
+
+
+class TestOokWaveform:
+    def test_tail_leaks_into_low_edge(self, ring):
+        waveform = ook_symbol_waveform(ring, EDGE, EDGE, SAMPLE_RATE)
+        residual = low_edge_residual(waveform, EDGE, SAMPLE_RATE)
+        assert residual > 0.1  # substantial leakage: the ring effect
+
+    def test_tail_decays_by_end_of_low_edge(self, ring):
+        waveform = ook_symbol_waveform(ring, EDGE, EDGE, SAMPLE_RATE)
+        n_high = int(EDGE * SAMPLE_RATE)
+        tail_start = np.max(np.abs(waveform[n_high : n_high + n_high // 8]))
+        tail_end = np.max(np.abs(waveform[-n_high // 8 :]))
+        assert tail_end < 0.5 * tail_start
+
+    def test_rejects_bad_durations(self, ring):
+        with pytest.raises(AcousticsError):
+            ook_symbol_waveform(ring, 0.0, EDGE, SAMPLE_RATE)
+
+
+class TestFskWaveform:
+    def test_fsk_suppresses_tail(self, ring, response):
+        # Fig. 7b: the concrete suppresses the low edge naturally.
+        ook = ook_symbol_waveform(ring, EDGE, EDGE, SAMPLE_RATE)
+        fsk = fsk_symbol_waveform(ring, response, EDGE, EDGE, SAMPLE_RATE)
+        assert low_edge_residual(fsk, EDGE, SAMPLE_RATE) < low_edge_residual(
+            ook, EDGE, SAMPLE_RATE
+        )
+
+    def test_fsk_high_edge_full_amplitude(self, ring, response):
+        waveform = fsk_symbol_waveform(ring, response, EDGE, EDGE, SAMPLE_RATE)
+        n_high = int(EDGE * SAMPLE_RATE)
+        assert np.max(np.abs(waveform[:n_high])) == pytest.approx(1.0, rel=0.05)
+
+    def test_fsk_low_edge_nonzero(self, ring, response):
+        # The off tone is suppressed, not silenced.
+        waveform = fsk_symbol_waveform(ring, response, EDGE, EDGE, SAMPLE_RATE)
+        n_high = int(EDGE * SAMPLE_RATE)
+        assert np.max(np.abs(waveform[n_high:])) > 0.0
+
+
+class TestLowEdgeResidual:
+    def test_clean_ook_reference(self):
+        # A waveform that truly stops has near-zero residual.
+        n = int(EDGE * SAMPLE_RATE)
+        t = np.arange(2 * n) / SAMPLE_RATE
+        clean = np.where(t < EDGE, np.sin(2 * np.pi * 230e3 * t), 0.0)
+        assert low_edge_residual(clean, EDGE, SAMPLE_RATE) == pytest.approx(0.0)
+
+    def test_rejects_degenerate_split(self):
+        # High edge covering the whole waveform leaves no low edge.
+        with pytest.raises(AcousticsError):
+            low_edge_residual(np.ones(10), 1.0, 10.0)

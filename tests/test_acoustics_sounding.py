@@ -1,0 +1,93 @@
+"""Unit tests for channel sounding (delay spread, coherence bandwidth)."""
+
+import math
+
+import pytest
+
+from repro.acoustics import (
+    Arrival,
+    StructureGeometry,
+    sound_arrivals,
+    sound_structure,
+)
+from repro.errors import AcousticsError
+from repro.materials import get_concrete
+
+NC = get_concrete("NC").medium
+
+
+def make_arrival(delay, amplitude):
+    return Arrival(delay=delay, amplitude=amplitude, bounces=0, path_length=1.0)
+
+
+class TestSoundArrivals:
+    def test_single_path_zero_spread(self):
+        sounding = sound_arrivals([make_arrival(1e-3, 1.0)])
+        assert sounding.rms_delay_spread == 0.0
+        assert math.isinf(sounding.coherence_bandwidth)
+        assert sounding.n_significant_paths == 1
+
+    def test_two_equal_paths(self):
+        # Equal powers at 0 and tau: rms spread = tau/2.
+        tau = 100e-6
+        sounding = sound_arrivals(
+            [make_arrival(1e-3, 1.0), make_arrival(1e-3 + tau, 1.0)]
+        )
+        assert sounding.rms_delay_spread == pytest.approx(tau / 2.0)
+        assert sounding.mean_excess_delay == pytest.approx(tau / 2.0)
+        assert sounding.coherence_bandwidth == pytest.approx(1.0 / (5.0 * tau / 2.0))
+
+    def test_power_floor_drops_weak_echoes(self):
+        sounding = sound_arrivals(
+            [make_arrival(1e-3, 1.0), make_arrival(5e-3, 1e-4)],
+            power_floor=1e-3,
+        )
+        assert sounding.n_significant_paths == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(AcousticsError):
+            sound_arrivals([])
+
+    def test_supports_bitrate(self):
+        tau = 50e-6
+        sounding = sound_arrivals(
+            [make_arrival(0.0, 1.0), make_arrival(tau, 1.0)]
+        )
+        assert sounding.supports_bitrate(1e3)
+        assert not sounding.supports_bitrate(1e6)
+
+    def test_supports_bitrate_rejects_nonpositive(self):
+        sounding = sound_arrivals([make_arrival(0.0, 1.0)])
+        with pytest.raises(AcousticsError):
+            sounding.supports_bitrate(0.0)
+
+
+class TestSoundStructure:
+    def make_wall(self, thickness):
+        return StructureGeometry(
+            "sounding wall", length=10.0, thickness=thickness, medium=NC
+        )
+
+    def test_thin_wall_shorter_delay_spread(self):
+        # Closer faces -> tighter echo cluster -> wider coherence band.
+        thin = sound_structure(self.make_wall(0.2), (0.0, 0.1), (1.0, 0.1))
+        thick = sound_structure(self.make_wall(0.7), (0.0, 0.35), (1.0, 0.35))
+        assert thin.rms_delay_spread < thick.rms_delay_spread
+        assert thin.coherence_bandwidth > thick.coherence_bandwidth
+
+    def test_wall_supports_paper_bitrates(self):
+        # The 20 cm wall's coherence bandwidth accommodates the paper's
+        # kbps-scale uplink at 1 m.
+        sounding = sound_structure(self.make_wall(0.2), (0.0, 0.1), (1.0, 0.1))
+        assert sounding.supports_bitrate(1e3)
+
+    def test_many_significant_paths_in_a_guided_wall(self):
+        sounding = sound_structure(self.make_wall(0.2), (0.0, 0.1), (2.0, 0.1))
+        assert sounding.n_significant_paths > 5
+
+    def test_distance_grows_spread(self):
+        near = sound_structure(self.make_wall(0.2), (0.0, 0.1), (0.5, 0.1))
+        far = sound_structure(self.make_wall(0.2), (0.0, 0.1), (4.0, 0.1))
+        # Far links collect later high-order images relative to the
+        # direct path.
+        assert far.n_significant_paths >= near.n_significant_paths

@@ -1,0 +1,87 @@
+"""Unit tests for the Rayleigh surface-wave model."""
+
+import pytest
+
+from repro.acoustics import (
+    SurfaceWavePath,
+    leakage_ratio,
+    penetration_depth,
+    rayleigh_velocity,
+)
+from repro.errors import AcousticsError
+from repro.materials import AIR, get_concrete
+
+NC = get_concrete("NC").medium
+
+
+class TestRayleighVelocity:
+    def test_below_shear_velocity(self):
+        assert rayleigh_velocity(NC) < NC.cs
+
+    def test_classic_ratio(self):
+        # C_R / Cs ~ 0.9 for typical solids.
+        assert rayleigh_velocity(NC) / NC.cs == pytest.approx(0.92, abs=0.03)
+
+    def test_uses_poisson_ratio(self):
+        uhpc = get_concrete("UHPC").medium
+        nc_ratio = rayleigh_velocity(NC) / NC.cs
+        uhpc_ratio = rayleigh_velocity(uhpc) / uhpc.cs
+        assert uhpc_ratio > nc_ratio  # nu 0.21 > 0.18
+
+    def test_rejects_fluids(self):
+        with pytest.raises(AcousticsError):
+            rayleigh_velocity(AIR)
+
+
+class TestPenetrationDepth:
+    def test_one_wavelength_scale(self):
+        depth = penetration_depth(NC, 230e3)
+        assert depth == pytest.approx(rayleigh_velocity(NC) / 230e3)
+
+    def test_deep_nodes_invisible(self):
+        # A capsule 10 cm deep sits many penetration depths down at 230 kHz.
+        assert penetration_depth(NC, 230e3) < 0.02
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(AcousticsError):
+            penetration_depth(NC, 0.0)
+
+
+class TestSurfaceWavePath:
+    def test_gain_decreases_with_length(self):
+        short = SurfaceWavePath(NC, length=0.2)
+        long = SurfaceWavePath(NC, length=2.0)
+        assert short.amplitude_gain(230e3) > long.amplitude_gain(230e3)
+
+    def test_edges_strip_energy(self):
+        # Sec. 3.3: sharp edges and corners filter surface waves out.
+        smooth = SurfaceWavePath(NC, length=0.3, edges_crossed=0)
+        blocky = SurfaceWavePath(NC, length=0.3, edges_crossed=2)
+        assert blocky.amplitude_gain(230e3) < 0.1 * smooth.amplitude_gain(230e3)
+
+    def test_delay_uses_rayleigh_speed(self):
+        path = SurfaceWavePath(NC, length=1.0)
+        assert path.delay() == pytest.approx(1.0 / rayleigh_velocity(NC))
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(AcousticsError):
+            SurfaceWavePath(NC, length=-1.0)
+        with pytest.raises(AcousticsError):
+            SurfaceWavePath(NC, length=1.0, edge_transmission=2.0)
+
+
+class TestLeakageRatio:
+    def test_paper_order_of_magnitude(self):
+        # Sec. 3.4: leakage ~10x the backscatter at the reader RX.
+        # Backscatter round trip at ~1 m in a guided wall ~ a few percent.
+        ratio = leakage_ratio(NC, tx_rx_separation=0.20, backscatter_gain=0.012)
+        assert 5.0 < ratio < 30.0
+
+    def test_separation_helps(self):
+        near = leakage_ratio(NC, 0.2, backscatter_gain=0.01)
+        far = leakage_ratio(NC, 1.5, backscatter_gain=0.01)
+        assert far < near
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(AcousticsError):
+            leakage_ratio(NC, 0.2, backscatter_gain=0.0)

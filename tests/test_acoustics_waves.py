@@ -1,0 +1,103 @@
+"""Unit tests for body-wave fundamentals and beam geometry."""
+
+import math
+
+import pytest
+
+from repro.acoustics import (
+    PlaneWave,
+    beam_cone_volume,
+    half_beam_angle,
+    near_field_length,
+    velocity_ratio,
+)
+from repro.errors import AcousticsError
+from repro.materials import AIR, get_concrete
+
+NC = get_concrete("NC").medium
+
+
+class TestHalfBeamAngle:
+    def test_paper_example(self):
+        # D = 40 mm, f = 230 kHz, Cp = 3338 m/s -> alpha ~ 11 deg.
+        alpha = half_beam_angle(0.040, 230e3, NC.cp)
+        assert math.degrees(alpha) == pytest.approx(11.0, abs=0.5)
+
+    def test_larger_disc_narrower_beam(self):
+        a_small = half_beam_angle(0.020, 230e3, NC.cp)
+        a_large = half_beam_angle(0.040, 230e3, NC.cp)
+        assert a_large < a_small
+
+    def test_higher_frequency_narrower_beam(self):
+        a_low = half_beam_angle(0.040, 150e3, NC.cp)
+        a_high = half_beam_angle(0.040, 300e3, NC.cp)
+        assert a_high < a_low
+
+    def test_subwavelength_disc_rejected(self):
+        with pytest.raises(AcousticsError):
+            half_beam_angle(0.001, 50e3, NC.cp)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(AcousticsError):
+            half_beam_angle(0.0, 230e3, 3000.0)
+
+
+class TestBeamConeVolume:
+    def test_paper_cone(self):
+        # ~132 cm^3 for alpha ~ 11 deg through 15 cm (Sec. 3.2).
+        alpha = half_beam_angle(0.040, 230e3, NC.cp)
+        volume = beam_cone_volume(alpha, 0.15)
+        assert volume * 1e6 == pytest.approx(132.0, rel=0.15)
+
+    def test_volume_grows_with_depth(self):
+        alpha = math.radians(11.0)
+        assert beam_cone_volume(alpha, 0.30) > beam_cone_volume(alpha, 0.15)
+
+    def test_rejects_bad_angle(self):
+        with pytest.raises(AcousticsError):
+            beam_cone_volume(0.0, 0.15)
+        with pytest.raises(AcousticsError):
+            beam_cone_volume(math.pi / 2.0, 0.15)
+
+
+class TestPlaneWave:
+    def test_wavelength_in_concrete(self):
+        wave = PlaneWave(mode="s", frequency=230e3)
+        assert wave.wavelength_in(NC) == pytest.approx(1941.0 / 230e3)
+
+    def test_wavenumber(self):
+        wave = PlaneWave(mode="p", frequency=230e3)
+        k = wave.wavenumber_in(NC)
+        assert k == pytest.approx(2 * math.pi * 230e3 / 3338.0)
+
+    def test_s_wave_in_fluid_rejected(self):
+        wave = PlaneWave(mode="s", frequency=230e3)
+        with pytest.raises(Exception):
+            wave.velocity_in(AIR)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(AcousticsError):
+            PlaneWave(mode="r", frequency=230e3)
+
+    def test_negative_amplitude_rejected(self):
+        with pytest.raises(AcousticsError):
+            PlaneWave(mode="p", frequency=230e3, amplitude=-1.0)
+
+
+class TestNearField:
+    def test_formula(self):
+        n = near_field_length(0.040, 230e3, NC.cp)
+        assert n == pytest.approx(0.040**2 * 230e3 / (4 * NC.cp))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(AcousticsError):
+            near_field_length(0.0, 1.0, 1.0)
+
+
+class TestVelocityRatio:
+    def test_concrete_ratio(self):
+        assert velocity_ratio(NC) == pytest.approx(1941.0 / 3338.0)
+
+    def test_fluid_rejected(self):
+        with pytest.raises(AcousticsError):
+            velocity_ratio(AIR)

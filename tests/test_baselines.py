@@ -1,0 +1,117 @@
+"""Unit tests for the PAB, U2B and embedded-RFID baselines."""
+
+import pytest
+
+from repro.baselines import (
+    PabLink,
+    RfBackscatterLink,
+    crossover_bitrate,
+    pab_snr_model,
+    pool_1,
+    pool_2,
+    u2b_snr_model,
+)
+from repro.errors import AcousticsError
+from repro.link import SnrBitrateModel
+
+
+class TestPabPools:
+    def test_pool1_anchors(self):
+        # Paper Fig. 12: 19 cm at 50 V, ~2 m at 200 V.
+        link = PabLink(pool_1())
+        assert link.max_range(50.0) == pytest.approx(0.19, rel=0.1)
+        assert link.max_range(200.0) == pytest.approx(2.0, rel=0.1)
+
+    def test_pool2_needs_84v_for_short_range(self):
+        # Paper: "a larger voltage is required (84 V) for a short
+        # distance (23 cm)".
+        link = PabLink(pool_2())
+        assert link.max_range(50.0) < 0.1
+        assert link.max_range(84.0) == pytest.approx(0.23, rel=0.15)
+
+    def test_pool2_explodes_with_voltage(self):
+        # The corridor guides: 125 V reaches metres (paper: 6.5 m).
+        link = PabLink(pool_2())
+        assert link.max_range(125.0) > 4.0
+
+    def test_concrete_outranges_open_water(self):
+        # Paper finding 3: elastic waves travel further in dense media.
+        from repro.acoustics import paper_structures
+        from repro.link import PowerUpLink
+
+        s3 = next(s for s in paper_structures() if s.name.startswith("S3"))
+        concrete = PowerUpLink(s3)
+        water = PabLink(pool_1())
+        for v in (50.0, 100.0, 200.0):
+            assert concrete.max_range(v) > water.max_range(v)
+
+    def test_requires_water(self):
+        from repro.acoustics import StructureGeometry
+        from repro.materials import get_concrete
+
+        wall = StructureGeometry(
+            "wall", length=5.0, thickness=0.2, medium=get_concrete("NC").medium
+        )
+        with pytest.raises(AcousticsError):
+            PabLink(wall)
+
+
+class TestBitrateModels:
+    def test_pab_limited_to_3kbps(self):
+        assert pab_snr_model().max_bitrate(min_snr_db=3.0) == pytest.approx(
+            3e3, rel=0.1
+        )
+
+    def test_ecocapsule_beats_pab_everywhere(self):
+        eco = SnrBitrateModel()
+        pab = pab_snr_model()
+        for kbps in (1.0, 2.0, 2.8):
+            assert eco.snr_db(kbps * 1e3) > pab.snr_db(kbps * 1e3)
+
+    def test_u2b_crossover_above_9kbps(self):
+        # Paper: "U2B achieves higher SNR than EcoCapsule when bitrate
+        # exceeds 9 kbps".
+        crossover = crossover_bitrate(SnrBitrateModel(), u2b_snr_model())
+        assert crossover == pytest.approx(9e3, rel=0.1)
+
+    def test_u2b_below_ecocapsule_at_low_bitrate(self):
+        eco = SnrBitrateModel()
+        u2b = u2b_snr_model()
+        assert eco.snr_db(1e3) > u2b.snr_db(1e3)
+
+    def test_u2b_above_ecocapsule_at_high_bitrate(self):
+        eco = SnrBitrateModel()
+        u2b = u2b_snr_model()
+        assert u2b.snr_db(12e3) > eco.snr_db(12e3)
+
+    def test_crossover_requires_a_crossing(self):
+        with pytest.raises(AcousticsError):
+            crossover_bitrate(SnrBitrateModel(), SnrBitrateModel(), high=2e3)
+
+
+class TestRfBaseline:
+    def test_centimetre_range(self):
+        # Sec. 3.5: embedded RFID ranges are "limited to several
+        # centimeters" versus metres acoustically.
+        link = RfBackscatterLink()
+        depth = link.max_depth()
+        assert 0.01 < depth < 0.5
+
+    def test_loss_grows_with_depth(self):
+        link = RfBackscatterLink()
+        assert link.path_loss_db(0.5) > link.path_loss_db(0.1)
+
+    def test_dry_concrete_reaches_deeper(self):
+        wet = RfBackscatterLink(concrete_attenuation_db_per_m=150.0)
+        dry = RfBackscatterLink(concrete_attenuation_db_per_m=60.0)
+        assert dry.max_depth() > wet.max_depth()
+
+    def test_powers_up_boundary(self):
+        link = RfBackscatterLink()
+        depth = link.max_depth()
+        assert link.powers_up(depth * 0.9)
+        assert not link.powers_up(depth * 1.2)
+
+    def test_rejects_nonpositive_depth(self):
+        with pytest.raises(AcousticsError):
+            RfBackscatterLink().path_loss_db(0.0)

@@ -1,0 +1,105 @@
+"""Unit tests for the node's envelope detector and level shifter."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import EnvelopeDetector, LevelShifter, edge_intervals
+from repro.errors import DecodingError
+
+SAMPLE_RATE = 4e6
+
+
+def ook_burst(on_time, off_time, carrier=230e3, sample_rate=SAMPLE_RATE):
+    """A carrier burst followed by silence."""
+    n_on = int(on_time * sample_rate)
+    n_off = int(off_time * sample_rate)
+    t = np.arange(n_on) / sample_rate
+    return np.concatenate([np.sin(2 * np.pi * carrier * t), np.zeros(n_off)])
+
+
+class TestEnvelopeDetector:
+    def test_tracks_a_burst(self):
+        detector = EnvelopeDetector()
+        waveform = ook_burst(0.5e-3, 0.5e-3)
+        envelope = detector.detect(waveform, SAMPLE_RATE)
+        n_on = int(0.5e-3 * SAMPLE_RATE)
+        on_level = np.mean(envelope[n_on // 2 : n_on])
+        off_level = np.mean(envelope[-n_on // 4 :])
+        assert on_level > 5.0 * off_level
+
+    def test_envelope_nonnegative(self):
+        detector = EnvelopeDetector()
+        envelope = detector.detect(ook_burst(1e-4, 1e-4), SAMPLE_RATE)
+        assert np.all(envelope >= 0.0)
+
+    def test_rejects_low_sample_rate(self):
+        detector = EnvelopeDetector(cutoff=40e3)
+        with pytest.raises(DecodingError):
+            detector.detect(np.ones(100), 50e3)
+
+    def test_diode_drop_subtracts(self):
+        hard = EnvelopeDetector(diode_drop=0.5)
+        soft = EnvelopeDetector(diode_drop=0.0)
+        waveform = 0.6 * ook_burst(1e-4, 1e-4)
+        assert np.max(hard.detect(waveform, SAMPLE_RATE)) < np.max(
+            soft.detect(waveform, SAMPLE_RATE)
+        )
+
+
+class TestLevelShifter:
+    def test_binarizes_a_square_envelope(self):
+        shifter = LevelShifter()
+        envelope = np.concatenate([np.ones(100), np.zeros(100), np.ones(100)])
+        bits = shifter.binarize(envelope)
+        assert bits[50] == 1
+        assert bits[150] == 0
+        assert bits[250] == 1
+
+    def test_hysteresis_rejects_small_ripple(self):
+        shifter = LevelShifter(high_fraction=0.6, low_fraction=0.3)
+        # Ripple between 0.8 and 1.0 never crosses the low threshold.
+        envelope = 0.9 + 0.1 * np.sin(np.linspace(0, 20 * np.pi, 400))
+        bits = shifter.binarize(envelope)
+        assert np.all(bits[10:] == 1)
+
+    def test_rejects_silent_envelope(self):
+        with pytest.raises(DecodingError):
+            LevelShifter().binarize(np.zeros(10))
+
+    def test_rejects_inverted_thresholds(self):
+        with pytest.raises(DecodingError):
+            LevelShifter(high_fraction=0.3, low_fraction=0.5)
+
+
+class TestEdgeIntervals:
+    def test_measures_durations(self):
+        binary = np.concatenate([np.ones(100), np.zeros(50), np.ones(150)])
+        intervals = edge_intervals(binary, sample_rate=1000.0)
+        assert intervals == pytest.approx([0.1, 0.05, 0.15])
+
+    def test_rejects_flat_stream(self):
+        with pytest.raises(DecodingError):
+            edge_intervals(np.ones(100), 1000.0)
+
+    def test_rejects_tiny_stream(self):
+        with pytest.raises(DecodingError):
+            edge_intervals(np.ones(1), 1000.0)
+
+
+class TestFullDownlinkChain:
+    def test_ook_to_bits(self):
+        """Envelope detect + binarize + edge timing recovers a PIE stream."""
+        from repro.phy import PieTiming, decode_edge_durations, pie_encode_baseband
+
+        timing = PieTiming(tari=250e-6, low=250e-6)
+        bits = [0, 1, 1, 0, 1]
+        baseband = pie_encode_baseband(bits, SAMPLE_RATE, timing)
+        t = np.arange(baseband.size) / SAMPLE_RATE
+        waveform = baseband * np.sin(2 * np.pi * 230e3 * t)
+
+        detector = EnvelopeDetector()
+        envelope = detector.detect(waveform, SAMPLE_RATE)
+        binary = LevelShifter().binarize(envelope)
+        durations = edge_intervals(binary, SAMPLE_RATE)
+        decoded = decode_edge_durations(durations, int(binary[0]), timing)
+        assert decoded == bits

@@ -1,0 +1,93 @@
+"""Unit tests for the energy-harvesting chain (Fig. 14 anchors)."""
+
+import pytest
+
+from repro.circuits import EnergyHarvester, LowDropoutRegulator, VoltageMultiplier
+from repro.errors import PowerError
+
+
+class TestVoltageMultiplier:
+    def test_open_circuit_voltage(self):
+        mult = VoltageMultiplier(stages=4, diode_drop=0.12)
+        assert mult.open_circuit_voltage(1.0) == pytest.approx(8 * 0.88)
+
+    def test_clamps_below_diode_drop(self):
+        mult = VoltageMultiplier()
+        assert mult.open_circuit_voltage(0.05) == 0.0
+
+    def test_more_stages_more_voltage(self):
+        low = VoltageMultiplier(stages=2)
+        high = VoltageMultiplier(stages=6)
+        assert high.open_circuit_voltage(1.0) > low.open_circuit_voltage(1.0)
+
+    def test_source_resistance(self):
+        mult = VoltageMultiplier(stages=4, stage_capacitance=1e-9)
+        assert mult.source_resistance(230e3) == pytest.approx(4 / (230e3 * 1e-9))
+
+    def test_rejects_zero_stages(self):
+        with pytest.raises(PowerError):
+            VoltageMultiplier(stages=0)
+
+    def test_rejects_negative_input(self):
+        with pytest.raises(PowerError):
+            VoltageMultiplier().open_circuit_voltage(-1.0)
+
+
+class TestRegulator:
+    def test_regulates_above_dropout(self):
+        ldo = LowDropoutRegulator()
+        assert ldo.regulate(3.0) == pytest.approx(1.8)
+
+    def test_zero_below_dropout(self):
+        ldo = LowDropoutRegulator()
+        assert ldo.regulate(1.0) == 0.0
+
+    def test_minimum_input(self):
+        ldo = LowDropoutRegulator(output_voltage=1.8, dropout=0.08)
+        assert ldo.minimum_input == pytest.approx(1.88)
+
+
+class TestColdStart:
+    """The Fig. 14 anchors."""
+
+    @pytest.fixture
+    def harvester(self):
+        return EnergyHarvester()
+
+    def test_minimum_activation_is_half_volt(self, harvester):
+        assert harvester.activation_voltage == pytest.approx(0.5)
+        assert not harvester.can_power_up(0.45)
+        assert harvester.can_power_up(0.5)
+
+    def test_55ms_at_half_volt(self, harvester):
+        assert harvester.cold_start_time(0.5) == pytest.approx(55e-3, rel=0.05)
+
+    def test_4_4ms_at_two_volts(self, harvester):
+        assert harvester.cold_start_time(2.0) == pytest.approx(4.4e-3, rel=0.05)
+
+    def test_monotone_decreasing(self, harvester):
+        times = [harvester.cold_start_time(v) for v in (0.5, 0.8, 1.2, 2.0, 4.0)]
+        assert times == sorted(times, reverse=True)
+
+    def test_below_activation_raises(self, harvester):
+        with pytest.raises(PowerError):
+            harvester.cold_start_time(0.3)
+
+    def test_rapid_drop_below_one_volt(self, harvester):
+        # Fig. 14: the knee is steep below ~1 V.
+        assert harvester.cold_start_time(0.5) > 3.0 * harvester.cold_start_time(1.0)
+
+
+class TestHarvestedPower:
+    def test_zero_when_unpowered(self):
+        harvester = EnergyHarvester()
+        assert harvester.harvested_power(0.2) == 0.0
+
+    def test_grows_with_input(self):
+        harvester = EnergyHarvester()
+        assert harvester.harvested_power(3.0) > harvester.harvested_power(1.0)
+
+    def test_covers_the_mcu_at_moderate_field(self):
+        # A 2 V field must sustain the ~360 uW active draw.
+        harvester = EnergyHarvester()
+        assert harvester.harvested_power(2.0) > 360e-6

@@ -1,0 +1,101 @@
+"""Unit tests for the MCU power model and sensor peripherals."""
+
+import pytest
+
+from repro.circuits import (
+    McuPowerModel,
+    SensorError,
+    SensorSuite,
+    accelerometer,
+    humidity_sensor,
+    strain_sensor,
+    temperature_sensor,
+)
+from repro.errors import PowerError
+
+
+class TestMcuPower:
+    """Fig. 13 anchors."""
+
+    @pytest.fixture
+    def mcu(self):
+        return McuPowerModel()
+
+    def test_standby_80_microwatts(self, mcu):
+        assert mcu.power("standby") * 1e6 == pytest.approx(80.1)
+
+    def test_sleep_sub_microwatt(self, mcu):
+        assert mcu.power("sleep") * 1e6 == pytest.approx(0.9)
+
+    def test_active_around_360_microwatts(self, mcu):
+        for kbps in (1, 2, 4, 8):
+            assert mcu.power("active", kbps * 1e3) * 1e6 == pytest.approx(
+                360.0, rel=0.02
+            )
+
+    def test_nearly_flat_across_bitrates(self, mcu):
+        # "fluctuates around 360 uW slightly regardless of the bitrate"
+        low = mcu.power("active", 1e3)
+        high = mcu.power("active", 8e3)
+        assert (high - low) / low < 0.02
+
+    def test_energy_accounting(self, mcu):
+        assert mcu.energy("standby", 10.0) == pytest.approx(801e-6)
+
+    def test_unknown_state_raises(self, mcu):
+        with pytest.raises(PowerError):
+            mcu.power("hibernate")
+
+    def test_negative_bitrate_raises(self, mcu):
+        with pytest.raises(PowerError):
+            mcu.power("active", -1.0)
+
+
+class TestSensors:
+    def test_temperature_reading_close_to_truth(self):
+        sensor = temperature_sensor(seed=1)
+        readings = [sensor.read(25.0) for _ in range(50)]
+        mean = sum(readings) / len(readings)
+        assert mean == pytest.approx(25.0, abs=0.2)
+
+    def test_quantisation(self):
+        sensor = strain_sensor(seed=2)
+        reading = sensor.read(100.4)
+        assert reading == round(reading)  # 1 ue resolution
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(SensorError):
+            temperature_sensor().read(200.0)
+        with pytest.raises(SensorError):
+            humidity_sensor().read(-5.0)
+
+    def test_reading_clamped_to_range(self):
+        sensor = humidity_sensor(seed=3)
+        for _ in range(100):
+            assert 0.0 <= sensor.read(99.9) <= 100.0
+
+    def test_accelerometer_band(self):
+        sensor = accelerometer(seed=4)
+        assert abs(sensor.read(0.05) - 0.05) < 0.05
+
+    def test_reproducible_with_seed(self):
+        a = temperature_sensor(seed=7).read(25.0)
+        b = temperature_sensor(seed=7).read(25.0)
+        assert a == b
+
+    def test_invalid_range_rejected(self):
+        from repro.circuits import SensorBase
+
+        with pytest.raises(SensorError):
+            SensorBase(range=(10.0, 0.0), resolution=0.1, noise_rms=0.1)
+
+
+class TestSensorSuite:
+    def test_read_all_channels(self):
+        suite = SensorSuite()
+        readings = suite.read_all(
+            temperature=24.0, humidity=70.0, strain=150.0, acceleration=0.01
+        )
+        assert set(readings) == {"temperature", "humidity", "strain", "acceleration"}
+        assert readings["temperature"] == pytest.approx(24.0, abs=1.0)
+        assert readings["humidity"] == pytest.approx(70.0, abs=8.0)

@@ -1,0 +1,72 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["prism"],
+            ["range", "--structure", "S2"],
+            ["shell", "--height", "50"],
+            ["survey", "--nodes", "3"],
+            ["pilot"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+
+class TestCommands:
+    def test_prism(self, capsys):
+        assert main(["prism", "--concrete", "UHPC"]) == 0
+        out = capsys.readouterr().out
+        assert "S-only window" in out
+        assert "UHPC" in out
+
+    def test_range(self, capsys):
+        assert main(["range", "--structure", "S3", "--voltage", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "Max power-up range" in out
+        assert "Stations" in out
+
+    def test_range_unknown_structure(self):
+        with pytest.raises(SystemExit):
+            main(["range", "--structure", "S9"])
+
+    def test_shell(self, capsys):
+        assert main(["shell", "--height", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "SLA resin" in out
+        assert "OK" in out
+
+    def test_shell_too_tall_for_resin(self, capsys):
+        main(["shell", "--height", "300"])
+        out = capsys.readouterr().out
+        assert "FAILS" in out  # resin gives up past ~195 m
+
+    def test_survey(self, capsys):
+        assert main(["survey", "--nodes", "3", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Powered 3/3" in out
+        assert "node  1" in out
+
+    def test_pilot(self, capsys):
+        assert main(["pilot", "--samples-per-hour", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "storm detected in both channels: True" in out
+        assert "section A" in out
+
+    def test_export(self, capsys, tmp_path):
+        assert main(
+            ["export", "--directory", str(tmp_path), "--figures", "fig13"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fig13.csv" in out
+        assert (tmp_path / "fig13.csv").exists()

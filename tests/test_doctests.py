@@ -1,0 +1,18 @@
+"""Run the doctest examples embedded in the library's docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.units
+import repro.phy.pie
+import repro.phy.fm0
+
+MODULES = [repro.units, repro.phy.pie, repro.phy.fm0]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

@@ -1,0 +1,349 @@
+"""Anchor tests: every experiment module reproduces its paper artifact."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import experiments as ex
+
+
+class TestFig04:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ex.fig04_mode_amplitudes.run(step_deg=2.0)
+
+    def test_critical_angles(self, result):
+        assert result.first_critical_deg == pytest.approx(34.0, abs=0.5)
+        assert result.second_critical_deg == pytest.approx(73.0, abs=1.5)
+
+    def test_p_dominates_at_small_angles(self, result):
+        assert result.dominant_mode(5.0) == "p"
+
+    def test_s_dominates_in_window(self, result):
+        for angle in (40.0, 50.0, 60.0, 70.0):
+            assert result.dominant_mode(angle) == "s"
+
+    def test_nothing_beyond_second_critical(self, result):
+        assert result.dominant_mode(78.0) == "none"
+
+
+class TestFig05:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ex.fig05_frequency_response.run()
+
+    def test_four_blocks(self, result):
+        assert set(result.curves) == {
+            "NC-7cm",
+            "NC-15cm",
+            "UHPC-15cm",
+            "UHPFRC-15cm",
+        }
+
+    def test_all_peaks_in_carrier_band(self, result):
+        # Paper finding 1: resonance between 200-250 kHz for every block.
+        for label in result.curves:
+            assert result.peak_in_carrier_band(label), label
+
+    def test_uhpc_peaks_dominate_nc(self, result):
+        # Paper finding 2.
+        nc = result.curves["NC-15cm"].peak[1]
+        uhpc = result.curves["UHPC-15cm"].peak[1]
+        uhpfrc = result.curves["UHPFRC-15cm"].peak[1]
+        assert uhpc > 2.0 * nc
+        assert uhpfrc >= uhpc
+
+
+class TestFig07:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ex.fig07_ring_effect.run()
+
+    def test_tail_duration_near_0_3ms(self, result):
+        assert result.tail_duration == pytest.approx(0.3e-3, rel=0.35)
+
+    def test_fsk_suppresses(self, result):
+        assert result.suppression_ratio > 2.0
+
+    def test_waveform_lengths(self, result):
+        assert result.ook_waveform.size == result.fsk_waveform.size
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ex.fig12_range_vs_voltage.run()
+
+    def test_six_curves(self, result):
+        assert len(result.curves) == 6
+
+    def test_best_link_exceeds_6m(self, result):
+        # "a maximum power-up range of more than 6 m".
+        label, best = result.max_range()
+        assert best > 6.0
+        assert label == "S3 common wall"
+
+    def test_s3_anchor_at_50v(self, result):
+        assert result.curves["S3 common wall"].range_at(50.0) == pytest.approx(
+            1.34, rel=0.15
+        )
+
+    def test_pab_pool1_anchor(self, result):
+        assert result.curves["PAB pool 1"].range_at(50.0) == pytest.approx(
+            0.19, rel=0.15
+        )
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ex.fig13_power_consumption.run()
+
+    def test_standby_80uw(self, result):
+        assert result.standby_power * 1e6 == pytest.approx(80.1)
+
+    def test_active_360uw_flat(self, result):
+        assert result.active_mean * 1e6 == pytest.approx(360.0, rel=0.02)
+        assert result.active_spread * 1e6 < 5.0
+
+
+class TestFig14:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ex.fig14_cold_start.run()
+
+    def test_anchors(self, result):
+        assert result.minimum_activation_voltage == pytest.approx(0.5)
+        assert result.time_at(0.5) == pytest.approx(55e-3, rel=0.05)
+        assert result.time_at(2.0) == pytest.approx(4.4e-3, rel=0.05)
+
+    def test_monotone(self, result):
+        times = [t for _, t in result.points]
+        assert times == sorted(times, reverse=True)
+
+
+class TestFig15:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ex.fig15_ber_vs_snr.run(total_bits=6000)
+
+    def test_coin_flip_at_2db(self, result):
+        point = next(p for p in result.ecocapsule if p.snr_db == 2.0)
+        assert point.ber == pytest.approx(0.5, abs=0.1)
+
+    def test_floor_at_8db(self, result):
+        assert result.floor_snr("ecocapsule", 1e-4) == pytest.approx(8.0, abs=1.0)
+
+    def test_pab_floor_later(self, result):
+        assert result.floor_snr("pab", 1e-4) > result.floor_snr(
+            "ecocapsule", 1e-4
+        )
+
+    def test_monotone_waterfall(self, result):
+        bers = [p.ber for p in result.ecocapsule]
+        for earlier, later in zip(bers, bers[1:]):
+            assert later <= earlier + 0.05
+
+
+class TestFig16:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ex.fig16_snr_vs_bitrate.run()
+
+    def test_knees(self, result):
+        assert result.ecocapsule_knee == pytest.approx(13e3, rel=0.05)
+        assert result.pab_knee == pytest.approx(3e3, rel=0.1)
+
+    def test_u2b_crossover(self, result):
+        assert result.u2b_crossover == pytest.approx(9e3, rel=0.1)
+
+    def test_three_curves(self, result):
+        assert set(result.curves) == {"EcoCapsule", "PAB", "U2B"}
+
+
+class TestFig17:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ex.fig17_throughput.run(measure_bits=2000)
+
+    def test_all_above_13kbps(self, result):
+        # "The resulting throughputs are all more than 13 kbps".
+        for row in result.rows.values():
+            assert row.measured_throughput > 12e3
+
+    def test_uhpc_advantage_about_2kbps(self, result):
+        # "throughputs in UHPFRC and UHPC are about 2 kbps higher".
+        assert result.advantage_over_nc("UHPC") == pytest.approx(2e3, abs=1.2e3)
+        assert result.advantage_over_nc("UHPFRC") == pytest.approx(2e3, abs=1.2e3)
+
+
+class TestFig18:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ex.fig18_snr_vs_position.run(trials=120)
+
+    def test_margins_beat_middle(self, result):
+        assert result.median("top") > result.median("middle")
+        assert result.median("bottom") > result.median("middle")
+
+    def test_median_levels(self, result):
+        # Paper: ~11/8 dB at the margins vs ~7 dB in the middle.
+        assert result.median("middle") == pytest.approx(7.0, abs=2.5)
+        assert result.median("top") == pytest.approx(11.0, abs=3.0)
+
+    def test_cdf_monotone(self, result):
+        cdf = result.cdf("middle")
+        probs = [p for _, p in cdf]
+        assert probs == sorted(probs)
+
+
+class TestFig19:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ex.fig19_prism_effect.run()
+
+    def test_peak_in_window(self, result):
+        angle, snr = result.peak
+        assert result.window_deg[0] <= angle <= result.window_deg[1]
+        assert snr == pytest.approx(15.0, abs=1.0)
+
+    def test_drop_at_15_degrees(self, result):
+        # "The SNR drops by 73 % ... at 15 deg": the measured SNR falls
+        # to ~27 % of the peak value (Fig. 19's y-axis reading).
+        assert result.snr_at(15.0) == pytest.approx(0.27 * result.peak[1], abs=2.0)
+
+    def test_drop_at_30_degrees(self, result):
+        # "... and 30 % at 30 deg".
+        assert result.snr_at(30.0) == pytest.approx(0.70 * result.peak[1], abs=2.0)
+
+    def test_drop_at_30_degrees_smaller(self, result):
+        drop_15 = result.peak[1] - result.snr_at(15.0)
+        drop_30 = result.peak[1] - result.snr_at(30.0)
+        assert drop_30 < drop_15
+
+    def test_zero_degrees_locally_high(self, result):
+        # Direct contact (single P mode) beats the mixed-mode angles.
+        assert result.snr_at(0.0) > result.snr_at(15.0)
+
+
+class TestFig20:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ex.fig20_fsk_vs_ook.run()
+
+    def test_gain_3_to_5x(self, result):
+        low, high = result.gain_range
+        assert low > 2.0
+        assert high < 8.0
+
+    def test_fsk_always_wins(self, result):
+        for (b, fsk), (_, ook) in zip(result.fsk, result.ook):
+            assert fsk > ook
+
+
+class TestFig21:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ex.fig21_pilot_study.run(samples_per_hour=4)
+
+    def test_storm_detected_in_both_channels(self, result):
+        assert result.storm_detected_in_both
+
+    def test_sensors_mutually_verified(self, result):
+        assert result.sensors_mutually_verified
+
+    def test_structurally_compliant(self, result):
+        assert result.compliance.compliant
+
+    def test_health_b_or_above(self, result):
+        # "the bridge health always remained at B or above levels".
+        assert result.health_at_or_above_b
+
+    def test_five_sections_reported(self, result):
+        assert len(result.section_health) == 5
+
+
+class TestFig22:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ex.fig22_backscatter_waveform.run()
+
+    def test_idle_region_4ms(self, result):
+        assert result.idle_samples == int(4e-3 * result.sample_rate)
+
+    def test_square_wave_modulation(self, result):
+        assert result.modulation_depth > 1.3
+
+    def test_edge_duration_half_ms(self, result):
+        # Fig. 22: "Each of the high- and low-voltage edges takes 0.5 ms".
+        assert result.edge_duration == pytest.approx(0.5e-3)
+
+
+class TestFig24:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ex.fig24_self_interference.run()
+
+    def test_three_peaks(self, result):
+        # CBW + two AM sidebands.
+        peaks = result.peak_frequencies(3)
+        expected = sorted(
+            [result.carrier, result.carrier - result.blf, result.carrier + result.blf]
+        )
+        for found, want in zip(peaks, expected):
+            assert found == pytest.approx(want, abs=1.5e3)
+
+    def test_guard_band_clean(self, result):
+        assert result.guard_band_depth_db() > 10.0
+
+
+class TestTables:
+    def test_table1_rows(self):
+        rows = ex.tables.table1()
+        assert [r.concrete for r in rows] == ["NC", "UHPC", "UHPFRC"]
+        nc = rows[0]
+        assert nc.fco_mpa == pytest.approx(54.1)
+        assert nc.mix["cement"] == 300
+
+    def test_table2_regions(self):
+        table = ex.tables.table2()
+        assert set(table) == {"united_states", "hong_kong", "bangkok", "manila"}
+        assert table["hong_kong"]["A"] == pytest.approx(3.25)
+
+    def test_table2_examples_consistent(self):
+        for pao, region, letter in ex.tables.table2_examples():
+            from repro.shm import grade
+
+            assert grade(pao, region) == letter
+
+    def test_shell_design_points(self):
+        points = {p.material: p for p in ex.tables.shell_design_points()}
+        assert points["SLA resin"].max_pressure_mpa == pytest.approx(4.3, abs=0.1)
+        assert points["SLA resin"].max_height_m == pytest.approx(195.0, abs=3.0)
+        assert points["alloy steel"].max_pressure_mpa == pytest.approx(115.2, abs=0.5)
+        assert points["alloy steel"].max_height_m == pytest.approx(4985.0, rel=0.01)
+
+    def test_hra_design_point(self):
+        point = ex.tables.hra_design_point()
+        assert point.neck_area_mm2 == pytest.approx(0.78)
+        assert point.cavity_volume_mm3 == pytest.approx(2.76)
+        assert point.neck_length_mm == pytest.approx(0.8)
+        assert point.resonance_at_design_speed == pytest.approx(230e3)
+
+
+class TestAppendix:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ex.appendix_sensors.run(samples_per_hour=4)
+
+    def test_all_channels_present(self, result):
+        assert len(result.summaries) == 11
+
+    def test_channels_in_expected_bands(self, result):
+        for name in result.summaries:
+            assert result.in_band(name), name
+
+    def test_response_channels_show_storm(self, result):
+        for name in ("acceleration_1", "acceleration_4", "stress_1", "stress_2"):
+            assert result.summaries[name].storm_contrast > 1.2, name

@@ -1,0 +1,38 @@
+"""Tests for the downlink-reliability extension experiment."""
+
+import pytest
+
+from repro.experiments import downlink_reliability
+
+
+@pytest.fixture(scope="module")
+def result():
+    return downlink_reliability.run(packets_per_point=25)
+
+
+class TestDownlinkReliability:
+    def test_waterfall_shape(self, result):
+        rates = [p.packet_error_rate for p in result.points]
+        # Monotone non-increasing within tolerance.
+        for earlier, later in zip(rates, rates[1:]):
+            assert later <= earlier + 0.1
+
+    def test_hopeless_at_0db(self, result):
+        assert result.per_at(0.0) > 0.8
+
+    def test_clean_at_high_snr(self, result):
+        assert result.per_at(12.0) == 0.0
+        assert result.per_at(20.0) == 0.0
+
+    def test_working_snr_in_waterfall(self, result):
+        working = result.working_snr(max_per=0.05)
+        assert 3.0 <= working <= 9.0
+
+    def test_per_accounting(self, result):
+        for point in result.points:
+            assert 0 <= point.packet_errors <= point.packets
+
+    def test_reproducible(self):
+        a = downlink_reliability.run(packets_per_point=10, snrs_db=[6.0])
+        b = downlink_reliability.run(packets_per_point=10, snrs_db=[6.0])
+        assert a.per_at(6.0) == b.per_at(6.0)

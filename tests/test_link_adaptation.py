@@ -1,0 +1,123 @@
+"""Unit tests for the foreign-object channel and carrier fine-tuning."""
+
+import pytest
+
+from repro.acoustics import ConcreteBlock
+from repro.errors import AcousticsError
+from repro.link import CarrierTuner, ForeignObjectChannel, Notch
+from repro.materials import get_concrete
+
+
+def make_channel(**kwargs):
+    block = ConcreteBlock(get_concrete("NC"), 0.15)
+    defaults = dict(block=block, seed=4)
+    defaults.update(kwargs)
+    return ForeignObjectChannel(**defaults)
+
+
+class TestNotch:
+    def test_full_depth_at_centre(self):
+        notch = Notch(frequency=230e3, depth_db=20.0, width=2e3)
+        assert notch.gain(230e3) == pytest.approx(0.1)
+
+    def test_recovers_away_from_centre(self):
+        notch = Notch(frequency=230e3, depth_db=20.0, width=2e3)
+        assert notch.gain(250e3) > 0.9
+
+    def test_symmetric(self):
+        notch = Notch(frequency=230e3, depth_db=12.0, width=3e3)
+        assert notch.gain(227e3) == pytest.approx(notch.gain(233e3))
+
+
+class TestForeignObjectChannel:
+    def test_clean_channel_matches_smooth_response(self):
+        channel = make_channel(n_objects=0)
+        from repro.acoustics import FrequencyResponse
+
+        smooth = FrequencyResponse(channel.block)
+        assert channel.gain(230e3) == pytest.approx(smooth.gain(230e3))
+
+    def test_notches_only_attenuate(self):
+        clean = make_channel(n_objects=0)
+        dirty = make_channel(n_objects=5)
+        for f in (200e3, 215e3, 230e3, 245e3):
+            assert dirty.gain(f) <= clean.gain(f) + 1e-12
+
+    def test_degradation_nonnegative(self):
+        channel = make_channel(n_objects=4)
+        for f in (200e3, 230e3, 260e3):
+            assert channel.degradation_db(f) >= 0.0
+
+    def test_notch_count(self):
+        assert len(make_channel(n_objects=7).notches) == 7
+
+    def test_reproducible_with_seed(self):
+        a = make_channel(seed=9).notches
+        b = make_channel(seed=9).notches
+        assert a == b
+
+    def test_explicit_notches_respected(self):
+        notch = Notch(frequency=230e3, depth_db=30.0, width=2e3)
+        channel = make_channel(n_objects=0, notches=[notch])
+        assert channel.degradation_db(230e3) == pytest.approx(30.0, abs=0.5)
+
+    def test_rejects_invalid_band(self):
+        with pytest.raises(AcousticsError):
+            make_channel(band=(250e3, 200e3))
+
+
+class TestCarrierTuner:
+    def test_detects_and_escapes_a_notch_on_the_carrier(self):
+        # A deep notch lands exactly on 230 kHz; tuning must move off it.
+        notch = Notch(frequency=230e3, depth_db=25.0, width=2e3)
+        channel = make_channel(n_objects=0, notches=[notch])
+        tuner = CarrierTuner()
+        result = tuner.tune(channel)
+        assert result.retuned
+        assert abs(result.carrier - 230e3) > 2e3
+        assert result.gain_db > channel.gain_db(230e3) + 10.0
+
+    def test_stays_put_on_a_clean_channel(self):
+        channel = make_channel(n_objects=0)
+        tuner = CarrierTuner()
+        result = tuner.tune(channel)
+        # The clean response peaks near the carrier band centre; the
+        # hysteresis keeps the default carrier unless a candidate clearly
+        # wins.
+        assert abs(result.carrier - 230e3) < 30e3
+
+    def test_hysteresis_blocks_marginal_moves(self):
+        channel = make_channel(n_objects=0)
+        sticky = CarrierTuner(hysteresis_db=100.0)
+        result = sticky.tune(channel)
+        assert not result.retuned
+        assert result.carrier == 230e3
+
+    def test_improvement_reported(self):
+        notch = Notch(frequency=230e3, depth_db=20.0, width=2e3)
+        channel = make_channel(n_objects=0, notches=[notch])
+        result = CarrierTuner().tune(channel)
+        assert result.improvement_db > 0.0
+
+    def test_track_over_channel_states(self):
+        channels = [make_channel(seed=s, n_objects=3) for s in range(4)]
+        tuner = CarrierTuner()
+        results = tuner.track(channels)
+        assert len(results) == 4
+        # The tuner should never end a pass on a carrier that a probe
+        # beat by more than the hysteresis.
+        for result in results:
+            best = max(g for _, g in result.probed)
+            assert result.gain_db >= best - tuner.hysteresis_db - 1e-9
+
+    def test_candidates_include_carrier(self):
+        tuner = CarrierTuner(carrier=231e3)
+        assert 231e3 in tuner.candidates()
+
+    def test_rejects_carrier_outside_band(self):
+        with pytest.raises(AcousticsError):
+            CarrierTuner(carrier=300e3)
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(AcousticsError):
+            CarrierTuner(n_candidates=1)

@@ -1,0 +1,127 @@
+"""Unit tests for the power-up link budget (Fig. 12 anchors)."""
+
+import pytest
+
+from repro.acoustics import StructureGeometry, paper_structures
+from repro.errors import PowerError
+from repro.link import PowerUpLink, harvested_headroom_db
+from repro.materials import get_concrete
+
+NC = get_concrete("NC").medium
+
+
+def structure_by_name(name):
+    for s in paper_structures():
+        if s.name.startswith(name):
+            return s
+    raise KeyError(name)
+
+
+class TestNodeVoltage:
+    def test_linear_in_tx_voltage(self):
+        link = PowerUpLink(structure_by_name("S3"))
+        v1 = link.node_voltage(1.0, 50.0)
+        v4 = link.node_voltage(1.0, 200.0)
+        assert v4 == pytest.approx(4.0 * v1)
+
+    def test_decreases_with_distance(self):
+        link = PowerUpLink(structure_by_name("S3"))
+        voltages = [link.node_voltage(d, 100.0) for d in (0.5, 1.0, 2.0, 4.0)]
+        assert voltages == sorted(voltages, reverse=True)
+
+    def test_rejects_nonpositive_voltage(self):
+        link = PowerUpLink(structure_by_name("S3"))
+        with pytest.raises(PowerError):
+            link.node_voltage(1.0, 0.0)
+
+
+class TestFig12Anchors:
+    """The paper's measured ranges (cm) within model tolerance."""
+
+    def test_s3_wall_at_50v(self):
+        link = PowerUpLink(structure_by_name("S3"))
+        assert link.max_range(50.0) == pytest.approx(1.34, rel=0.15)
+
+    def test_s3_wall_at_200v(self):
+        link = PowerUpLink(structure_by_name("S3"))
+        assert link.max_range(200.0) == pytest.approx(5.0, rel=0.15)
+
+    def test_s3_exceeds_6m_at_250v(self):
+        link = PowerUpLink(structure_by_name("S3"))
+        assert link.max_range(250.0) > 6.0
+
+    def test_s2_column_at_50v(self):
+        link = PowerUpLink(structure_by_name("S2"))
+        assert link.max_range(50.0) == pytest.approx(0.56, rel=0.20)
+
+    def test_s2_column_at_200v(self):
+        link = PowerUpLink(structure_by_name("S2"))
+        assert link.max_range(200.0) == pytest.approx(2.35, rel=0.15)
+
+    def test_s4_wall_at_50v(self):
+        link = PowerUpLink(structure_by_name("S4"))
+        assert link.max_range(50.0) == pytest.approx(0.60, rel=0.20)
+
+    def test_s1_caps_at_slab_length(self):
+        link = PowerUpLink(structure_by_name("S1"))
+        assert link.max_range(200.0) == pytest.approx(1.50)
+
+    def test_narrow_structures_outrange_wide_ones(self):
+        # The paper's finding 2: narrow structures guide energy.
+        s3 = PowerUpLink(structure_by_name("S3"))
+        s4 = PowerUpLink(structure_by_name("S4"))
+        s2 = PowerUpLink(structure_by_name("S2"))
+        for v in (50.0, 100.0, 200.0):
+            assert s3.max_range(v) > s4.max_range(v) > s2.max_range(v)
+
+    def test_higher_voltage_longer_range(self):
+        # The paper's finding 1.
+        link = PowerUpLink(structure_by_name("S3"))
+        ranges = [link.max_range(v) for v in (25.0, 50.0, 100.0, 200.0)]
+        assert ranges == sorted(ranges)
+
+
+class TestPowersUp:
+    def test_within_range(self):
+        link = PowerUpLink(structure_by_name("S3"))
+        reach = link.max_range(100.0)
+        assert link.powers_up(reach * 0.9, 100.0)
+        assert not link.powers_up(reach * 1.1, 100.0)
+
+    def test_never_beyond_structure(self):
+        link = PowerUpLink(structure_by_name("S1"))
+        assert not link.powers_up(2.0, 250.0)  # slab is 1.5 m long
+
+
+class TestMinimumVoltage:
+    def test_inverse_of_max_range(self):
+        link = PowerUpLink(structure_by_name("S3"))
+        needed = link.minimum_voltage(2.0)
+        assert link.max_range(needed) == pytest.approx(2.0, rel=0.02)
+
+    def test_unreachable_raises(self):
+        link = PowerUpLink(structure_by_name("S3"))
+        with pytest.raises(PowerError):
+            link.minimum_voltage(15.0)
+
+    def test_beyond_structure_raises(self):
+        link = PowerUpLink(structure_by_name("S1"))
+        with pytest.raises(PowerError):
+            link.minimum_voltage(3.0)
+
+
+class TestHeadroom:
+    def test_positive_inside_range(self):
+        link = PowerUpLink(structure_by_name("S3"))
+        assert harvested_headroom_db(link, 1.0, 200.0) > 0.0
+
+    def test_negative_outside_range(self):
+        link = PowerUpLink(structure_by_name("S3"))
+        assert harvested_headroom_db(link, 8.0, 50.0) < 0.0
+
+    def test_range_curve_shape(self):
+        link = PowerUpLink(structure_by_name("S4"))
+        curve = link.range_curve([50.0, 100.0, 200.0])
+        assert [v for v, _ in curve] == [50.0, 100.0, 200.0]
+        ranges = [r for _, r in curve]
+        assert ranges == sorted(ranges)

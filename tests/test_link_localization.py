@@ -1,0 +1,111 @@
+"""Unit tests for capsule localization via round-trip ranging."""
+
+import pytest
+
+from repro.link import (
+    LocalizationError,
+    RangingMeasurement,
+    WallLocalizer,
+    locate,
+    simulate_round_trip,
+)
+from repro.materials import get_concrete
+
+CS = get_concrete("NC").cs
+
+
+class TestRanging:
+    def test_distance_from_round_trip(self):
+        m = RangingMeasurement(
+            station_position=0.0, round_trip_time=2.0 / CS, wave_speed=CS
+        )
+        assert m.distance == pytest.approx(1.0)
+
+    def test_simulated_round_trip_exact_without_jitter(self):
+        m = simulate_round_trip(0.0, 2.5, CS)
+        assert m.distance == pytest.approx(2.5)
+
+    def test_jitter_perturbs(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        m = simulate_round_trip(0.0, 2.5, CS, timing_jitter=1e-5, rng=rng)
+        assert m.distance != pytest.approx(2.5, abs=1e-6)
+
+    def test_rejects_negative_rtt(self):
+        with pytest.raises(LocalizationError):
+            RangingMeasurement(0.0, -1.0, CS)
+
+
+class TestLocate:
+    def test_exact_two_stations(self):
+        node = 3.2
+        measurements = [
+            simulate_round_trip(0.0, node, CS),
+            simulate_round_trip(8.0, node, CS),
+        ]
+        estimate, residual = locate(measurements)
+        assert estimate == pytest.approx(node, abs=1e-9)
+        assert residual == pytest.approx(0.0, abs=1e-9)
+
+    def test_resolves_side_ambiguity(self):
+        # A single station cannot tell +d from -d; a second one can.
+        node = 1.0
+        measurements = [
+            simulate_round_trip(4.0, node, CS),  # ambiguous: 1.0 or 7.0
+            simulate_round_trip(0.0, node, CS),
+        ]
+        estimate, _ = locate(measurements)
+        assert estimate == pytest.approx(1.0, abs=1e-9)
+
+    def test_requires_two_stations(self):
+        with pytest.raises(LocalizationError):
+            locate([simulate_round_trip(0.0, 1.0, CS)])
+
+    def test_three_stations_beat_two_under_jitter(self):
+        import numpy as np
+
+        node = 5.0
+        jitter = 2e-5
+        errors = {}
+        for n_stations, positions in ((2, [0.0, 10.0]), (4, [0.0, 3.0, 7.0, 10.0])):
+            rng = np.random.default_rng(1)
+            trials = []
+            for _ in range(200):
+                ms = [
+                    simulate_round_trip(p, node, CS, timing_jitter=jitter, rng=rng)
+                    for p in positions
+                ]
+                estimate, _ = locate(ms)
+                trials.append(abs(estimate - node))
+            errors[n_stations] = float(np.mean(trials))
+        assert errors[4] < errors[2]
+
+
+class TestWallLocalizer:
+    def test_survey_accuracy_at_paper_timing(self):
+        # 1 MS/s capture -> ~1 us timestamps -> ~mm-cm ranging accuracy.
+        localizer = WallLocalizer(
+            station_positions=[0.0, 10.0, 20.0],
+            wave_speed=CS,
+            timing_jitter=1e-6,
+            seed=2,
+        )
+        nodes = [1.5, 6.0, 13.7, 18.2]
+        results = localizer.survey(nodes)
+        for true, (estimate, residual) in zip(nodes, results):
+            assert estimate == pytest.approx(true, abs=0.02)
+            assert residual < 0.05
+
+    def test_expected_accuracy_scale(self):
+        localizer = WallLocalizer(
+            station_positions=[0.0, 10.0], wave_speed=CS, timing_jitter=1e-6
+        )
+        # 0.5 * 1 us * 1941 m/s / sqrt(2) ~ 0.7 mm.
+        assert localizer.expected_accuracy() == pytest.approx(
+            0.5 * 1e-6 * CS / (2**0.5)
+        )
+
+    def test_requires_two_stations(self):
+        with pytest.raises(LocalizationError):
+            WallLocalizer(station_positions=[0.0], wave_speed=CS)

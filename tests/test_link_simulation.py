@@ -1,0 +1,155 @@
+"""Unit tests for the end-to-end link simulators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.acoustics import ConcreteBlock
+from repro.errors import AcousticsError, DecodingError
+from repro.link import (
+    DownlinkSimulator,
+    SnrBitrateModel,
+    UplinkBasebandSimulator,
+    UplinkPassbandSimulator,
+)
+from repro.materials import get_concrete
+
+
+class TestBasebandSimulator:
+    def test_clean_link_error_free(self):
+        sim = UplinkBasebandSimulator(seed=0)
+        result = sim.run([1, 0, 1, 1, 0] * 20, bitrate=1e3, snr_db=20.0)
+        assert result.synced
+        assert result.bit_errors == 0
+        assert result.ber == 0.0
+
+    def test_throughput_accounting(self):
+        sim = UplinkBasebandSimulator(seed=0)
+        result = sim.run([1, 0] * 50, bitrate=1e3, snr_db=20.0)
+        assert result.duration == pytest.approx(0.1)
+        assert result.throughput == pytest.approx(1e3, rel=0.01)
+
+    def test_low_snr_is_coin_flip(self):
+        sim = UplinkBasebandSimulator(seed=1)
+        ber = sim.measure_ber(0.0, total_bits=4000)
+        assert ber == pytest.approx(0.5, abs=0.08)
+
+    def test_waterfall_between_2_and_8_db(self):
+        sim = UplinkBasebandSimulator(seed=2)
+        ber_2 = sim.measure_ber(2.0, total_bits=4000)
+        ber_8 = sim.measure_ber(8.0, total_bits=4000)
+        assert ber_2 > 0.3  # near coin-flip (the paper's 2 dB point)
+        assert ber_8 < 5e-3  # deep into the floor
+
+    def test_detection_probability_monotone(self):
+        sim = UplinkBasebandSimulator()
+        probs = [sim.detection_probability(snr) for snr in (0.0, 2.0, 4.0, 8.0)]
+        assert probs == sorted(probs)
+        assert probs[0] < 0.01
+        assert probs[-1] > 0.99
+
+    def test_noise_sigma_decreases_with_snr(self):
+        sim = UplinkBasebandSimulator()
+        assert sim.noise_sigma(10.0) < sim.noise_sigma(0.0)
+
+    def test_rejects_empty_payload(self):
+        sim = UplinkBasebandSimulator()
+        with pytest.raises(DecodingError):
+            sim.run([], bitrate=1e3, snr_db=10.0)
+
+    def test_rejects_odd_spb(self):
+        with pytest.raises(DecodingError):
+            UplinkBasebandSimulator(samples_per_symbol=9)
+
+    def test_reproducible_with_seed(self):
+        a = UplinkBasebandSimulator(seed=5).measure_ber(5.0, total_bits=2000)
+        b = UplinkBasebandSimulator(seed=5).measure_ber(5.0, total_bits=2000)
+        assert a == b
+
+
+class TestSnrBitrateModel:
+    def test_monotone_decreasing(self):
+        model = SnrBitrateModel()
+        snrs = [model.snr_db(b) for b in (1e3, 4e3, 8e3, 12e3)]
+        assert snrs == sorted(snrs, reverse=True)
+
+    def test_reference_anchor(self):
+        model = SnrBitrateModel(snr_at_reference=18.0, reference_bitrate=1e3)
+        assert model.snr_db(1e3) == pytest.approx(18.0, abs=0.2)
+
+    def test_collapse_at_band_limit(self):
+        model = SnrBitrateModel()
+        assert model.snr_db(model.band_limit * 1.01) == -math.inf
+        assert model.snr_db(model.band_limit * 0.999) < 0.0
+
+    def test_ecocapsule_knee_at_13kbps(self):
+        # Paper: SNR drops to 3 dB when the bitrate exceeds 13 kbps.
+        model = SnrBitrateModel()
+        assert model.max_bitrate(min_snr_db=3.0) == pytest.approx(13e3, rel=0.05)
+
+    def test_max_bitrate_zero_for_hopeless_link(self):
+        model = SnrBitrateModel(snr_at_reference=2.0)
+        assert model.max_bitrate(min_snr_db=3.0) == 0.0
+
+    def test_rejects_bad_limits(self):
+        with pytest.raises(AcousticsError):
+            SnrBitrateModel(reference_bitrate=10e3, band_limit=5e3)
+
+
+class TestPassbandSimulator:
+    def test_round_trip_decodes(self):
+        sim = UplinkPassbandSimulator(seed=0)
+        rng = np.random.default_rng(1)
+        bits = list(rng.integers(0, 2, size=12))
+        result = sim.run(bits)
+        assert result.bit_errors == 0
+
+    def test_received_waveform_contains_leakage(self):
+        sim = UplinkPassbandSimulator(seed=0)
+        waveform = sim.received_waveform([1, 0, 1, 0])
+        # Leakage (10x gain) dominates the capture RMS.
+        assert np.sqrt(np.mean(waveform**2)) > 5.0 * sim.channel_gain * 0.5
+
+    def test_demodulated_square_wave(self):
+        sim = UplinkPassbandSimulator(seed=0)
+        waveform = sim.received_waveform([1, 0] * 4)
+        envelope = sim.demodulate(waveform)
+        assert envelope.size == waveform.size
+        assert np.percentile(envelope, 90) > 1.5 * np.percentile(envelope, 10)
+
+    def test_rejects_carrier_above_nyquist(self):
+        with pytest.raises(AcousticsError):
+            UplinkPassbandSimulator(carrier=600e3, sample_rate=1e6)
+
+
+class TestDownlinkSimulator:
+    @pytest.fixture
+    def simulator(self):
+        return DownlinkSimulator(ConcreteBlock(get_concrete("NC"), 0.15))
+
+    def test_fsk_beats_ook(self, simulator):
+        for kbps in (1.0, 4.0, 10.0):
+            assert simulator.symbol_snr_db(kbps * 1e3, "fsk") > simulator.symbol_snr_db(
+                kbps * 1e3, "ook"
+            )
+
+    def test_gain_in_paper_band(self, simulator):
+        # Paper Fig. 20: FSK improves SNR by about 3-5x.
+        gains = [simulator.fsk_gain(b * 1e3) for b in (1, 2, 4, 6, 8, 10)]
+        assert min(gains) > 2.0
+        assert max(gains) < 8.0
+
+    def test_ook_degrades_with_bitrate(self, simulator):
+        # Shorter low edges trap more of the ring tail.
+        assert simulator.symbol_snr_db(10e3, "ook") < simulator.symbol_snr_db(
+            1e3, "ook"
+        )
+
+    def test_rejects_unknown_scheme(self, simulator):
+        with pytest.raises(AcousticsError):
+            simulator.symbol_snr_db(1e3, "qam")
+
+    def test_rejects_nonpositive_bitrate(self, simulator):
+        with pytest.raises(AcousticsError):
+            simulator.edge_durations(0.0)

@@ -1,0 +1,182 @@
+"""Unit tests for the material database and Lamé algebra."""
+
+import math
+
+import pytest
+
+from repro.errors import MaterialError
+from repro.materials import (
+    AIR,
+    ALLOY_STEEL,
+    PLA,
+    RESIN,
+    WATER,
+    Medium,
+    all_concretes,
+    get_concrete,
+    lame_parameters,
+    p_wave_velocity,
+    s_wave_velocity,
+)
+
+
+class TestLameParameters:
+    def test_known_values(self):
+        # E = 27.8 GPa, nu = 0.18 (Table 1 NC).
+        lam, mu = lame_parameters(27.8e9, 0.18)
+        assert mu == pytest.approx(27.8e9 / (2 * 1.18))
+        assert lam == pytest.approx(27.8e9 * 0.18 / (1.18 * 0.64))
+
+    def test_velocity_relationship(self):
+        # Cp > Cs always, via Eqns. 8/10 of the paper.
+        lam, mu = lame_parameters(52.5e9, 0.21)
+        cp = p_wave_velocity(lam, mu, 2400.0)
+        cs = s_wave_velocity(mu, 2400.0)
+        assert cp > cs
+
+    def test_poisson_ratio_bounds(self):
+        with pytest.raises(MaterialError):
+            lame_parameters(1e9, 0.5)
+        with pytest.raises(MaterialError):
+            lame_parameters(1e9, -1.0)
+
+    def test_negative_modulus_rejected(self):
+        with pytest.raises(MaterialError):
+            lame_parameters(-1e9, 0.2)
+
+    def test_zero_density_rejected(self):
+        with pytest.raises(MaterialError):
+            p_wave_velocity(1e9, 1e9, 0.0)
+        with pytest.raises(MaterialError):
+            s_wave_velocity(1e9, -5.0)
+
+
+class TestMedium:
+    def test_impedances(self):
+        m = Medium(name="x", density=2000.0, cp=3000.0, cs=1800.0)
+        assert m.impedance_p == pytest.approx(6.0e6)
+        assert m.impedance_s == pytest.approx(3.6e6)
+
+    def test_fluid_has_no_shear(self):
+        assert AIR.is_fluid
+        assert WATER.is_fluid
+        with pytest.raises(MaterialError):
+            AIR.velocity("s")
+
+    def test_velocity_lookup(self):
+        m = Medium(name="x", density=2000.0, cp=3000.0, cs=1800.0)
+        assert m.velocity("p") == 3000.0
+        assert m.velocity("S") == 1800.0
+        with pytest.raises(MaterialError):
+            m.velocity("q")
+
+    def test_cs_must_be_below_cp(self):
+        with pytest.raises(MaterialError):
+            Medium(name="bad", density=1000.0, cp=1000.0, cs=1200.0)
+
+    def test_attenuation_scales_with_distance(self):
+        m = Medium(name="x", density=2000.0, cp=3000.0, attenuation_db_per_m=2.0)
+        assert m.attenuation_db(230e3, 2.0) == pytest.approx(
+            2.0 * m.attenuation_db(230e3, 1.0)
+        )
+
+    def test_attenuation_frequency_power_law(self):
+        m = Medium(
+            name="x",
+            density=2000.0,
+            cp=3000.0,
+            attenuation_db_per_m=2.0,
+            attenuation_ref_hz=230e3,
+            attenuation_exponent=1.0,
+        )
+        assert m.attenuation_db(460e3, 1.0) == pytest.approx(4.0)
+
+    def test_attenuation_rejects_negative_distance(self):
+        with pytest.raises(MaterialError):
+            AIR.attenuation_db(1e3, -1.0)
+
+    def test_from_elastic_moduli_round_trip(self):
+        m = Medium.from_elastic_moduli(
+            name="resin", density=1180.0, youngs_modulus=2.2e9, poisson_ratio=0.35
+        )
+        lam, mu = lame_parameters(2.2e9, 0.35)
+        assert m.cp == pytest.approx(math.sqrt((lam + 2 * mu) / 1180.0))
+        assert m.cs == pytest.approx(math.sqrt(mu / 1180.0))
+
+
+class TestConcreteDatabase:
+    def test_three_concretes(self):
+        names = [c.name for c in all_concretes()]
+        assert names == ["NC", "UHPC", "UHPFRC"]
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_concrete("nc").name == "NC"
+        assert get_concrete("  uhpc ").name == "UHPC"
+
+    def test_uhpssc_alias(self):
+        # The appendix table header calls UHPFRC 'UHPSSC'.
+        assert get_concrete("UHPSSC").name == "UHPFRC"
+
+    def test_unknown_concrete_raises(self):
+        with pytest.raises(MaterialError):
+            get_concrete("granite")
+
+    def test_nc_reference_velocities(self):
+        nc = get_concrete("NC")
+        assert nc.cp == pytest.approx(3338.0)
+        assert nc.cs == pytest.approx(1941.0)
+
+    def test_s_wave_roughly_40_percent_slower(self):
+        for concrete in all_concretes():
+            ratio = concrete.cs / concrete.cp
+            assert 0.55 < ratio < 0.62  # "typically 40 % slower"
+
+    def test_uhpc_faster_than_nc(self):
+        assert get_concrete("UHPC").cp > get_concrete("NC").cp
+
+    def test_table1_properties(self):
+        nc = get_concrete("NC")
+        assert nc.compressive_strength == pytest.approx(54.1e6)
+        assert nc.elastic_modulus == pytest.approx(27.8e9)
+        assert nc.poisson_ratio == pytest.approx(0.18)
+        assert nc.peak_strain == pytest.approx(0.00263)
+        uhpfrc = get_concrete("UHPFRC")
+        assert uhpfrc.compressive_strength == pytest.approx(215.0e6)
+
+    def test_table1_mix_totals_give_plausible_density(self):
+        # UHPFRC's 471 kg/m^3 of steel fibre pushes it near 2760 kg/m^3.
+        for concrete in all_concretes():
+            assert 2200.0 < concrete.density < 2800.0
+
+    def test_mix_water_to_binder(self):
+        nc = get_concrete("NC")
+        assert nc.mix.water_to_binder == pytest.approx(175.0 / 500.0)
+
+    def test_steel_fiber_only_in_uhpfrc(self):
+        assert get_concrete("NC").mix.steel_fiber == 0
+        assert get_concrete("UHPC").mix.steel_fiber == 0
+        assert get_concrete("UHPFRC").mix.steel_fiber == 471
+
+    def test_stronger_concrete_attenuates_less(self):
+        nc = get_concrete("NC").medium
+        uhpc = get_concrete("UHPC").medium
+        assert uhpc.attenuation_db(230e3, 1.0) < nc.attenuation_db(230e3, 1.0)
+
+
+class TestCommonMedia:
+    def test_air_impedance_matches_paper(self):
+        # Z_air ~ 4.15e2 kg/m^2 s (paper Sec. 3.2).
+        assert AIR.impedance_p == pytest.approx(415.0, rel=0.01)
+
+    def test_pla_critical_angle_calibration(self):
+        # Cp_pla chosen so arcsin(Cp_pla / Cp_nc) = 34 deg.
+        nc = get_concrete("NC")
+        assert math.degrees(math.asin(PLA.cp / nc.cp)) == pytest.approx(34.0, abs=0.1)
+
+    def test_resin_moduli(self):
+        assert RESIN.youngs_modulus == pytest.approx(2.2e9)
+        assert RESIN.poisson_ratio == pytest.approx(0.35)
+
+    def test_steel_is_stiff(self):
+        assert ALLOY_STEEL.youngs_modulus > 100e9
+        assert not ALLOY_STEEL.is_fluid

@@ -1,0 +1,93 @@
+"""Unit tests for the composed EcoCapsule node."""
+
+import pytest
+
+from repro.errors import PowerError
+from repro.node import EcoCapsule, Environment
+from repro.protocol import Ack, Query, ReadSensor, SensorReport
+
+
+def make_capsule(**env):
+    environment = Environment(**env) if env else Environment()
+    return EcoCapsule(node_id=5, environment=environment, seed=1)
+
+
+class TestPower:
+    def test_starts_unpowered(self):
+        capsule = make_capsule()
+        assert not capsule.is_powered
+
+    def test_powers_above_activation(self):
+        capsule = make_capsule()
+        assert capsule.apply_field(1.0)
+        assert capsule.is_powered
+
+    def test_stays_dark_below_activation(self):
+        capsule = make_capsule()
+        assert not capsule.apply_field(0.3)
+
+    def test_field_loss_power_cycles_protocol(self):
+        capsule = make_capsule()
+        capsule.apply_field(2.0)
+        reply = capsule.handle(Query(q=0))
+        capsule.handle(Ack(rn16=reply.rn16))
+        assert capsule.protocol.is_acknowledged
+        capsule.apply_field(0.0)  # CBW dies
+        assert capsule.protocol.state == "ready"
+
+    def test_cold_start_at_current_field(self):
+        capsule = make_capsule()
+        capsule.apply_field(2.0)
+        assert capsule.cold_start_time() == pytest.approx(4.4e-3, rel=0.1)
+
+    def test_rejects_negative_field(self):
+        with pytest.raises(PowerError):
+            make_capsule().apply_field(-1.0)
+
+    def test_power_budget(self):
+        capsule = make_capsule()
+        capsule.apply_field(2.0)
+        assert capsule.power_budget_ok(1e3)
+
+
+class TestSensing:
+    def test_reads_track_environment(self):
+        capsule = make_capsule(temperature=28.0, humidity=80.0, strain=42.0)
+        capsule.apply_field(2.0)
+        assert capsule.read_sensor("temperature") == pytest.approx(28.0, abs=1.0)
+        assert capsule.read_sensor("humidity") == pytest.approx(80.0, abs=8.0)
+        assert capsule.read_sensor("strain") == pytest.approx(42.0, abs=10.0)
+
+    def test_unpowered_read_raises(self):
+        capsule = make_capsule()
+        with pytest.raises(PowerError):
+            capsule.read_sensor("temperature")
+
+    def test_unknown_channel_raises(self):
+        capsule = make_capsule()
+        capsule.apply_field(2.0)
+        with pytest.raises(PowerError):
+            capsule.read_sensor("magnetism")
+
+
+class TestProtocolIntegration:
+    def test_full_read_handshake(self):
+        capsule = make_capsule(temperature=22.5)
+        capsule.apply_field(2.0)
+        reply = capsule.handle(Query(q=0))
+        capsule.handle(Ack(rn16=reply.rn16))
+        report = capsule.handle(ReadSensor(channel="temperature"))
+        assert isinstance(report, SensorReport)
+        assert report.node_id == 5
+        assert report.value == pytest.approx(22.5, abs=1.0)
+
+    def test_unpowered_command_raises(self):
+        capsule = make_capsule()
+        with pytest.raises(PowerError):
+            capsule.handle(Query(q=0))
+
+    def test_environment_mutation_visible(self):
+        capsule = make_capsule()
+        capsule.apply_field(2.0)
+        capsule.environment.temperature = 31.0
+        assert capsule.read_sensor("temperature") == pytest.approx(31.0, abs=1.0)

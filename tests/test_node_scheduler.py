@@ -1,0 +1,89 @@
+"""Unit tests for the harvest-aware energy scheduler."""
+
+import pytest
+
+from repro.errors import PowerError
+from repro.node import EnergyScheduler
+
+
+@pytest.fixture
+def scheduler():
+    return EnergyScheduler()
+
+
+class TestReportCosts:
+    def test_report_duration(self, scheduler):
+        assert scheduler.report_duration() == pytest.approx(0.1)  # 100 bits @ 1 kbps
+
+    def test_report_energy_scale(self, scheduler):
+        # ~360 uW for 0.1 s -> ~36 uJ.
+        assert scheduler.report_energy() == pytest.approx(36e-6, rel=0.05)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(PowerError):
+            EnergyScheduler(bitrate=0.0)
+        with pytest.raises(PowerError):
+            EnergyScheduler(report_bits=0)
+        with pytest.raises(PowerError):
+            EnergyScheduler(sleep_overhead=1.0)
+
+
+class TestPlans:
+    def test_strong_field_is_continuous(self, scheduler):
+        plan = scheduler.plan(3.0)
+        assert plan.continuous
+        assert plan.duty_cycle == 1.0
+        assert plan.report_interval == scheduler.report_duration()
+
+    def test_weak_field_duty_cycles(self, scheduler):
+        # Just above activation, the harvest is below the active draw.
+        plan = scheduler.plan(0.55)
+        assert not plan.continuous
+        assert 0.0 < plan.duty_cycle < 1.0
+        assert plan.report_interval > scheduler.report_duration()
+
+    def test_duty_cycle_matches_energy_balance(self, scheduler):
+        plan = scheduler.plan(0.6)
+        usable = plan.harvested_power * (1.0 - scheduler.sleep_overhead)
+        # Average consumption over the cycle cannot exceed the usable
+        # harvest (the definition of sustainability).
+        average = (
+            plan.active_power * plan.duty_cycle
+            + scheduler.mcu.power("sleep") * (1.0 - plan.duty_cycle)
+        )
+        assert average <= usable * 1.01
+
+    def test_stronger_field_faster_reports(self, scheduler):
+        weak = scheduler.plan(0.55)
+        strong = scheduler.plan(0.9)
+        assert strong.report_interval < weak.report_interval
+
+    def test_below_activation_raises(self, scheduler):
+        with pytest.raises(PowerError):
+            scheduler.plan(0.3)
+
+    def test_reports_per_hour(self, scheduler):
+        plan = scheduler.plan(2.0)
+        assert plan.reports_per_hour == pytest.approx(3600.0 / plan.report_interval)
+
+
+class TestMinimumContinuousField:
+    def test_boundary_is_consistent(self, scheduler):
+        v_min = scheduler.minimum_continuous_field()
+        assert scheduler.plan(v_min * 1.01).continuous
+        below = scheduler.plan(v_min * 0.97)
+        assert not below.continuous
+
+    def test_within_practical_band(self, scheduler):
+        # Continuous operation should need more than bare activation but
+        # far less than the 6 m-range field strengths.
+        v_min = scheduler.minimum_continuous_field()
+        assert 0.5 < v_min < 3.0
+
+
+class TestSweep:
+    def test_sweep_marks_dead_zones(self, scheduler):
+        plans = scheduler.sweep([0.2, 0.6, 2.0])
+        assert plans[0][1] is None
+        assert plans[1][1] is not None and not plans[1][1].continuous
+        assert plans[2][1] is not None and plans[2][1].continuous

@@ -1,0 +1,111 @@
+"""Unit tests for the shell mechanics (Eqn. 4, Sec. 4.1 anchors)."""
+
+import pytest
+
+from repro.errors import DesignError
+from repro.materials import RESIN
+from repro.node import (
+    SphericalShell,
+    max_building_height,
+    pressure_difference,
+    resin_shell,
+    steel_shell,
+)
+from repro.units import ATMOSPHERIC_PRESSURE, GRAVITY
+
+
+class TestEquation4:
+    def test_formula(self):
+        # dP = rho g h - P_air.
+        assert pressure_difference(100.0, 2300.0) == pytest.approx(
+            2300.0 * GRAVITY * 100.0 - ATMOSPHERIC_PRESSURE
+        )
+
+    def test_clamps_at_surface(self):
+        assert pressure_difference(0.0) == 0.0
+        assert pressure_difference(1.0) == 0.0  # atmosphere dominates
+
+    def test_inverse(self):
+        h = max_building_height(4.3e6, 2300.0)
+        assert pressure_difference(h, 2300.0) == pytest.approx(4.3e6, rel=1e-9)
+
+    def test_rejects_negative_height(self):
+        with pytest.raises(DesignError):
+            pressure_difference(-1.0)
+
+
+class TestResinShell:
+    """The paper's prototype anchors: dP_max ~ 4.3 MPa, h_max ~ 195 m."""
+
+    @pytest.fixture
+    def shell(self):
+        return resin_shell()
+
+    def test_max_pressure(self, shell):
+        assert shell.max_pressure / 1e6 == pytest.approx(4.3, abs=0.1)
+
+    def test_max_height(self, shell):
+        assert shell.max_height() == pytest.approx(195.0, abs=3.0)
+
+    def test_deformation_limited(self, shell):
+        # The resin shell hits its displacement budget before its strength.
+        assert shell.displacement_limited_pressure < shell.stress_limited_pressure
+
+    def test_displacement_matches_fea(self, shell):
+        # At dP_max the radial displacement ~ the paper's 0.158 mm URES.
+        delta = shell.radial_displacement(shell.max_pressure)
+        assert delta == pytest.approx(0.158e-3, rel=0.1)
+
+    def test_survives_55_floors(self, shell):
+        assert shell.survives(190.0)
+        assert not shell.survives(220.0)
+
+    def test_utilisation(self, shell):
+        assert shell.utilisation(shell.max_height()) == pytest.approx(1.0, rel=1e-3)
+
+
+class TestSteelShell:
+    """The high-rise anchors: dP_max ~ 115.2 MPa, h_max ~ 4985 m."""
+
+    @pytest.fixture
+    def shell(self):
+        return steel_shell()
+
+    def test_max_pressure(self, shell):
+        assert shell.max_pressure / 1e6 == pytest.approx(115.2, abs=0.5)
+
+    def test_max_height(self, shell):
+        assert shell.max_height(2360.0) == pytest.approx(4985.0, rel=0.01)
+
+    def test_stress_limited(self, shell):
+        assert shell.stress_limited_pressure < shell.displacement_limited_pressure
+
+    def test_taller_than_any_building(self, shell):
+        assert shell.max_height(2360.0) > 1000.0  # far above Burj Khalifa
+
+
+class TestShellValidation:
+    def test_membrane_stress_formula(self):
+        shell = resin_shell()
+        stress = shell.membrane_stress(1e6)
+        assert stress == pytest.approx(1e6 * shell.radius / (2 * shell.thickness))
+
+    def test_rejects_solid_sphere(self):
+        with pytest.raises(DesignError):
+            SphericalShell(outer_diameter=0.04, thickness=0.03)
+
+    def test_rejects_material_without_moduli(self):
+        from repro.materials import Medium
+
+        bare = Medium(name="bare", density=1000.0, cp=2000.0, cs=1000.0)
+        with pytest.raises(DesignError):
+            SphericalShell(material=bare)
+
+    def test_rejects_negative_pressure(self):
+        with pytest.raises(DesignError):
+            resin_shell().membrane_stress(-1.0)
+
+    def test_thicker_wall_stronger(self):
+        thin = SphericalShell(thickness=0.0015)
+        thick = SphericalShell(thickness=0.003)
+        assert thick.max_pressure > thin.max_pressure

@@ -1,0 +1,112 @@
+"""Unit tests for the receiver DSP chain."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import DecodingError
+from repro.phy import dsp
+
+SAMPLE_RATE = 1e6
+
+
+def tone(frequency, duration=0.01, amplitude=1.0, sample_rate=SAMPLE_RATE):
+    t = np.arange(int(duration * sample_rate)) / sample_rate
+    return amplitude * np.sin(2 * np.pi * frequency * t)
+
+
+class TestCarrierEstimation:
+    def test_finds_a_pure_tone(self):
+        estimate = dsp.estimate_carrier(tone(230e3), SAMPLE_RATE)
+        assert estimate == pytest.approx(230e3, rel=1e-3)
+
+    def test_sub_bin_accuracy(self):
+        # An off-grid tone: parabolic interpolation beats bin resolution.
+        estimate = dsp.estimate_carrier(tone(230_437.0), SAMPLE_RATE)
+        assert estimate == pytest.approx(230_437.0, abs=40.0)
+
+    def test_picks_the_strongest(self):
+        mixed = tone(230e3) + 0.2 * tone(120e3)
+        estimate = dsp.estimate_carrier(mixed, SAMPLE_RATE)
+        assert estimate == pytest.approx(230e3, rel=1e-3)
+
+    def test_ignores_dc(self):
+        waveform = tone(50e3) + 10.0
+        estimate = dsp.estimate_carrier(waveform, SAMPLE_RATE)
+        assert estimate == pytest.approx(50e3, rel=1e-2)
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(DecodingError):
+            dsp.estimate_carrier(np.ones(4), SAMPLE_RATE)
+
+
+class TestDownconversion:
+    def test_recovers_am_envelope(self):
+        # 230 kHz carrier AM-modulated by a 2 kHz square wave.
+        t = np.arange(int(0.01 * SAMPLE_RATE)) / SAMPLE_RATE
+        square = (np.sin(2 * np.pi * 2e3 * t) > 0).astype(float)
+        waveform = (0.5 + 0.5 * square) * np.sin(2 * np.pi * 230e3 * t)
+        baseband = dsp.downconvert(waveform, SAMPLE_RATE, 230e3, bandwidth=10e3)
+        envelope = np.abs(baseband)
+        high = np.percentile(envelope, 90)
+        low = np.percentile(envelope, 10)
+        assert high > 1.6 * low
+
+    def test_rejects_out_of_band_carrier(self):
+        with pytest.raises(DecodingError):
+            dsp.downconvert(tone(100e3), SAMPLE_RATE, 600e3, 10e3)
+
+
+class TestFilters:
+    def test_lowpass_removes_high_tone(self):
+        mixed = tone(5e3) + tone(200e3)
+        filtered = dsp.lowpass(mixed, SAMPLE_RATE, 20e3)
+        residual = dsp.bandpass(filtered, SAMPLE_RATE, 150e3, 250e3)
+        assert np.std(residual) < 0.05 * np.std(mixed)
+
+    def test_bandpass_keeps_in_band(self):
+        x = tone(230e3)
+        kept = dsp.bandpass(x, SAMPLE_RATE, 200e3, 260e3)
+        assert np.std(kept) == pytest.approx(np.std(x), rel=0.1)
+
+    def test_bandpass_rejects_bad_band(self):
+        with pytest.raises(DecodingError):
+            dsp.bandpass(tone(10e3), SAMPLE_RATE, 300e3, 200e3)
+
+
+class TestEnvelope:
+    def test_constant_tone_envelope(self):
+        env = dsp.envelope(tone(50e3))
+        middle = env[100:-100]
+        assert np.all(np.abs(middle - 1.0) < 0.05)
+
+    def test_rejects_empty(self):
+        with pytest.raises(DecodingError):
+            dsp.envelope(np.zeros(0))
+
+
+class TestSpectrumAndSnr:
+    def test_power_spectrum_peak_location(self):
+        freqs, psd = dsp.power_spectrum(tone(230e3), SAMPLE_RATE)
+        assert freqs[np.argmax(psd)] == pytest.approx(230e3, rel=1e-2)
+
+    def test_measured_snr_tracks_noise(self):
+        rng = np.random.default_rng(0)
+        signal = tone(230e3, duration=0.05)
+        quiet = signal + rng.normal(0.0, 0.01, signal.size)
+        loud = signal + rng.normal(0.0, 0.1, signal.size)
+        band = (225e3, 235e3)
+        noise_band = (300e3, 400e3)
+        snr_quiet = dsp.measure_snr_db(quiet, SAMPLE_RATE, band, noise_band)
+        snr_loud = dsp.measure_snr_db(loud, SAMPLE_RATE, band, noise_band)
+        assert snr_quiet > snr_loud + 10.0
+
+    def test_snr_rejects_empty_band(self):
+        with pytest.raises(DecodingError):
+            dsp.measure_snr_db(tone(10e3, duration=1e-4), SAMPLE_RATE,
+                               (1.0, 2.0), (3.0, 4.0))
+
+    def test_remove_dc(self):
+        x = np.ones(100) * 5.0
+        assert np.mean(dsp.remove_dc(x)) == pytest.approx(0.0)

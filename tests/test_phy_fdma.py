@@ -1,0 +1,106 @@
+"""Unit tests for the FDMA multi-node uplink."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DecodingError, EncodingError
+from repro.phy import FdmaPlan, FdmaReceiver, composite_waveform
+
+SAMPLE_RATE = 1e6
+
+
+def make_plan(blfs=(10e3, 20e3, 30e3), bitrate=1e3):
+    return FdmaPlan(
+        carrier=230e3,
+        bitrate=bitrate,
+        blf_by_node={i + 1: blf for i, blf in enumerate(blfs)},
+    )
+
+
+def make_payloads(plan, n_bits=16, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        node_id: list(rng.integers(0, 2, size=n_bits))
+        for node_id in plan.blf_by_node
+    }
+
+
+class TestFdmaPlan:
+    def test_valid_plan(self):
+        plan = make_plan()
+        assert len(plan.blf_by_node) == 3
+
+    def test_rejects_crowded_blfs(self):
+        with pytest.raises(EncodingError):
+            make_plan(blfs=(10e3, 11e3))
+
+    def test_rejects_blf_above_carrier(self):
+        with pytest.raises(EncodingError):
+            FdmaPlan(carrier=230e3, bitrate=1e3, blf_by_node={1: 240e3})
+
+    def test_rejects_empty_plan(self):
+        with pytest.raises(EncodingError):
+            FdmaPlan(carrier=230e3, bitrate=1e3, blf_by_node={})
+
+
+class TestCompositeWaveform:
+    def test_length_matches_payload_plus_settle(self):
+        plan = make_plan()
+        payloads = make_payloads(plan, n_bits=8)
+        waveform = composite_waveform(plan, payloads, SAMPLE_RATE, seed=1)
+        n = plan.modulator_for(1).samples_per_symbol(SAMPLE_RATE)
+        assert waveform.size == (8 + plan.settle_symbols) * n
+
+    def test_rejects_mismatched_nodes(self):
+        plan = make_plan()
+        with pytest.raises(EncodingError):
+            composite_waveform(plan, {1: [1, 0]}, SAMPLE_RATE)
+
+    def test_rejects_unequal_payloads(self):
+        plan = make_plan(blfs=(10e3, 20e3))
+        with pytest.raises(EncodingError):
+            composite_waveform(plan, {1: [1, 0], 2: [1, 0, 1]}, SAMPLE_RATE)
+
+
+class TestFdmaReceiver:
+    def test_decodes_three_simultaneous_nodes(self):
+        plan = make_plan()
+        payloads = make_payloads(plan, n_bits=16, seed=5)
+        waveform = composite_waveform(plan, payloads, SAMPLE_RATE, seed=2)
+        receiver = FdmaReceiver(plan=plan, sample_rate=SAMPLE_RATE)
+        decoded = receiver.decode_all(waveform, n_bits=16)
+        assert decoded == payloads
+
+    def test_single_node_branch(self):
+        plan = make_plan(blfs=(14e3,))
+        payloads = make_payloads(plan, n_bits=12, seed=6)
+        waveform = composite_waveform(plan, payloads, SAMPLE_RATE, seed=3)
+        receiver = FdmaReceiver(plan=plan)
+        assert receiver.decode_node(waveform, 1, 12) == payloads[1]
+
+    def test_unknown_node_rejected(self):
+        plan = make_plan()
+        receiver = FdmaReceiver(plan=plan)
+        with pytest.raises(DecodingError):
+            receiver.decode_node(np.zeros(1000), 99, 4)
+
+    def test_short_capture_rejected(self):
+        plan = make_plan()
+        receiver = FdmaReceiver(plan=plan)
+        with pytest.raises(DecodingError):
+            receiver.decode_node(np.zeros(100), 1, 64)
+
+    def test_sideband_above_nyquist_rejected(self):
+        plan = FdmaPlan(carrier=230e3, bitrate=1e3, blf_by_node={1: 200e3})
+        with pytest.raises(DecodingError):
+            FdmaReceiver(plan=plan, sample_rate=800e3)
+
+    def test_robust_to_noise(self):
+        plan = make_plan(blfs=(12e3, 24e3))
+        payloads = make_payloads(plan, n_bits=20, seed=8)
+        waveform = composite_waveform(
+            plan, payloads, SAMPLE_RATE, noise_floor=8e-3, seed=4
+        )
+        receiver = FdmaReceiver(plan=plan)
+        decoded = receiver.decode_all(waveform, n_bits=20)
+        assert decoded == payloads

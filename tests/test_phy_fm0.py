@@ -1,0 +1,108 @@
+"""Unit tests for FM0 coding and the ML decoder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DecodingError, EncodingError
+from repro.phy import (
+    Fm0Decoder,
+    bipolar,
+    fm0_encode_baseband,
+    fm0_encode_levels,
+)
+
+
+class TestEncodeLevels:
+    def test_boundary_inversion_every_symbol(self):
+        pairs = fm0_encode_levels([1, 1, 1], initial_level=1)
+        # Bit 1 holds its level across the symbol; consecutive symbols flip.
+        assert pairs == [(0, 0), (1, 1), (0, 0)]
+
+    def test_bit_zero_flips_mid_symbol(self):
+        pairs = fm0_encode_levels([0], initial_level=1)
+        first, second = pairs[0]
+        assert first != second
+
+    def test_bit_one_holds_level(self):
+        pairs = fm0_encode_levels([1], initial_level=0)
+        first, second = pairs[0]
+        assert first == second
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(EncodingError):
+            fm0_encode_levels([0, 1, 2])
+
+    def test_rejects_bad_initial_level(self):
+        with pytest.raises(EncodingError):
+            fm0_encode_levels([0], initial_level=5)
+
+
+class TestEncodeBaseband:
+    def test_length(self):
+        baseband = fm0_encode_baseband([1, 0, 1], 10)
+        assert baseband.size == 30
+
+    def test_rejects_odd_samples_per_symbol(self):
+        with pytest.raises(EncodingError):
+            fm0_encode_baseband([1], 7)
+
+    def test_every_symbol_boundary_transitions(self):
+        baseband = fm0_encode_baseband([1, 1, 0, 1], 8)
+        for boundary in (8, 16, 24):
+            assert baseband[boundary - 1] != baseband[boundary]
+
+
+class TestDecoder:
+    @pytest.mark.parametrize("n", [2, 4, 10, 16])
+    def test_clean_round_trip(self, n):
+        rng = np.random.default_rng(0)
+        bits = list(rng.integers(0, 2, size=64))
+        waveform = bipolar(fm0_encode_baseband(bits, n))
+        decoder = Fm0Decoder(samples_per_symbol=n)
+        assert decoder.decode(waveform) == bits
+
+    def test_noisy_round_trip(self):
+        rng = np.random.default_rng(1)
+        bits = list(rng.integers(0, 2, size=200))
+        waveform = bipolar(fm0_encode_baseband(bits, 10))
+        noisy = waveform + rng.normal(0.0, 0.4, size=waveform.size)
+        decoder = Fm0Decoder(samples_per_symbol=10)
+        decoded = decoder.decode(noisy)
+        errors = sum(1 for a, b in zip(decoded, bits) if a != b)
+        assert errors == 0  # 0.4 sigma over 10 samples is easy
+
+    def test_heavy_noise_still_mostly_right(self):
+        rng = np.random.default_rng(2)
+        bits = list(rng.integers(0, 2, size=500))
+        waveform = bipolar(fm0_encode_baseband(bits, 10))
+        noisy = waveform + rng.normal(0.0, 1.5, size=waveform.size)
+        decoded = Fm0Decoder(samples_per_symbol=10).decode(noisy)
+        errors = sum(1 for a, b in zip(decoded, bits) if a != b)
+        assert errors / len(bits) < 0.25
+
+    def test_amplitude_invariance(self):
+        bits = [1, 0, 0, 1, 1, 0]
+        waveform = bipolar(fm0_encode_baseband(bits, 8))
+        decoder = Fm0Decoder(samples_per_symbol=8)
+        assert decoder.decode(0.01 * waveform) == bits
+        assert decoder.decode(100.0 * waveform) == bits
+
+    def test_rejects_partial_symbol(self):
+        decoder = Fm0Decoder(samples_per_symbol=10)
+        with pytest.raises(DecodingError):
+            decoder.decode(np.ones(25))
+
+    def test_rejects_empty(self):
+        decoder = Fm0Decoder(samples_per_symbol=10)
+        with pytest.raises(DecodingError):
+            decoder.decode(np.zeros(0))
+
+    def test_rejects_odd_spb(self):
+        with pytest.raises(DecodingError):
+            Fm0Decoder(samples_per_symbol=9)
+
+
+class TestBipolar:
+    def test_mapping(self):
+        out = bipolar(np.array([0.0, 1.0, 0.0]))
+        assert list(out) == [-1.0, 1.0, -1.0]

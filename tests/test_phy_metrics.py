@@ -1,0 +1,89 @@
+"""Unit tests for link-quality metrics."""
+
+import math
+
+import pytest
+
+from repro.phy import (
+    LinkStatistics,
+    MetricsError,
+    bit_error_rate,
+    bit_errors,
+    fm0_ber_theoretical,
+    q_function,
+    throughput,
+)
+
+
+class TestBitErrors:
+    def test_counts_differences(self):
+        assert bit_errors([0, 1, 1, 0], [0, 1, 0, 1]) == 2
+
+    def test_identical_is_zero(self):
+        assert bit_errors([1, 0, 1], [1, 0, 1]) == 0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(MetricsError):
+            bit_errors([0, 1], [0])
+
+    def test_ber(self):
+        assert bit_error_rate([0, 1, 1, 0], [1, 1, 1, 0]) == pytest.approx(0.25)
+
+    def test_ber_rejects_empty(self):
+        with pytest.raises(MetricsError):
+            bit_error_rate([], [])
+
+
+class TestThroughput:
+    def test_definition(self):
+        # "the number of bits correctly decoded by the reader per second"
+        assert throughput(13000, 1.0) == pytest.approx(13e3)
+
+    def test_rejects_zero_duration(self):
+        with pytest.raises(MetricsError):
+            throughput(100, 0.0)
+
+    def test_rejects_negative_bits(self):
+        with pytest.raises(MetricsError):
+            throughput(-1, 1.0)
+
+
+class TestQFunction:
+    def test_zero_is_half(self):
+        assert q_function(0.0) == pytest.approx(0.5)
+
+    def test_monotone_decreasing(self):
+        assert q_function(1.0) > q_function(2.0) > q_function(3.0)
+
+    def test_known_value(self):
+        # Q(1.6449) ~ 0.05.
+        assert q_function(1.6449) == pytest.approx(0.05, rel=1e-3)
+
+
+class TestTheoreticalBer:
+    def test_decreases_with_snr(self):
+        bers = [fm0_ber_theoretical(snr) for snr in (0.0, 5.0, 10.0, 15.0)]
+        assert bers == sorted(bers, reverse=True)
+
+    def test_never_exceeds_half(self):
+        assert fm0_ber_theoretical(-20.0) <= 0.5
+
+
+class TestLinkStatistics:
+    def test_accumulates(self):
+        stats = LinkStatistics()
+        stats.record([0, 1, 1, 0], [0, 1, 0, 0], duration=1.0)
+        stats.record([1, 1], [1, 1], duration=0.5)
+        assert stats.bits_sent == 6
+        assert stats.ber == pytest.approx(1.0 / 6.0)
+        assert stats.throughput == pytest.approx(5.0 / 1.5)
+        assert stats.trials == 2
+
+    def test_rejects_negative_duration(self):
+        stats = LinkStatistics()
+        with pytest.raises(MetricsError):
+            stats.record([0], [0], duration=-1.0)
+
+    def test_ber_requires_data(self):
+        with pytest.raises(MetricsError):
+            LinkStatistics().ber

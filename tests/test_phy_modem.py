@@ -1,0 +1,113 @@
+"""Unit tests for the downlink and backscatter modulators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EncodingError
+from repro.phy import BackscatterModulator, DownlinkModulator, PieTiming
+
+SAMPLE_RATE = 1e6
+
+
+class TestDownlinkModulator:
+    def test_fsk_keeps_full_envelope(self):
+        mod = DownlinkModulator(scheme="fsk")
+        envelope, carrier = mod.drive_plan([0, 1], SAMPLE_RATE)
+        assert np.all(envelope == 1.0)  # the PZT never stops
+        assert set(np.unique(carrier)) == {mod.off_frequency, mod.resonant_frequency}
+
+    def test_ook_drops_envelope(self):
+        mod = DownlinkModulator(scheme="ook")
+        envelope, carrier = mod.drive_plan([0], SAMPLE_RATE)
+        assert 0.0 in np.unique(envelope)
+        assert set(np.unique(carrier)) == {mod.resonant_frequency}
+
+    def test_durations_follow_pie(self):
+        timing = PieTiming(tari=100e-6, low=100e-6)
+        mod = DownlinkModulator(timing=timing)
+        envelope, _ = mod.drive_plan([0, 1], SAMPLE_RATE)
+        expected = int((timing.zero_duration + timing.one_duration) * SAMPLE_RATE)
+        assert envelope.size == expected
+
+    def test_rejects_equal_frequencies(self):
+        with pytest.raises(EncodingError):
+            DownlinkModulator(resonant_frequency=230e3, off_frequency=230e3)
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(EncodingError):
+            DownlinkModulator(scheme="psk")
+
+
+class TestBackscatterModulator:
+    def test_samples_per_symbol_even(self):
+        mod = BackscatterModulator(bitrate=1e3)
+        n = mod.samples_per_symbol(SAMPLE_RATE)
+        assert n % 2 == 0
+        assert n == pytest.approx(SAMPLE_RATE / 1e3, abs=1)
+
+    def test_switch_waveform_binary(self):
+        mod = BackscatterModulator()
+        switch = mod.switch_waveform([1, 0, 1], SAMPLE_RATE)
+        assert set(np.unique(switch)) <= {0.0, 1.0}
+
+    def test_switch_toggles_at_blf(self):
+        mod = BackscatterModulator(blf=10e3, bitrate=1e3)
+        switch = mod.switch_waveform([1, 1], SAMPLE_RATE)
+        # FM0 of [1, 1] holds the baseband high for half the duration
+        # (alternating levels), so expect ~2 transitions per BLF cycle
+        # over that half.
+        transitions = np.sum(np.abs(np.diff(switch)) > 0)
+        duration = switch.size / SAMPLE_RATE
+        assert transitions == pytest.approx(0.5 * 2 * 10e3 * duration, rel=0.35)
+
+    def test_reflect_gates_the_carrier(self):
+        mod = BackscatterModulator(reflective_gain=0.5)
+        t = np.arange(int(2e-3 * SAMPLE_RATE)) / SAMPLE_RATE
+        cbw = np.sin(2 * np.pi * 230e3 * t)
+        reflected = mod.reflect(cbw, [1, 0], SAMPLE_RATE)
+        assert reflected.size == cbw.size
+        assert np.max(np.abs(reflected)) <= 0.5 + 1e-9
+
+    def test_reflect_rejects_short_carrier(self):
+        mod = BackscatterModulator(bitrate=1e3)
+        with pytest.raises(EncodingError):
+            mod.reflect(np.ones(10), [1, 0, 1, 1], SAMPLE_RATE)
+
+    def test_sidebands(self):
+        mod = BackscatterModulator(blf=10e3)
+        low, high = mod.sideband_frequencies(230e3)
+        assert low == pytest.approx(220e3)
+        assert high == pytest.approx(240e3)
+
+    def test_sidebands_reject_low_carrier(self):
+        mod = BackscatterModulator(blf=10e3)
+        with pytest.raises(EncodingError):
+            mod.sideband_frequencies(5e3)
+
+    def test_rejects_blf_below_bitrate(self):
+        with pytest.raises(EncodingError):
+            BackscatterModulator(blf=1e3, bitrate=2e3)
+
+
+class TestSpectralSeparation:
+    def test_backscatter_energy_at_sidebands(self):
+        """The shifted-BLF scheme moves energy off the carrier (Fig. 24)."""
+        from repro.phy import dsp
+
+        mod = BackscatterModulator(blf=20e3, bitrate=2e3)
+        n = mod.samples_per_symbol(SAMPLE_RATE) * 32
+        t = np.arange(n) / SAMPLE_RATE
+        cbw = np.sin(2 * np.pi * 230e3 * t)
+        rng = np.random.default_rng(0)
+        bits = list(rng.integers(0, 2, size=32))
+        reflected = mod.reflect(cbw, bits, SAMPLE_RATE)
+
+        freqs, psd = dsp.power_spectrum(reflected, SAMPLE_RATE)
+
+        def band_power(center, width=4e3):
+            mask = (freqs > center - width) & (freqs < center + width)
+            return float(np.sum(psd[mask]))
+
+        sideband = band_power(230e3 + 20e3) + band_power(230e3 - 20e3)
+        guard = band_power(230e3 + 10e3, width=2e3)
+        assert sideband > 5.0 * guard

@@ -1,0 +1,123 @@
+"""Unit tests for Pulse Interval Encoding (Fig. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DecodingError, EncodingError
+from repro.phy import (
+    PieTiming,
+    decode_edge_durations,
+    decode_intervals,
+    duty_cycle,
+    pie_encode,
+    pie_encode_baseband,
+)
+
+
+class TestPieTiming:
+    def test_durations(self):
+        timing = PieTiming(tari=100e-6, low=100e-6, one_high_factor=3.0)
+        assert timing.zero_duration == pytest.approx(200e-6)
+        assert timing.one_duration == pytest.approx(400e-6)
+
+    def test_decision_threshold_between_symbols(self):
+        timing = PieTiming()
+        assert timing.tari < timing.decision_threshold
+        assert timing.decision_threshold < timing.one_high_factor * timing.tari
+
+    def test_mean_bitrate(self):
+        timing = PieTiming(tari=250e-6, low=250e-6)
+        assert timing.mean_bitrate() == pytest.approx(2 / (500e-6 + 1000e-6))
+
+    def test_rejects_nonpositive_intervals(self):
+        with pytest.raises(EncodingError):
+            PieTiming(tari=0.0)
+
+    def test_rejects_short_one(self):
+        with pytest.raises(EncodingError):
+            PieTiming(one_high_factor=1.0)
+
+
+class TestEncode:
+    def test_bit_zero_segments(self):
+        timing = PieTiming(tari=1.0, low=1.0)
+        assert pie_encode([0], timing) == [(1.0, 1), (1.0, 0)]
+
+    def test_bit_one_segments(self):
+        timing = PieTiming(tari=1.0, low=1.0, one_high_factor=3.0)
+        assert pie_encode([1], timing) == [(3.0, 1), (1.0, 0)]
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(EncodingError):
+            pie_encode([0, 2])
+
+    def test_baseband_length(self):
+        timing = PieTiming(tari=100e-6, low=100e-6)
+        baseband = pie_encode_baseband([0, 1], 1e6, timing)
+        expected = int((timing.zero_duration + timing.one_duration) * 1e6)
+        assert baseband.size == expected
+
+    def test_baseband_levels(self):
+        baseband = pie_encode_baseband([0], 1e6, PieTiming(tari=100e-6, low=100e-6))
+        assert set(np.unique(baseband)) <= {0.0, 1.0}
+
+    def test_baseband_rejects_low_sample_rate(self):
+        with pytest.raises(EncodingError):
+            pie_encode_baseband([0], 100.0, PieTiming(tari=1e-6, low=1e-6))
+
+
+class TestDecode:
+    def test_round_trip(self):
+        timing = PieTiming()
+        bits = [0, 1, 1, 0, 0, 1, 0]
+        assert decode_intervals(pie_encode(bits, timing), timing) == bits
+
+    def test_tolerates_jitter(self):
+        timing = PieTiming(tari=100e-6, low=100e-6)
+        segments = [(105e-6, 1), (98e-6, 0), (290e-6, 1), (102e-6, 0)]
+        assert decode_intervals(segments, timing) == [0, 1]
+
+    def test_rejects_wrong_structure(self):
+        timing = PieTiming()
+        with pytest.raises(DecodingError):
+            decode_intervals([(timing.tari, 0)], timing)  # starts low
+
+    def test_rejects_truncated_symbol(self):
+        timing = PieTiming()
+        with pytest.raises(DecodingError):
+            decode_intervals([(timing.tari, 1)], timing)  # missing low edge
+
+    def test_rejects_out_of_spec_low_edge(self):
+        timing = PieTiming(tari=100e-6, low=100e-6)
+        with pytest.raises(DecodingError):
+            decode_intervals([(100e-6, 1), (400e-6, 0)], timing)
+
+    def test_edge_durations_with_leading_idle(self):
+        timing = PieTiming(tari=100e-6, low=100e-6)
+        durations = [50e-6, 100e-6, 100e-6, 300e-6, 100e-6]
+        assert decode_edge_durations(durations, first_level=0, timing=timing) == [0, 1]
+
+    def test_edge_durations_rejects_bad_level(self):
+        with pytest.raises(DecodingError):
+            decode_edge_durations([1e-3], first_level=2)
+
+
+class TestDutyCycle:
+    def test_all_zeros_is_half(self):
+        # Paper: equal edges for bit 0 ensure >= 50 % power delivery.
+        timing = PieTiming(tari=100e-6, low=100e-6)
+        assert duty_cycle([0] * 50, timing) == pytest.approx(0.5)
+
+    def test_balanced_random_near_63_percent(self):
+        # Paper: a balanced stream with 3x bit-1 highs gives ~63 %.
+        timing = PieTiming(tari=100e-6, low=100e-6, one_high_factor=3.0)
+        bits = [0, 1] * 100
+        assert duty_cycle(bits, timing) == pytest.approx(4.0 / 6.0, abs=0.04)
+
+    def test_all_ones_is_three_quarters(self):
+        timing = PieTiming(tari=100e-6, low=100e-6, one_high_factor=3.0)
+        assert duty_cycle([1] * 10, timing) == pytest.approx(0.75)
+
+    def test_rejects_empty(self):
+        with pytest.raises(EncodingError):
+            duty_cycle([])

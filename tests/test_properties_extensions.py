@@ -1,0 +1,146 @@
+"""Property-based tests for the extension modules."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.acoustics import Arrival, sound_arrivals
+from repro.link import locate, simulate_round_trip
+from repro.node import EnergyScheduler
+from repro.shm import strain_capacity_margin
+
+
+class TestSoundingInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1e-4, max_value=5e-3),
+                st.floats(min_value=0.01, max_value=1.0),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_metrics_nonnegative_and_consistent(self, raw):
+        arrivals = [
+            Arrival(delay=d, amplitude=a, bounces=0, path_length=1.0)
+            for d, a in raw
+        ]
+        sounding = sound_arrivals(arrivals)
+        assert sounding.rms_delay_spread >= 0.0
+        assert sounding.mean_excess_delay >= 0.0
+        assert sounding.coherence_bandwidth > 0.0
+        assert 1 <= sounding.n_significant_paths <= len(arrivals)
+
+    @given(
+        st.floats(min_value=1e-5, max_value=1e-3),
+        st.floats(min_value=0.1, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_spread_bounded_by_span(self, tau, amplitude):
+        arrivals = [
+            Arrival(delay=0.0, amplitude=1.0, bounces=0, path_length=1.0),
+            Arrival(delay=tau, amplitude=amplitude, bounces=1, path_length=2.0),
+        ]
+        sounding = sound_arrivals(arrivals, power_floor=1e-6)
+        assert sounding.rms_delay_spread <= tau / 2.0 + 1e-12
+
+
+class TestLocalizationInvariants:
+    @given(
+        st.floats(min_value=0.1, max_value=19.9),
+        st.floats(min_value=1000.0, max_value=4000.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_noiseless_localization_is_exact(self, node, speed):
+        measurements = [
+            simulate_round_trip(0.0, node, speed),
+            simulate_round_trip(20.0, node, speed),
+        ]
+        estimate, residual = locate(measurements)
+        assert estimate == pytest.approx(node, abs=1e-6)
+        assert residual == pytest.approx(0.0, abs=1e-6)
+
+    @given(
+        st.floats(min_value=0.5, max_value=9.5),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_jittered_estimate_stays_close(self, node, seed):
+        rng = np.random.default_rng(seed)
+        measurements = [
+            simulate_round_trip(p, node, 1941.0, timing_jitter=1e-6, rng=rng)
+            for p in (0.0, 5.0, 10.0)
+        ]
+        estimate, _ = locate(measurements)
+        assert abs(estimate - node) < 0.05
+
+
+class TestSchedulerInvariants:
+    @given(st.floats(min_value=0.5, max_value=8.0))
+    @settings(max_examples=60, deadline=None)
+    def test_plans_are_sustainable(self, voltage):
+        scheduler = EnergyScheduler()
+        plan = scheduler.plan(voltage)
+        assert 0.0 < plan.duty_cycle <= 1.0
+        assert plan.report_interval >= scheduler.report_duration() - 1e-12
+        # Sustainability: average draw within the usable harvest.
+        usable = plan.harvested_power * (1.0 - scheduler.sleep_overhead)
+        average = (
+            plan.active_power * plan.duty_cycle
+            + scheduler.mcu.power("sleep") * (1.0 - plan.duty_cycle)
+        )
+        assert average <= usable * 1.01
+
+    @given(
+        st.floats(min_value=0.5, max_value=5.0),
+        st.floats(min_value=0.05, max_value=2.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_stronger_fields_never_slow_reports(self, voltage, extra):
+        scheduler = EnergyScheduler()
+        weak = scheduler.plan(voltage)
+        strong = scheduler.plan(voltage + extra)
+        assert strong.report_interval <= weak.report_interval * 1.0001
+
+
+class TestCapacityMarginInvariants:
+    @given(
+        st.floats(min_value=0.0, max_value=10_000.0),
+        st.floats(min_value=1e-4, max_value=1e-2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_margin_in_unit_interval(self, strain, capacity):
+        margin = strain_capacity_margin(strain, capacity)
+        assert 0.0 <= margin <= 1.0
+
+    @given(st.floats(min_value=0.0, max_value=2000.0))
+    @settings(max_examples=40, deadline=None)
+    def test_margin_monotone_in_strain(self, strain):
+        a = strain_capacity_margin(strain, 0.00263)
+        b = strain_capacity_margin(strain + 100.0, 0.00263)
+        assert b <= a
+
+
+class TestFdmaInvariants:
+    @given(
+        st.lists(st.integers(0, 1), min_size=4, max_size=24),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_two_node_round_trip(self, bits, seed):
+        from repro.phy import FdmaPlan, FdmaReceiver, composite_waveform
+
+        plan = FdmaPlan(
+            carrier=230e3, bitrate=1e3, blf_by_node={1: 12e3, 2: 24e3}
+        )
+        payloads = {1: list(bits), 2: list(reversed(bits))}
+        waveform = composite_waveform(
+            plan, payloads, 1e6, noise_floor=1e-3, seed=seed
+        )
+        receiver = FdmaReceiver(plan=plan)
+        assert receiver.decode_all(waveform, len(bits)) == payloads

@@ -1,0 +1,88 @@
+"""Unit tests for CRC-5/CRC-16 and bit helpers."""
+
+import pytest
+
+from repro.errors import CrcError, ProtocolError
+from repro.protocol import (
+    append_crc16,
+    bits_from_int,
+    crc5,
+    crc16,
+    int_from_bits,
+    verify_crc16,
+)
+
+
+class TestBitHelpers:
+    def test_round_trip(self):
+        for value, width in ((0, 4), (5, 4), (0xFFFF, 16), (0xABCD, 16)):
+            assert int_from_bits(bits_from_int(value, width)) == value
+
+    def test_big_endian(self):
+        assert bits_from_int(0b1010, 4) == [1, 0, 1, 0]
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ProtocolError):
+            bits_from_int(16, 4)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ProtocolError):
+            bits_from_int(-1, 4)
+
+    def test_rejects_non_binary_bits(self):
+        with pytest.raises(ProtocolError):
+            int_from_bits([0, 2, 1])
+
+
+class TestCrc5:
+    def test_length(self):
+        assert len(crc5([0, 1, 0, 1])) == 5
+
+    def test_deterministic(self):
+        bits = [1, 0, 1, 1, 0, 0, 1]
+        assert crc5(bits) == crc5(bits)
+
+    def test_sensitive_to_single_flip(self):
+        bits = [1, 0, 1, 1, 0, 0, 1, 0, 1, 0]
+        flipped = bits.copy()
+        flipped[3] ^= 1
+        assert crc5(bits) != crc5(flipped)
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ProtocolError):
+            crc5([0, 3])
+
+
+class TestCrc16:
+    def test_length(self):
+        assert len(crc16([1, 0, 1])) == 16
+
+    def test_round_trip(self):
+        payload = [1, 0, 1, 1, 0, 0, 1, 0]
+        assert verify_crc16(append_crc16(payload)) == payload
+
+    def test_detects_corruption(self):
+        message = append_crc16([1, 0, 1, 1, 0, 0, 1, 0])
+        message[2] ^= 1
+        with pytest.raises(CrcError):
+            verify_crc16(message)
+
+    def test_detects_crc_corruption(self):
+        message = append_crc16([1, 0, 1, 1])
+        message[-1] ^= 1
+        with pytest.raises(CrcError):
+            verify_crc16(message)
+
+    def test_rejects_short_message(self):
+        with pytest.raises(ProtocolError):
+            verify_crc16([1] * 16)
+
+    def test_detects_burst_errors(self):
+        payload = [0, 1] * 16
+        message = append_crc16(payload)
+        for start in range(0, len(payload) - 4):
+            corrupted = message.copy()
+            for i in range(start, start + 4):
+                corrupted[i] ^= 1
+            with pytest.raises(CrcError):
+                verify_crc16(corrupted)

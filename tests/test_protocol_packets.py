@@ -1,0 +1,147 @@
+"""Unit tests for the Gen2-style packet formats."""
+
+import pytest
+
+from repro.errors import CrcError, ProtocolError
+from repro.protocol import (
+    Ack,
+    Query,
+    QueryRep,
+    ReadSensor,
+    Rn16Reply,
+    SensorReport,
+    SetBlf,
+    parse_command,
+)
+
+
+class TestQuery:
+    def test_round_trip(self):
+        query = Query(q=4, session=2)
+        assert Query.from_bits(query.to_bits()) == query
+
+    def test_crc5_protects(self):
+        bits = Query(q=4).to_bits()
+        bits[5] ^= 1
+        with pytest.raises(CrcError):
+            Query.from_bits(bits)
+
+    def test_q_range(self):
+        with pytest.raises(ProtocolError):
+            Query(q=16)
+        with pytest.raises(ProtocolError):
+            Query(q=-1)
+
+    def test_wrong_length(self):
+        with pytest.raises(ProtocolError):
+            Query.from_bits([0] * 10)
+
+
+class TestQueryRep:
+    def test_round_trip(self):
+        rep = QueryRep(session=1)
+        assert QueryRep.from_bits(rep.to_bits()) == rep
+
+    def test_six_bits(self):
+        assert len(QueryRep().to_bits()) == 6
+
+
+class TestAck:
+    def test_round_trip(self):
+        ack = Ack(rn16=0xBEEF)
+        assert Ack.from_bits(ack.to_bits()) == ack
+
+    def test_rn16_range(self):
+        with pytest.raises(ProtocolError):
+            Ack(rn16=0x10000)
+
+
+class TestSetBlf:
+    def test_round_trip(self):
+        cmd = SetBlf(blf_khz=14)
+        assert SetBlf.from_bits(cmd.to_bits()) == cmd
+
+    def test_crc16_protects(self):
+        bits = SetBlf(blf_khz=14).to_bits()
+        bits[6] ^= 1
+        with pytest.raises(CrcError):
+            SetBlf.from_bits(bits)
+
+    def test_blf_range(self):
+        with pytest.raises(ProtocolError):
+            SetBlf(blf_khz=0)
+        with pytest.raises(ProtocolError):
+            SetBlf(blf_khz=256)
+
+
+class TestReadSensor:
+    def test_round_trip_all_channels(self):
+        for channel in ("temperature", "humidity", "strain", "acceleration"):
+            cmd = ReadSensor(channel=channel)
+            assert ReadSensor.from_bits(cmd.to_bits()) == cmd
+
+    def test_unknown_channel(self):
+        with pytest.raises(ProtocolError):
+            ReadSensor(channel="pressure")
+
+
+class TestRn16Reply:
+    def test_round_trip(self):
+        reply = Rn16Reply(rn16=0x1234)
+        assert Rn16Reply.from_bits(reply.to_bits()) == reply
+
+    def test_sixteen_bits(self):
+        assert len(Rn16Reply(rn16=1).to_bits()) == 16
+
+
+class TestSensorReport:
+    def test_round_trip(self):
+        report = SensorReport.from_value(7, "temperature", 26.5)
+        decoded = SensorReport.from_bits(report.to_bits())
+        assert decoded == report
+        assert decoded.value == pytest.approx(26.5, abs=1.0 / 32.0)
+
+    def test_negative_values(self):
+        report = SensorReport.from_value(1, "strain", -312.0)
+        assert SensorReport.from_bits(report.to_bits()).value == pytest.approx(
+            -312.0, abs=1.0 / 32.0
+        )
+
+    def test_fixed_point_resolution(self):
+        report = SensorReport.from_value(1, "humidity", 63.31)
+        assert abs(report.value - 63.31) <= 0.5 / 32.0 + 1e-12
+
+    def test_out_of_range_value(self):
+        with pytest.raises(ProtocolError):
+            SensorReport.from_value(1, "strain", 5e4)
+
+    def test_crc_protects(self):
+        bits = SensorReport.from_value(7, "temperature", 26.5).to_bits()
+        bits[10] ^= 1
+        with pytest.raises(CrcError):
+            SensorReport.from_bits(bits)
+
+    def test_node_id_range(self):
+        with pytest.raises(ProtocolError):
+            SensorReport(node_id=256, channel="temperature", raw=0)
+
+
+class TestParseCommand:
+    def test_dispatches_each_type(self):
+        commands = [
+            Query(q=3),
+            QueryRep(),
+            Ack(rn16=42),
+            SetBlf(blf_khz=10),
+            ReadSensor(channel="strain"),
+        ]
+        for cmd in commands:
+            assert parse_command(cmd.to_bits()) == cmd
+
+    def test_unknown_code(self):
+        with pytest.raises(ProtocolError):
+            parse_command([1, 1, 1, 1] + [0] * 12)
+
+    def test_too_short(self):
+        with pytest.raises(ProtocolError):
+            parse_command([1, 0])

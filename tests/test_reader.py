@@ -1,0 +1,117 @@
+"""Unit tests for the reader's transmitter and receiver."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.acoustics import WavePrism
+from repro.errors import DecodingError, DesignError
+from repro.materials import PLA, get_concrete
+from repro.phy import BackscatterModulator, DownlinkModulator, PieTiming
+from repro.protocol import Query
+from repro.reader import ReaderReceiver, ReaderTransmitter
+
+NC = get_concrete("NC").medium
+SAMPLE_RATE = 1e6
+
+
+@pytest.fixture
+def transmitter():
+    timing = PieTiming(tari=100e-6, low=100e-6)
+    return ReaderTransmitter(
+        prism=WavePrism(PLA, NC),
+        modulator=DownlinkModulator(timing=timing),
+        drive_voltage=100.0,
+    )
+
+
+class TestTransmitter:
+    def test_rejects_over_rail(self):
+        with pytest.raises(DesignError):
+            ReaderTransmitter(drive_voltage=400.0)
+
+    def test_cbw_is_continuous(self, transmitter):
+        cbw = transmitter.cbw(1e-3, SAMPLE_RATE)
+        assert cbw.size == int(1e-3 * SAMPLE_RATE)
+        # Envelope never drops: check RMS over windows.
+        windows = cbw.reshape(10, -1)
+        rms = np.sqrt(np.mean(windows**2, axis=1))
+        assert np.min(rms) > 0.5 * np.max(rms)
+
+    def test_command_waveform_length(self, transmitter):
+        timing = transmitter.modulator.timing
+        waveform = transmitter.command_waveform([0, 1], SAMPLE_RATE)
+        expected = int((timing.zero_duration + timing.one_duration) * SAMPLE_RATE)
+        assert waveform.size == expected
+
+    def test_command_for_packet(self, transmitter):
+        waveform = transmitter.command_waveform_for_packet(Query(q=2), SAMPLE_RATE)
+        assert waveform.size > 0
+
+    def test_effective_voltage_below_requested(self, transmitter):
+        assert transmitter.effective_peak_voltage() < transmitter.drive_voltage
+
+    def test_node_field_scales_with_gain(self, transmitter):
+        assert transmitter.node_field_amplitude(0.1) == pytest.approx(
+            10.0 * transmitter.node_field_amplitude(0.01)
+        )
+
+    def test_node_field_rejects_negative_gain(self, transmitter):
+        with pytest.raises(DesignError):
+            transmitter.node_field_amplitude(-0.1)
+
+
+class TestReceiver:
+    def make_uplink_capture(self, bits, blf=10e3, bitrate=1e3, gain=0.05,
+                            leakage=10.0, noise=1e-3, seed=0):
+        mod = BackscatterModulator(blf=blf, bitrate=bitrate)
+        n = mod.samples_per_symbol(SAMPLE_RATE) * len(bits)
+        t = np.arange(n) / SAMPLE_RATE
+        cbw = np.sin(2 * np.pi * 230e3 * t)
+        reflected = mod.reflect(cbw, bits, SAMPLE_RATE)
+        rng = np.random.default_rng(seed)
+        capture = (
+            leakage * gain * cbw
+            + gain * reflected
+            + rng.normal(0.0, noise, size=n)
+        )
+        return capture, mod
+
+    def test_carrier_estimation_sees_cbw(self):
+        capture, mod = self.make_uplink_capture([1, 0, 1, 1])
+        receiver = ReaderReceiver(modulator=mod)
+        assert receiver.estimate_carrier(capture) == pytest.approx(230e3, rel=1e-3)
+
+    def test_decodes_uplink_bits(self):
+        rng = np.random.default_rng(3)
+        bits = list(rng.integers(0, 2, size=16))
+        capture, mod = self.make_uplink_capture(bits)
+        receiver = ReaderReceiver(modulator=mod)
+        assert receiver.decode(capture, len(bits), carrier=230e3) == bits
+
+    def test_decode_despite_self_interference(self):
+        # 10x leakage (Sec. 3.4) must not break the sideband decoding.
+        bits = [1, 0, 0, 1, 1, 0, 1, 0]
+        capture, mod = self.make_uplink_capture(bits, leakage=10.0)
+        receiver = ReaderReceiver(modulator=mod)
+        assert receiver.decode(capture, len(bits), carrier=230e3) == bits
+
+    def test_decode_rejects_short_capture(self):
+        capture, mod = self.make_uplink_capture([1, 0])
+        receiver = ReaderReceiver(modulator=mod)
+        with pytest.raises(DecodingError):
+            receiver.decode(capture, 100, carrier=230e3)
+
+    def test_uplink_snr_positive_for_clean_link(self):
+        bits = [1, 0] * 16
+        capture, mod = self.make_uplink_capture(bits, noise=1e-4)
+        receiver = ReaderReceiver(modulator=mod)
+        assert receiver.uplink_snr_db(capture, carrier=230e3) > 3.0
+
+    def test_spectrum_shape(self):
+        capture, mod = self.make_uplink_capture([1, 0, 1, 0])
+        receiver = ReaderReceiver(modulator=mod)
+        freqs, psd = receiver.spectrum(capture)
+        assert freqs.size == psd.size
+        assert freqs[np.argmax(psd)] == pytest.approx(230e3, rel=0.01)

@@ -1,0 +1,86 @@
+"""Unit tests for the result-export module."""
+
+import csv
+import json
+
+import pytest
+
+from repro.reporting import (
+    EXPORTERS,
+    ReportingError,
+    export_all,
+    fig12_rows,
+    fig13_rows,
+    write_csv,
+    write_json,
+)
+
+
+class TestWriters:
+    def test_csv_round_trip(self, tmp_path):
+        rows = [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5}]
+        path = write_csv(tmp_path / "out.csv", rows)
+        with path.open() as handle:
+            read = list(csv.DictReader(handle))
+        assert len(read) == 2
+        assert read[0]["a"] == "1"
+        assert float(read[1]["b"]) == 4.5
+
+    def test_json_round_trip(self, tmp_path):
+        rows = [{"x": "hello", "y": 7}]
+        path = write_json(tmp_path / "out.json", rows)
+        assert json.loads(path.read_text()) == rows
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = write_csv(tmp_path / "deep" / "nested" / "out.csv", [{"a": 1}])
+        assert path.exists()
+
+    def test_rejects_empty(self, tmp_path):
+        with pytest.raises(ReportingError):
+            write_csv(tmp_path / "out.csv", [])
+
+    def test_rejects_ragged_rows(self, tmp_path):
+        with pytest.raises(ReportingError):
+            write_csv(tmp_path / "out.csv", [{"a": 1}, {"b": 2}])
+
+
+class TestFlatteners:
+    def test_fig12_rows_cover_all_structures(self):
+        rows = fig12_rows()
+        structures = {row["structure"] for row in rows}
+        assert "S3 common wall" in structures
+        assert "PAB pool 1" in structures
+        assert all(row["range_m"] >= 0.0 for row in rows)
+
+    def test_fig13_rows_shape(self):
+        rows = fig13_rows()
+        assert rows[0]["bitrate_bps"] == 0.0
+        assert all(row["power_w"] > 0.0 for row in rows)
+
+    def test_all_exporters_produce_rows(self):
+        for figure, exporter in EXPORTERS.items():
+            rows = exporter()
+            assert rows, figure
+            assert isinstance(rows[0], dict), figure
+
+
+class TestExportAll:
+    def test_selected_figures(self, tmp_path):
+        written = export_all(tmp_path, figures=["fig13", "fig14"])
+        names = sorted(p.name for p in written)
+        assert names == ["fig13.csv", "fig14.csv"]
+        for path in written:
+            assert path.exists()
+
+    def test_json_format(self, tmp_path):
+        written = export_all(tmp_path, figures=["fig13"], fmt="json")
+        assert written[0].suffix == ".json"
+        assert json.loads(written[0].read_text())
+
+    def test_unknown_figure_rejected(self, tmp_path):
+        with pytest.raises(ReportingError):
+            export_all(tmp_path, figures=["fig99"])
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ReportingError):
+            export_all(tmp_path, fmt="xml")

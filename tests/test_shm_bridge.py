@@ -1,0 +1,94 @@
+"""Unit tests for the footbridge model and sensor layout."""
+
+import pytest
+
+from repro.shm import (
+    Footbridge,
+    SENSOR_TYPES,
+    SensorInstallation,
+    ShmError,
+    StructuralLimits,
+    standard_sensor_layout,
+)
+
+
+class TestBridgeGeometry:
+    def test_paper_dimensions(self):
+        bridge = Footbridge()
+        assert bridge.total_length == pytest.approx(84.24)
+        assert bridge.main_span == pytest.approx(64.26)
+        assert bridge.side_span == pytest.approx(19.98)
+
+    def test_spans_must_sum(self):
+        with pytest.raises(ShmError):
+            Footbridge(total_length=84.24, main_span=60.0, side_span=19.98)
+
+    def test_deck_and_section_areas(self):
+        bridge = Footbridge()
+        assert bridge.deck_area == pytest.approx(84.24 * 4.5)
+        assert bridge.section_area("A") == pytest.approx(bridge.deck_area / 5.0)
+
+    def test_unknown_section(self):
+        with pytest.raises(ShmError):
+            Footbridge().section_area("Z")
+
+
+class TestStructuralLimits:
+    def test_paper_thresholds(self):
+        limits = StructuralLimits()
+        assert limits.max_vertical_acceleration == pytest.approx(0.7)
+        assert limits.max_lateral_acceleration == pytest.approx(0.15)
+        assert limits.max_steel_stress == pytest.approx(355e6)
+        assert limits.max_midspan_deflection == pytest.approx(0.1083)
+        assert limits.min_area_per_pedestrian == pytest.approx(1.0)
+
+    def test_acceleration_check(self):
+        limits = StructuralLimits()
+        assert limits.acceleration_ok(0.5, 0.1)
+        assert not limits.acceleration_ok(0.9)
+        assert not limits.acceleration_ok(0.1, 0.2)
+
+    def test_stress_and_deflection_checks(self):
+        limits = StructuralLimits()
+        assert limits.stress_ok(-100e6)
+        assert not limits.stress_ok(400e6)
+        assert limits.deflection_ok(0.05)
+        assert not limits.deflection_ok(0.2)
+
+
+class TestSensorLayout:
+    def test_88_conventional_sensors(self):
+        # The paper: "88 conventional SHM sensors of 13 types".
+        bridge = Footbridge()
+        assert bridge.conventional_count == 88
+
+    def test_13_sensor_types(self):
+        types = {
+            s.sensor_type
+            for s in standard_sensor_layout()
+            if s.sensor_type != "ecocapsule"
+        }
+        assert len(types) == 13
+
+    def test_five_ecocapsules(self):
+        # "we deployed five EcoCapsules ... for preliminary tests".
+        assert Footbridge().ecocapsule_count == 5
+
+    def test_every_section_instrumented(self):
+        bridge = Footbridge()
+        for section in ("A", "B", "C", "D", "E"):
+            assert len(bridge.sensors_in(section)) > 0
+
+    def test_type_groups_cover_the_paper_grouping(self):
+        assert set(SENSOR_TYPES) == {"environmental", "loads", "responses"}
+
+    def test_sensors_of_type(self):
+        bridge = Footbridge()
+        accels = bridge.sensors_of_type("accelerometer")
+        assert len(accels) == 16
+
+    def test_invalid_installation_rejected(self):
+        with pytest.raises(ShmError):
+            SensorInstallation(sensor_id=0, sensor_type="lidar", section="A")
+        with pytest.raises(ShmError):
+            SensorInstallation(sensor_id=0, sensor_type="camera", section="Q")

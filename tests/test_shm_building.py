@@ -1,0 +1,127 @@
+"""Unit tests for the building-level aggregation layer."""
+
+import pytest
+
+from repro.shm import (
+    BuildingMonitor,
+    CapsuleStatus,
+    DamageAlarm,
+    ShmError,
+    WallHealth,
+)
+
+
+def alarm(severity, day=500.0, drift=1.0):
+    return DamageAlarm(day=day, cusum=60.0, drift_estimate=drift, severity=severity)
+
+
+class TestCapsuleStatus:
+    def test_grades(self):
+        assert CapsuleStatus(1, "W1", reachable=False).grade == "unreachable"
+        assert CapsuleStatus(1, "W1", reachable=True).grade == "healthy"
+        status = CapsuleStatus(1, "W1", reachable=True, alarm=alarm("warning"))
+        assert status.grade == "warning"
+
+
+class TestWallHealth:
+    def test_worst_capsule_wins(self):
+        wall = WallHealth(
+            wall="W1",
+            capsules=(
+                CapsuleStatus(1, "W1", reachable=True),
+                CapsuleStatus(2, "W1", reachable=True, alarm=alarm("critical")),
+            ),
+        )
+        assert wall.grade == "critical"
+
+    def test_all_dark_is_unreachable(self):
+        wall = WallHealth(
+            wall="W1",
+            capsules=(CapsuleStatus(1, "W1", reachable=False),),
+        )
+        assert wall.grade == "unreachable"
+        assert wall.reachability == 0.0
+
+    def test_reachability_fraction(self):
+        wall = WallHealth(
+            wall="W1",
+            capsules=(
+                CapsuleStatus(1, "W1", reachable=True),
+                CapsuleStatus(2, "W1", reachable=False),
+            ),
+        )
+        assert wall.reachability == pytest.approx(0.5)
+
+    def test_rejects_empty_wall(self):
+        with pytest.raises(ShmError):
+            WallHealth(wall="W1", capsules=())
+
+
+class TestBuildingMonitor:
+    def make_monitor(self):
+        monitor = BuildingMonitor(name="HQ")
+        monitor.record_survey(
+            "west wall",
+            powered=[1, 2, 3],
+            dark=[4],
+            strains={1: 100.0, 2: 115.0, 3: 95.0},
+        )
+        monitor.record_survey(
+            "east wall",
+            powered=[5, 6],
+            dark=[],
+            strains={5: 210.0, 6: 190.0},
+            alarms={5: alarm("warning", drift=0.8)},
+        )
+        return monitor
+
+    def test_walls_aggregate(self):
+        monitor = self.make_monitor()
+        walls = {w.wall: w for w in monitor.walls()}
+        assert walls["west wall"].grade == "healthy"  # dark node noted separately
+        assert walls["west wall"].reachability == pytest.approx(0.75)
+        assert walls["east wall"].grade == "warning"
+
+    def test_building_grade_is_worst_wall(self):
+        # A single dark capsule does not mark a wall unreachable (the
+        # attention list carries it); the east wall's warning dominates.
+        monitor = self.make_monitor()
+        assert monitor.building_grade() == "warning"
+        # A wall that goes fully dark does dominate.
+        monitor.record_survey("north wall", powered=[], dark=[7, 8])
+        assert monitor.building_grade() == "unreachable"
+
+    def test_attention_list_ordering(self):
+        monitor = self.make_monitor()
+        flagged = monitor.attention_list()
+        grades = [s.grade for s in flagged]
+        assert grades == sorted(
+            grades,
+            key=["healthy", "watch", "warning", "critical", "unreachable"].index,
+            reverse=True,
+        )
+        assert all(s.grade != "healthy" for s in flagged)
+
+    def test_summary_counts(self):
+        monitor = self.make_monitor()
+        summary = monitor.summary()
+        assert summary["healthy"] == 4
+        assert summary["warning"] == 1
+        assert summary["unreachable"] == 1
+
+    def test_latest_record_wins(self):
+        monitor = self.make_monitor()
+        monitor.record(
+            CapsuleStatus(1, "west wall", reachable=True, alarm=alarm("critical"))
+        )
+        walls = {w.wall: w for w in monitor.walls()}
+        assert walls["west wall"].grade == "critical"
+
+    def test_rejects_contradictory_survey(self):
+        monitor = BuildingMonitor()
+        with pytest.raises(ShmError):
+            monitor.record_survey("W", powered=[1], dark=[1])
+
+    def test_empty_monitor_raises(self):
+        with pytest.raises(ShmError):
+            BuildingMonitor().walls()

@@ -1,0 +1,71 @@
+"""Unit tests for the EcoCapsule-vs-conventional comparison (Sec. 6)."""
+
+import pytest
+
+from repro.shm import CostModel, FalsePositiveStudy, ShmError
+
+
+class TestCostModel:
+    def test_paper_scale(self):
+        # "The conventional sensors totally cost over 10 M USD ...
+        # our EcoCapsule sensors cost less than 1 K USD totally."
+        model = CostModel()
+        conventional = model.conventional_total(88)
+        capsules_only = 5 * (model.ecocapsule_unit + model.ecocapsule_sensors_per_unit)
+        assert conventional > 10e6
+        assert capsules_only < 1e3
+
+    def test_cost_ratio_huge(self):
+        assert CostModel().cost_ratio() > 1000.0
+
+    def test_scaling(self):
+        model = CostModel()
+        assert model.conventional_total(100) > model.conventional_total(50)
+        assert model.ecocapsule_total(100) > model.ecocapsule_total(5)
+
+    def test_reader_cost_included(self):
+        model = CostModel()
+        assert model.ecocapsule_total(5, readers=2) == pytest.approx(
+            model.ecocapsule_total(5, readers=1) + model.reader_station
+        )
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ShmError):
+            CostModel().conventional_total(-1)
+        with pytest.raises(ShmError):
+            CostModel().ecocapsule_total(-1)
+
+
+class TestFalsePositiveStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return FalsePositiveStudy().run()
+
+    def test_both_catch_the_storm(self, result):
+        assert result.both_catch_the_storm
+
+    def test_embedded_reduces_false_positives(self, result):
+        # The paper: embedded capsules "benefit from reducing false
+        # positives" because weather cannot disturb them.
+        assert result.embedded_reduces_false_positives
+
+    def test_embedded_is_clean(self, result):
+        assert result.embedded_false == 0
+
+    def test_surface_sees_disturbances(self, result):
+        assert result.surface_false >= 1
+
+    def test_series_shapes_match(self):
+        study = FalsePositiveStudy()
+        hours_s, surface = study.surface_series()
+        hours_e, embedded = study.embedded_series()
+        assert hours_s.shape == hours_e.shape
+        assert surface.shape == embedded.shape
+
+    def test_surface_noisier_than_embedded(self):
+        import numpy as np
+
+        study = FalsePositiveStudy()
+        _, surface = study.surface_series()
+        _, embedded = study.embedded_series()
+        assert np.std(surface) > np.std(embedded)

@@ -1,0 +1,114 @@
+"""Unit tests for long-term damage detection."""
+
+import numpy as np
+import pytest
+
+from repro.shm import (
+    DamageDetector,
+    DamageError,
+    StrainHistory,
+    strain_capacity_margin,
+    synthesize_history,
+)
+
+
+class TestSynthesizeHistory:
+    def test_healthy_history_cycles_around_baseline(self):
+        history = synthesize_history(n_days=360, baseline=120.0, seed=1)
+        assert np.mean(history.strain) == pytest.approx(120.0, abs=10.0)
+
+    def test_degradation_ramps(self):
+        healthy = synthesize_history(n_days=360, seed=2)
+        degraded = synthesize_history(
+            n_days=360, degradation_start=180, degradation_rate=1.0, seed=2
+        )
+        # Identical until the onset, drifting after.
+        assert np.allclose(healthy.strain[:180], degraded.strain[:180])
+        assert np.mean(degraded.strain[300:]) > np.mean(healthy.strain[300:]) + 50.0
+
+    def test_rejects_bad_onset(self):
+        with pytest.raises(DamageError):
+            synthesize_history(n_days=100, degradation_start=200)
+
+    def test_rejects_tiny_history(self):
+        with pytest.raises(DamageError):
+            synthesize_history(n_days=1)
+
+
+class TestDamageDetector:
+    def test_healthy_history_stays_quiet(self):
+        history = synthesize_history(n_days=720, seed=3)
+        detector = DamageDetector()
+        assert detector.detect(history) is None
+
+    def test_detects_slow_degradation(self):
+        history = synthesize_history(
+            n_days=720, degradation_start=450, degradation_rate=0.8, seed=4
+        )
+        alarm = DamageDetector().detect(history)
+        assert alarm is not None
+        assert alarm.day > 450.0  # cannot fire before the onset
+        assert alarm.day < 620.0  # fires within months, not years
+
+    def test_detects_faster_sooner(self):
+        slow = synthesize_history(
+            n_days=720, degradation_start=450, degradation_rate=0.5, seed=5
+        )
+        fast = synthesize_history(
+            n_days=720, degradation_start=450, degradation_rate=3.0, seed=5
+        )
+        detector = DamageDetector()
+        slow_alarm = detector.detect(slow)
+        fast_alarm = detector.detect(fast)
+        assert fast_alarm is not None and slow_alarm is not None
+        assert fast_alarm.day < slow_alarm.day
+
+    def test_severity_grading(self):
+        fast = synthesize_history(
+            n_days=720, degradation_start=450, degradation_rate=3.0, seed=6
+        )
+        alarm = DamageDetector().detect(fast)
+        assert alarm.severity == "critical"
+        slow = synthesize_history(
+            n_days=900, degradation_start=450, degradation_rate=0.7, seed=6
+        )
+        alarm = DamageDetector().detect(slow)
+        assert alarm.severity in ("watch", "warning")
+
+    def test_seasonal_cycle_not_mistaken_for_damage(self):
+        # Strong seasonality, no degradation: must stay quiet.
+        history = synthesize_history(
+            n_days=720, seasonal_amplitude=60.0, noise_rms=4.0, seed=7
+        )
+        assert DamageDetector().detect(history) is None
+
+    def test_residuals_deseasonalised(self):
+        history = synthesize_history(n_days=540, seasonal_amplitude=40.0, seed=8)
+        residual = DamageDetector().residuals(history)
+        # The seasonal swing (+/-40) is mostly removed.
+        assert np.std(residual) < 15.0
+
+    def test_requires_training_span(self):
+        history = synthesize_history(n_days=100, seed=9)
+        with pytest.raises(DamageError):
+            DamageDetector().detect(history)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(DamageError):
+            DamageDetector(training_days=5)
+        with pytest.raises(DamageError):
+            DamageDetector(threshold=0.0)
+
+
+class TestCapacityMargin:
+    def test_unused_capacity(self):
+        # NC peak strain 0.263 %: 1000 ue uses ~38 %.
+        margin = strain_capacity_margin(1000.0, 0.00263)
+        assert margin == pytest.approx(1.0 - 1000e-6 / 0.00263)
+
+    def test_exhausted_clamps_to_zero(self):
+        assert strain_capacity_margin(5000.0, 0.00263) == 0.0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(DamageError):
+            strain_capacity_margin(100.0, 0.0)

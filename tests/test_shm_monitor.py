@@ -1,0 +1,162 @@
+"""Unit tests for the SHM analytics layer."""
+
+import numpy as np
+import pytest
+
+from repro.shm import (
+    AnomalyWindow,
+    BridgeMonitor,
+    Footbridge,
+    JulyTimeSeriesGenerator,
+    STORM_END_HOUR,
+    STORM_START_HOUR,
+    ShmError,
+    check_compliance,
+    cross_validate,
+    detect_anomalies,
+    rolling_rms,
+)
+
+
+@pytest.fixture
+def month():
+    generator = JulyTimeSeriesGenerator(samples_per_hour=4, seed=2021)
+    hours, acc = generator.acceleration(0, scale=0.012)
+    return hours, acc
+
+
+class TestRollingRms:
+    def test_constant_series(self):
+        hours = np.arange(100) * 0.25
+        values = 2.0 * np.ones(100)
+        _, rms = rolling_rms(hours, values, window_hours=5.0)
+        assert np.allclose(rms[10:-10], 2.0)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ShmError):
+            rolling_rms(np.arange(10.0), np.ones(5))
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ShmError):
+            rolling_rms(np.array([0.0]), np.array([1.0]))
+
+
+class TestAnomalyDetection:
+    def test_detects_the_storm(self, month):
+        hours, acc = month
+        windows = detect_anomalies(hours, acc)
+        storm = AnomalyWindow(STORM_START_HOUR, STORM_END_HOUR)
+        assert any(w.overlaps(storm) for w in windows)
+
+    def test_quiet_series_has_no_anomalies(self):
+        rng = np.random.default_rng(0)
+        hours = np.arange(2000) * 0.25
+        values = rng.normal(0.0, 1.0, size=2000)
+        windows = detect_anomalies(hours, values)
+        assert windows == []
+
+    def test_short_blips_filtered(self):
+        rng = np.random.default_rng(1)
+        hours = np.arange(4000) * 0.25
+        values = rng.normal(0.0, 1.0, size=4000)
+        values[2000:2004] *= 50.0  # a 1-hour blip
+        windows = detect_anomalies(hours, values, min_duration_hours=12.0)
+        assert all(w.duration_hours >= 12.0 for w in windows)
+
+
+class TestAnomalyWindow:
+    def test_overlap(self):
+        a = AnomalyWindow(0.0, 10.0)
+        b = AnomalyWindow(5.0, 15.0)
+        c = AnomalyWindow(10.0, 20.0)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)  # touching is not overlapping
+
+    def test_duration(self):
+        assert AnomalyWindow(24.0, 48.0).duration_hours == 24.0
+
+
+class TestCrossValidation:
+    def test_matching_channels_verify(self, month):
+        # The paper's mutual-verification argument across accel/stress.
+        generator = JulyTimeSeriesGenerator(samples_per_hour=4, seed=2021)
+        hours, acc = month
+        _, stress = generator.stress()
+        acc_windows = detect_anomalies(hours, acc)
+        stress_windows = detect_anomalies(hours, stress - np.median(stress))
+        assert cross_validate(acc_windows, stress_windows)
+
+    def test_disjoint_channels_fail(self):
+        a = [AnomalyWindow(0.0, 10.0)]
+        b = [AnomalyWindow(20.0, 30.0)]
+        assert not cross_validate(a, b)
+
+    def test_empty_windows_fail(self):
+        assert not cross_validate([], [AnomalyWindow(0.0, 1.0)])
+
+
+class TestCompliance:
+    def test_quiet_month_compliant(self, month):
+        hours, acc = month
+        generator = JulyTimeSeriesGenerator(samples_per_hour=4, seed=2021)
+        _, stress = generator.stress()
+        report = check_compliance(Footbridge().limits, acc, stress)
+        assert report.compliant
+
+    def test_violation_detected(self):
+        limits = Footbridge().limits
+        acc = np.array([0.1, 0.9, 0.1])  # exceeds 0.7 m/s^2
+        stress = np.array([-50.0])
+        report = check_compliance(limits, acc, stress)
+        assert not report.acceleration_ok
+        assert not report.compliant
+
+    def test_stress_violation(self):
+        limits = Footbridge().limits
+        report = check_compliance(limits, np.array([0.1]), np.array([400.0]))
+        assert not report.stress_ok
+
+    def test_rejects_empty_series(self):
+        with pytest.raises(ShmError):
+            check_compliance(Footbridge().limits, np.array([]), np.array([1.0]))
+
+
+class TestBridgeMonitor:
+    def test_update_grades_all_sections(self):
+        monitor = BridgeMonitor(Footbridge())
+        healths = monitor.update({"A": 1, "B": 2, "C": 0, "D": 3, "E": 1})
+        assert len(healths) == 5
+        assert monitor.bridge_grade() in "ABCDEF"
+
+    def test_sparse_deck_grades_a(self):
+        # COVID-era counts: a near-empty bridge is grade A everywhere.
+        monitor = BridgeMonitor(Footbridge())
+        monitor.update({s: 1 for s in "ABCDE"})
+        assert monitor.bridge_grade() == "A"
+
+    def test_crowded_section_degrades_grade(self):
+        monitor = BridgeMonitor(Footbridge())
+        monitor.update({"A": 0, "B": 0, "C": 150, "D": 0, "E": 0})
+        assert monitor.bridge_grade() >= "C"
+
+    def test_speed_falls_with_crowding(self):
+        monitor = BridgeMonitor(Footbridge())
+        healths = monitor.update({"A": 1, "B": 60, "C": 1, "D": 1, "E": 1})
+        by_section = {h.section: h for h in healths}
+        assert by_section["B"].mean_speed < by_section["A"].mean_speed
+
+    def test_grade_fractions_sum_to_one(self):
+        monitor = BridgeMonitor(Footbridge())
+        for counts in ({"A": 1, "B": 1, "C": 1, "D": 1, "E": 1},
+                       {"A": 5, "B": 9, "C": 2, "D": 0, "E": 3}):
+            monitor.update(counts)
+        assert sum(monitor.grade_fractions().values()) == pytest.approx(1.0)
+
+    def test_requires_all_sections(self):
+        monitor = BridgeMonitor(Footbridge())
+        with pytest.raises(ShmError):
+            monitor.update({"A": 1})
+
+    def test_grade_before_update_raises(self):
+        with pytest.raises(ShmError):
+            BridgeMonitor(Footbridge()).bridge_grade()

@@ -1,0 +1,110 @@
+"""Unit tests for PAO health grading (Table 2)."""
+
+import math
+
+import pytest
+
+from repro.shm import (
+    GRADES,
+    PAO_THRESHOLDS,
+    PaoError,
+    collapse_risk,
+    grade,
+    grade_sections,
+    is_safe,
+    pedestrian_area_occupancy,
+    worst_grade,
+)
+
+
+class TestPao:
+    def test_definition(self):
+        assert pedestrian_area_occupancy(100.0, 25) == pytest.approx(4.0)
+
+    def test_empty_deck_is_infinite(self):
+        assert math.isinf(pedestrian_area_occupancy(100.0, 0))
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(PaoError):
+            pedestrian_area_occupancy(0.0, 5)
+        with pytest.raises(PaoError):
+            pedestrian_area_occupancy(100.0, -1)
+
+
+class TestTable2Grades:
+    def test_hong_kong_thresholds(self):
+        # The pilot bridge's region.
+        assert grade(4.0, "hong_kong") == "A"
+        assert grade(3.0, "hong_kong") == "B"
+        assert grade(2.0, "hong_kong") == "C"
+        assert grade(1.0, "hong_kong") == "D"
+        assert grade(0.6, "hong_kong") == "E"
+        assert grade(0.3, "hong_kong") == "F"
+
+    def test_united_states_thresholds(self):
+        assert grade(4.0, "united_states") == "A"
+        assert grade(3.0, "united_states") == "B"
+        assert grade(0.4, "united_states") == "F"
+
+    def test_bangkok_more_tolerant(self):
+        # Bangkok's grade-A floor (2.38) sits below Hong Kong's (3.25).
+        assert grade(2.5, "bangkok") == "A"
+        assert grade(2.5, "hong_kong") == "B"
+
+    def test_all_regions_have_five_bounds(self):
+        for region, bounds in PAO_THRESHOLDS.items():
+            assert set(bounds) == {"A", "B", "C", "D", "E"}
+            values = [bounds[g] for g in ("A", "B", "C", "D", "E")]
+            assert values == sorted(values, reverse=True), region
+
+    def test_unknown_region(self):
+        with pytest.raises(PaoError):
+            grade(2.0, "atlantis")
+
+    def test_empty_deck_grades_a(self):
+        assert grade(float("inf")) == "A"
+
+
+class TestHeadlineRules:
+    def test_safe_above_2(self):
+        # "when H > 2, the bridge is in good health".
+        assert is_safe(2.5)
+        assert not is_safe(2.0)
+
+    def test_collapse_at_or_below_1(self):
+        # "when H <= 1, the bridge is overloaded and will collapse".
+        assert collapse_risk(1.0)
+        assert collapse_risk(0.5)
+        assert not collapse_risk(1.5)
+
+
+class TestSectionGrading:
+    def test_grades_every_section(self):
+        areas = {"A": 75.8, "B": 75.8}
+        counts = {"A": 10, "B": 50}
+        speeds = {"A": 1.3, "B": 0.8}
+        healths = grade_sections(areas, counts, speeds)
+        assert [h.section for h in healths] == ["A", "B"]
+        assert healths[0].grade < healths[1].grade  # fewer people -> better
+
+    def test_mismatched_keys_raise(self):
+        with pytest.raises(PaoError):
+            grade_sections({"A": 75.8}, {"B": 10}, {"A": 1.0})
+
+    def test_worst_grade(self):
+        areas = {"A": 75.8, "B": 75.8, "C": 75.8}
+        counts = {"A": 2, "B": 80, "C": 10}
+        speeds = {s: 1.0 for s in areas}
+        healths = grade_sections(areas, counts, speeds)
+        assert worst_grade(healths) == max(
+            (h.grade for h in healths), key=GRADES.index
+        )
+
+    def test_worst_grade_rejects_empty(self):
+        with pytest.raises(PaoError):
+            worst_grade([])
+
+    def test_healthy_flag(self):
+        areas = {"A": 75.8}
+        healths = grade_sections(areas, {"A": 5}, {"A": 1.2})
+        assert healths[0].healthy  # 15 m^2/ped is grade A

@@ -1,0 +1,158 @@
+"""Unit tests for the synthetic July-2021 data generator."""
+
+import numpy as np
+import pytest
+
+from repro.shm import (
+    JULY_HOURS,
+    STORM_END_HOUR,
+    STORM_START_HOUR,
+    JulyTimeSeriesGenerator,
+    ShmError,
+    in_storm,
+)
+
+
+@pytest.fixture
+def generator():
+    return JulyTimeSeriesGenerator(samples_per_hour=4, seed=2021)
+
+
+class TestTimeBase:
+    def test_covers_the_month(self, generator):
+        hours = generator.hours()
+        assert hours[0] == 0.0
+        assert hours[-1] == pytest.approx(JULY_HOURS - 0.25)
+
+    def test_storm_window_is_15th_to_23rd(self):
+        assert STORM_START_HOUR == 14 * 24.0
+        assert STORM_END_HOUR == 23 * 24.0
+
+    def test_in_storm_mask(self):
+        hours = np.array([0.0, 14 * 24.0, 20 * 24.0, 23 * 24.0, 30 * 24.0])
+        mask = in_storm(hours)
+        assert list(mask) == [False, True, True, False, False]
+
+    def test_rejects_zero_cadence(self):
+        with pytest.raises(ShmError):
+            JulyTimeSeriesGenerator(samples_per_hour=0)
+
+
+class TestEnvironmentalChannels:
+    def test_humidity_band(self, generator):
+        _, humidity = generator.humidity()
+        assert np.all(humidity >= 50.0)
+        assert np.all(humidity <= 100.0)
+
+    def test_humidity_saturates_in_storm(self, generator):
+        hours, humidity = generator.humidity()
+        mask = in_storm(hours)
+        assert np.mean(humidity[mask]) > np.mean(humidity[~mask]) + 5.0
+
+    def test_temperature_band_and_storm_dip(self, generator):
+        hours, temperature = generator.temperature()
+        assert np.all(temperature >= 24.0)
+        assert np.all(temperature <= 36.0)
+        mask = in_storm(hours)
+        assert np.mean(temperature[mask]) < np.mean(temperature[~mask])
+
+    def test_pressure_trough_during_cyclone(self, generator):
+        hours, pressure = generator.barometric_pressure()
+        assert np.all(pressure >= 97.5)
+        assert np.all(pressure <= 100.0)
+        mask = in_storm(hours)
+        assert np.min(pressure[mask]) < np.min(pressure[~mask])
+
+
+class TestResponseChannels:
+    def test_acceleration_zero_mean(self, generator):
+        _, acc = generator.acceleration()
+        assert np.mean(acc) == pytest.approx(0.0, abs=0.003)
+
+    def test_acceleration_storm_amplification(self, generator):
+        hours, acc = generator.acceleration()
+        mask = in_storm(hours)
+        storm_rms = np.sqrt(np.mean(acc[mask] ** 2))
+        quiet_rms = np.sqrt(np.mean(acc[~mask] ** 2))
+        assert storm_rms > 1.5 * quiet_rms
+
+    def test_acceleration_below_structural_limit(self, generator):
+        _, acc = generator.acceleration(scale=0.02)
+        assert np.max(np.abs(acc)) < 0.7  # the bridge never neared damage
+
+    def test_acceleration_scale_parameter(self, generator):
+        _, small = generator.acceleration(1, scale=0.01)
+        _, large = generator.acceleration(1, scale=0.04)
+        assert np.std(large) > 2.0 * np.std(small)
+
+    def test_stress_around_mean(self, generator):
+        _, stress = generator.stress(mean=-60.0, swing=10.0)
+        assert np.median(stress) == pytest.approx(-60.0, abs=6.0)
+
+    def test_stress_storm_excursion(self, generator):
+        hours, stress = generator.stress()
+        mask = in_storm(hours)
+        centred = stress - np.median(stress)
+        assert np.sqrt(np.mean(centred[mask] ** 2)) > np.sqrt(
+            np.mean(centred[~mask] ** 2)
+        )
+
+    def test_rejects_bad_scale(self, generator):
+        with pytest.raises(ShmError):
+            generator.acceleration(scale=0.0)
+
+
+class TestPedestrians:
+    def test_counts_nonnegative_integers(self, generator):
+        _, counts = generator.pedestrian_counts()
+        assert counts.dtype.kind == "i"
+        assert np.all(counts >= 0)
+
+    def test_storm_empties_the_bridge(self, generator):
+        hours, counts = generator.pedestrian_counts()
+        mask = in_storm(hours)
+        assert np.mean(counts[mask]) < np.mean(counts[~mask])
+
+    def test_commute_peaks(self, generator):
+        hours, counts = generator.pedestrian_counts(section_capacity=200)
+        tod = np.mod(hours, 24.0)
+        rush = counts[(tod > 8.0) & (tod < 9.5)]
+        night = counts[(tod > 2.0) & (tod < 4.0)]
+        assert np.mean(rush) > 3.0 * max(np.mean(night), 0.5)
+
+    def test_rejects_zero_capacity(self, generator):
+        with pytest.raises(ShmError):
+            generator.pedestrian_counts(section_capacity=0)
+
+
+class TestLoadChannels:
+    def test_wind_nonnegative(self, generator):
+        _, wind = generator.wind_speed()
+        assert np.all(wind >= 0.0)
+
+    def test_wind_gale_during_cyclone(self, generator):
+        hours, wind = generator.wind_speed()
+        mask = in_storm(hours)
+        assert np.mean(wind[mask]) > 2.0 * np.mean(wind[~mask])
+
+    def test_deflection_positive_and_compliant(self, generator):
+        _, deflection = generator.midspan_deflection()
+        assert np.all(deflection > 0.0)
+        # The bridge's 0.1083 m limit is never approached.
+        assert np.max(deflection) < 0.1083
+
+    def test_deflection_storm_excursion(self, generator):
+        hours, deflection = generator.midspan_deflection()
+        mask = in_storm(hours)
+        assert np.mean(deflection[mask]) > np.mean(deflection[~mask])
+
+
+class TestBundles:
+    def test_appendix_channels_complete(self, generator):
+        channels = generator.appendix_channels()
+        assert len(channels) == 11  # 3 environmental + 6 accel + 2 stress
+
+    def test_reproducible_with_seed(self):
+        a = JulyTimeSeriesGenerator(samples_per_hour=2, seed=9).humidity()[1]
+        b = JulyTimeSeriesGenerator(samples_per_hour=2, seed=9).humidity()[1]
+        assert np.array_equal(a, b)

@@ -1,0 +1,133 @@
+"""Unit tests for PZT discs and the reader's analog drive chain."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import DesignError
+from repro.materials import get_concrete
+from repro.transducer import (
+    MatchingNetwork,
+    PowerAmplifier,
+    TransmitChain,
+    node_disc,
+    reader_tx_disc,
+)
+
+NC = get_concrete("NC").medium
+SAMPLE_RATE = 4e6
+
+
+class TestPztDisc:
+    def test_reader_disc_specs(self):
+        disc = reader_tx_disc()
+        assert disc.diameter == pytest.approx(0.040)
+        assert disc.thickness == pytest.approx(0.002)
+        assert disc.resonant_frequency == 230e3
+        assert disc.max_voltage == 250.0
+
+    def test_node_disc_smaller(self):
+        assert node_disc().diameter < reader_tx_disc().diameter
+
+    def test_frequency_response_peaks_at_resonance(self):
+        disc = reader_tx_disc()
+        assert disc.frequency_response(230e3) == pytest.approx(1.0)
+        assert disc.frequency_response(180e3) < 1.0
+        assert disc.frequency_response(300e3) < 1.0
+
+    def test_beam_half_angle_matches_paper(self):
+        disc = reader_tx_disc()
+        alpha = disc.beam_half_angle(NC.cp)
+        assert math.degrees(alpha) == pytest.approx(11.0, abs=0.5)
+
+    def test_transmit_respects_voltage_limit(self):
+        disc = reader_tx_disc()
+        n = 256
+        with pytest.raises(DesignError):
+            disc.transmit(np.ones(n), np.full(n, 230e3), SAMPLE_RATE, 300.0)
+
+    def test_transmit_shape_and_scale(self):
+        disc = reader_tx_disc()
+        n = 512
+        out = disc.transmit(np.ones(n), np.full(n, 230e3), SAMPLE_RATE, 100.0)
+        assert out.size == n
+        assert np.max(np.abs(out)) <= 100.0 * disc.conversion + 1e-9
+        assert np.max(np.abs(out)) > 0.5 * 100.0 * disc.conversion
+
+    def test_transmit_ringdown_tail(self):
+        # After the envelope drops, the emission decays instead of stopping.
+        disc = reader_tx_disc()
+        n = 2048
+        baseband = np.concatenate([np.ones(n // 2), np.zeros(n // 2)])
+        out = disc.transmit(baseband, np.full(n, 230e3), SAMPLE_RATE, 100.0)
+        just_after = np.max(np.abs(out[n // 2 : n // 2 + 64]))
+        assert just_after > 0.0  # the tail exists
+
+    def test_transmit_rejects_mismatched_arrays(self):
+        disc = reader_tx_disc()
+        with pytest.raises(DesignError):
+            disc.transmit(np.ones(8), np.full(16, 230e3), SAMPLE_RATE, 100.0)
+
+    def test_invalid_geometry_rejected(self):
+        from repro.transducer import PztDisc
+
+        with pytest.raises(DesignError):
+            PztDisc(diameter=0.0, thickness=0.002, resonant_frequency=230e3)
+
+
+class TestMatchingNetwork:
+    def test_peak_at_tuned_frequency(self):
+        match = MatchingNetwork()
+        assert match.efficiency(230e3) == pytest.approx(match.peak_efficiency)
+        assert match.efficiency(180e3) < match.peak_efficiency
+
+    def test_symmetric_detuning(self):
+        match = MatchingNetwork()
+        assert match.efficiency(230e3 * 1.1) == pytest.approx(
+            match.efficiency(230e3 / 1.1), rel=0.05
+        )
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(DesignError):
+            MatchingNetwork(peak_efficiency=1.5)
+
+
+class TestPowerAmplifier:
+    def test_scales_to_target(self):
+        amp = PowerAmplifier()
+        out = amp.amplify(np.sin(np.linspace(0, 10, 100)), 200.0)
+        assert np.max(np.abs(out)) == pytest.approx(200.0)
+
+    def test_rejects_over_rail(self):
+        amp = PowerAmplifier(max_output_voltage=250.0)
+        with pytest.raises(DesignError):
+            amp.amplify(np.ones(4), 300.0)
+
+    def test_silent_input_passthrough(self):
+        amp = PowerAmplifier()
+        out = amp.amplify(np.zeros(8), 100.0)
+        assert np.all(out == 0.0)
+
+
+class TestTransmitChain:
+    def test_defaults_built_from_disc(self):
+        chain = TransmitChain(disc=reader_tx_disc())
+        assert chain.amplifier.max_output_voltage == 250.0
+        assert chain.matching.tuned_frequency == 230e3
+
+    def test_effective_voltage_below_requested(self):
+        chain = TransmitChain(disc=reader_tx_disc())
+        assert chain.effective_drive_voltage(100.0, 230e3) < 100.0
+
+    def test_effective_voltage_caps_at_rail(self):
+        chain = TransmitChain(disc=reader_tx_disc())
+        at_rail = chain.effective_drive_voltage(250.0, 230e3)
+        assert chain.effective_drive_voltage(1000.0, 230e3) == pytest.approx(at_rail)
+
+    def test_transmit_produces_waveform(self):
+        chain = TransmitChain(disc=reader_tx_disc())
+        n = 256
+        out = chain.transmit(np.ones(n), np.full(n, 230e3), SAMPLE_RATE, 100.0)
+        assert out.size == n
+        assert np.max(np.abs(out)) > 0.0

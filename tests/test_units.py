@@ -1,0 +1,76 @@
+"""Unit tests for the units/constants helpers."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestDecibels:
+    def test_db_of_power_ratio(self):
+        assert units.db(100.0) == pytest.approx(20.0)
+        assert units.db(1.0) == pytest.approx(0.0)
+
+    def test_db_amplitude_doubles_exponent(self):
+        assert units.db_amplitude(10.0) == pytest.approx(20.0)
+
+    def test_round_trip_power(self):
+        assert units.from_db(units.db(42.0)) == pytest.approx(42.0)
+
+    def test_round_trip_amplitude(self):
+        assert units.from_db_amplitude(units.db_amplitude(0.37)) == pytest.approx(0.37)
+
+    def test_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.db(0.0)
+        with pytest.raises(ValueError):
+            units.db_amplitude(-1.0)
+
+
+class TestConversions:
+    def test_khz(self):
+        assert units.khz(230.0) == 230e3
+
+    def test_mhz(self):
+        assert units.mhz(1.0) == 1e6
+
+    def test_lengths(self):
+        assert units.mm(45.0) == pytest.approx(0.045)
+        assert units.cm(15.0) == pytest.approx(0.15)
+
+    def test_areas_volumes(self):
+        assert units.mm2(0.78) == pytest.approx(0.78e-6)
+        assert units.mm3(2.76) == pytest.approx(2.76e-9)
+
+    def test_pressures(self):
+        assert units.mpa(4.3) == pytest.approx(4.3e6)
+        assert units.gpa(2.2) == pytest.approx(2.2e9)
+
+    def test_rates_powers(self):
+        assert units.kbps(13.0) == 13e3
+        assert units.microwatt(414.0) == pytest.approx(414e-6)
+
+    def test_angles(self):
+        assert units.deg(math.pi) == pytest.approx(180.0)
+        assert units.rad(90.0) == pytest.approx(math.pi / 2.0)
+
+
+class TestWavelength:
+    def test_paper_p_wave_in_concrete(self):
+        # Cp = 3338 m/s at 230 kHz -> ~14.5 mm.
+        assert units.wavelength(3338.0, 230e3) == pytest.approx(0.01451, rel=1e-3)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            units.wavelength(3338.0, 0.0)
+        with pytest.raises(ValueError):
+            units.wavelength(-1.0, 230e3)
+
+
+class TestConstants:
+    def test_atmospheric_pressure_matches_paper(self):
+        assert units.ATMOSPHERIC_PRESSURE == pytest.approx(101_325.0)
+
+    def test_gravity_is_standard(self):
+        assert units.GRAVITY == pytest.approx(9.80665)
