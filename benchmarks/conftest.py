@@ -3,11 +3,24 @@
 Every benchmark regenerates one paper table/figure and prints a
 paper-vs-measured comparison block so the EXPERIMENTS.md numbers can be
 audited straight from ``pytest benchmarks/ --benchmark-only -s``.
+
+Benchmarks ported to the experiment runtime call :func:`serialized_run`
+instead of invoking ``experiments.*.run`` directly: the experiment goes
+through the registry + runner + cache, is written to disk as JSON, and
+the benchmark asserts against the *serialized* payload -- the same
+artifact ``python -m repro.cli experiments run`` produces -- so the
+paper numbers are checked on the bytes a reader of ``results/`` sees.
 """
 
 from __future__ import annotations
 
 import sys
+import tempfile
+from pathlib import Path
+
+#: Session-scoped results/cache tree; repeated benchmark iterations of
+#: the same experiment hit the content-addressed cache.
+_BENCH_OUT = Path(tempfile.mkdtemp(prefix="repro-bench-results-"))
 
 
 def report(title: str, rows: list) -> None:
@@ -26,3 +39,26 @@ def report(title: str, rows: list) -> None:
         out.append(f"{label:<{width}}  {paper:>18}  {measured:>18}")
     out.append(line)
     print("\n" + "\n".join(out), file=sys.stderr)
+
+
+def serialized_run(name: str, **overrides):
+    """Run one registered experiment and return its serialized payload.
+
+    Executes through :func:`repro.runtime.run_experiments` (inline, so
+    pytest-benchmark timings stay in-process), then reads the
+    per-experiment JSON back from the run directory with
+    :func:`repro.reporting.load_result`.
+    """
+    from repro.reporting import load_result
+    from repro.runtime import run_experiments
+
+    run_report = run_experiments(
+        names=[name],
+        jobs=0,
+        out_dir=_BENCH_OUT,
+        overrides={name: overrides} if overrides else None,
+    )
+    outcome = run_report.outcomes[0]
+    if outcome.status != "ok":
+        raise RuntimeError(f"{name} failed in the runtime: {outcome.error}")
+    return load_result(run_report.run_dir / outcome.result_file)

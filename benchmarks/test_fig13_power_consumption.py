@@ -1,26 +1,36 @@
-"""Benchmark: Fig. 13 -- node power consumption vs uplink bitrate."""
+"""Benchmark: Fig. 13 -- node power consumption vs uplink bitrate.
 
-from conftest import report
+Ported to the experiment runtime: assertions read the serialized JSON
+payload the runner writes.
+"""
 
-from repro.experiments import fig13_power_consumption
+from conftest import report, serialized_run
 
 
 def test_fig13(benchmark):
-    result = benchmark(fig13_power_consumption.run)
+    payload = benchmark(serialized_run, "fig13")
+    result = payload["result"]
+    active = [power for bitrate, power in result["points"] if bitrate > 0.0]
+    active_mean = sum(active) / len(active)
+    active_spread = max(active) - min(active)
 
     report(
         "Fig. 13 -- power consumption vs bitrate",
         [
-            ("standby power", "80.1 uW", f"{result.standby_power * 1e6:.1f} uW"),
-            ("active power (mean)", "~360 uW", f"{result.active_mean * 1e6:.1f} uW"),
+            (
+                "standby power",
+                "80.1 uW",
+                f"{result['standby_power'] * 1e6:.1f} uW",
+            ),
+            ("active power (mean)", "~360 uW", f"{active_mean * 1e6:.1f} uW"),
             (
                 "active spread 1-8 kbps",
                 "slight fluctuation",
-                f"{result.active_spread * 1e6:.2f} uW",
+                f"{active_spread * 1e6:.2f} uW",
             ),
         ],
     )
 
-    assert result.standby_power * 1e6 == 80.1
-    assert abs(result.active_mean * 1e6 - 360.0) < 10.0
-    assert result.active_spread * 1e6 < 5.0
+    assert result["standby_power"] * 1e6 == 80.1
+    assert abs(active_mean * 1e6 - 360.0) < 10.0
+    assert active_spread * 1e6 < 5.0

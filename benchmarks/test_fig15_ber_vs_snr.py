@@ -1,33 +1,54 @@
-"""Benchmark: Fig. 15 -- uplink BER vs SNR, EcoCapsule vs PAB."""
+"""Benchmark: Fig. 15 -- uplink BER vs SNR, EcoCapsule vs PAB.
 
-from conftest import report
+Ported to the experiment runtime: the sweep runs through the registry +
+runner + cache and the assertions read the serialized JSON payload.
+"""
 
-from repro.experiments import fig15_ber_vs_snr
+import math
+
+from conftest import report, serialized_run
+
+
+def _floor_snr(points, floor):
+    """Lowest sampled SNR whose serialized BER reaches ``floor``."""
+    for point in points:
+        if point["ber"] <= floor:
+            return point["snr_db"]
+    return math.inf
 
 
 def test_fig15(benchmark):
-    result = benchmark.pedantic(
-        fig15_ber_vs_snr.run,
+    payload = benchmark.pedantic(
+        serialized_run,
+        args=("fig15",),
         kwargs={"total_bits": 10_000},
         iterations=1,
         rounds=1,
     )
+    result = payload["result"]
+    assert payload["experiment"] == "fig15"
+    assert payload["seed"] == 7
 
-    eco_2db = next(p.ber for p in result.ecocapsule if p.snr_db == 2.0)
+    eco = result["ecocapsule"]
+    eco_2db = next(p["ber"] for p in eco if p["snr_db"] == 2.0)
+    eco_floor = _floor_snr(eco, 1e-4)
+    pab_floor = _floor_snr(result["pab"], 1e-4)
     rows = [
         ("BER @ 2 dB", "~0.5 (sync floor)", f"{eco_2db:.2f}"),
-        (
-            "EcoCapsule 1e-4 floor",
-            ">= 8 dB",
-            f"{result.floor_snr('ecocapsule', 1e-4):.0f} dB",
-        ),
-        ("PAB 1e-4 floor", ">= 11 dB", f"{result.floor_snr('pab', 1e-4):.0f} dB"),
+        ("EcoCapsule 1e-4 floor", ">= 8 dB", f"{eco_floor:.0f} dB"),
+        ("PAB 1e-4 floor", ">= 11 dB", f"{pab_floor:.0f} dB"),
     ]
-    for point in result.ecocapsule:
-        tag = " (tail)" if point.analytic_tail else ""
-        rows.append((f"EcoCapsule BER @ {point.snr_db:.0f} dB", "-", f"{point.ber:.2g}{tag}"))
+    for point in eco:
+        tag = " (tail)" if point["analytic_tail"] else ""
+        rows.append(
+            (
+                f"EcoCapsule BER @ {point['snr_db']:.0f} dB",
+                "-",
+                f"{point['ber']:.2g}{tag}",
+            )
+        )
     report("Fig. 15 -- BER vs SNR (FM0 Monte-Carlo + analytic tail)", rows)
 
     assert abs(eco_2db - 0.5) < 0.1
-    assert abs(result.floor_snr("ecocapsule", 1e-4) - 8.0) <= 1.0
-    assert result.floor_snr("pab", 1e-4) > result.floor_snr("ecocapsule", 1e-4)
+    assert abs(eco_floor - 8.0) <= 1.0
+    assert pab_floor > eco_floor

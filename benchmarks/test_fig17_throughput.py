@@ -1,43 +1,39 @@
-"""Benchmark: Fig. 17 -- uplink throughput vs concrete type."""
+"""Benchmark: Fig. 17 -- uplink throughput vs concrete type.
 
-from conftest import report
+Ported to the experiment runtime: assertions read the serialized JSON
+payload the runner writes (the same bytes ``results/`` readers see).
+"""
 
-from repro.experiments import fig17_throughput
+from conftest import report, serialized_run
 
 
 def test_fig17(benchmark):
-    result = benchmark.pedantic(
-        fig17_throughput.run,
+    payload = benchmark.pedantic(
+        serialized_run,
+        args=("fig17",),
         kwargs={"measure_bits": 2_000},
         iterations=1,
         rounds=1,
     )
+    table = payload["result"]["rows"]
+    nc_throughput = table["NC"]["measured_throughput"]
 
     rows = []
-    for name, row in result.rows.items():
+    for name, row in table.items():
         rows.append(
             (
                 f"{name} throughput",
                 "> 13 kbps",
-                f"{row.measured_throughput / 1e3:.1f} kbps",
+                f"{row['measured_throughput'] / 1e3:.1f} kbps",
             )
         )
-    rows.append(
-        (
-            "UHPC advantage over NC",
-            "~2 kbps",
-            f"{result.advantage_over_nc('UHPC') / 1e3:.1f} kbps",
+    for name in ("UHPC", "UHPFRC"):
+        advantage = table[name]["measured_throughput"] - nc_throughput
+        rows.append(
+            (f"{name} advantage over NC", "~2 kbps", f"{advantage / 1e3:.1f} kbps")
         )
-    )
-    rows.append(
-        (
-            "UHPFRC advantage over NC",
-            "~2 kbps",
-            f"{result.advantage_over_nc('UHPFRC') / 1e3:.1f} kbps",
-        )
-    )
     report("Fig. 17 -- throughput vs concrete", rows)
 
-    for row in result.rows.values():
-        assert row.measured_throughput > 12e3
-    assert 0.8e3 < result.advantage_over_nc("UHPC") < 3.2e3
+    for row in table.values():
+        assert row["measured_throughput"] > 12e3
+    assert 0.8e3 < table["UHPC"]["measured_throughput"] - nc_throughput < 3.2e3

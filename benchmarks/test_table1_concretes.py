@@ -1,12 +1,16 @@
-"""Benchmark: Table 1 -- concrete mix proportions and properties."""
+"""Benchmark: Table 1 -- concrete mix proportions and properties.
 
-from conftest import report
+Ported to the experiment runtime: the ``tables`` experiment runs
+through the registry + runner + cache and the assertions read the
+serialized JSON payload.
+"""
 
-from repro.experiments import tables
+from conftest import report, serialized_run
 
 
 def test_table1(benchmark):
-    rows_data = benchmark(tables.table1)
+    payload = benchmark(serialized_run, "tables")
+    rows_data = payload["result"]["table1_rows"]
 
     rows = []
     paper = {
@@ -15,26 +19,28 @@ def test_table1(benchmark):
         "UHPFRC": (215.0, 52.7, 0.21, 0.447),
     }
     for row in rows_data:
-        fco, ec, nu, eps = paper[row.concrete]
+        fco, ec, nu, eps = paper[row["concrete"]]
         rows.append(
             (
-                f"{row.concrete} (fco/Ec/nu/eps)",
+                f"{row['concrete']} (fco/Ec/nu/eps)",
                 f"{fco} MPa / {ec} GPa / {nu} / {eps} %",
-                f"{row.fco_mpa:.1f} / {row.ec_gpa:.1f} / {row.poisson:.2f} / "
-                f"{row.strain_percent:.3f}",
+                f"{row['fco_mpa']:.1f} / {row['ec_gpa']:.1f} / "
+                f"{row['poisson']:.2f} / {row['strain_percent']:.3f}",
             )
         )
         rows.append(
             (
-                f"{row.concrete} velocities",
+                f"{row['concrete']} velocities",
                 "Cp ~ 3338, Cs ~ 1941 (NC ref)",
-                f"Cp {row.cp:.0f} / Cs {row.cs:.0f} m/s",
+                f"Cp {row['cp']:.0f} / Cs {row['cs']:.0f} m/s",
             )
         )
     report("Table 1 -- concrete mixes and properties", rows)
 
+    assert len(rows_data) == 3
     for row in rows_data:
-        fco, ec, nu, eps = paper[row.concrete]
-        assert abs(row.fco_mpa - fco) < 1e-6
-        assert abs(row.ec_gpa - ec) < 1e-6
-        assert abs(row.poisson - nu) < 1e-6
+        fco, ec, nu, eps = paper[row["concrete"]]
+        assert abs(row["fco_mpa"] - fco) < 1e-6
+        assert abs(row["ec_gpa"] - ec) < 1e-6
+        assert abs(row["poisson"] - nu) < 1e-6
+        assert abs(row["strain_percent"] - eps) < 1e-6

@@ -1,13 +1,18 @@
-"""Benchmark: Table 2 -- PAO health levels for four regions."""
+"""Benchmark: Table 2 -- PAO health levels for four regions.
 
-from conftest import report
+Ported to the experiment runtime: assertions read the serialized JSON
+payload of the ``tables`` experiment.
+"""
 
-from repro.experiments import tables
+from conftest import report, serialized_run
+
 from repro.shm import PAO_THRESHOLDS
 
 
 def test_table2(benchmark):
-    table = benchmark(tables.table2)
+    payload = benchmark(serialized_run, "tables")
+    table = payload["result"]["table2_thresholds"]
+    examples = payload["result"]["table2_examples"]
 
     paper = {
         "united_states": {"A": 3.85, "B": 2.30, "C": 1.39, "D": 0.93, "E": 0.46},
@@ -24,7 +29,7 @@ def test_table2(benchmark):
                 " ".join(f"{g}>{bounds[g]}" for g in "ABCDE"),
             )
         )
-    for pao, region, letter in tables.table2_examples():
+    for pao, region, letter in examples:
         rows.append((f"grade({pao} m2/ped, {region})", "-", letter))
     report("Table 2 -- PAO health thresholds", rows)
 

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Continuous-integration gate for the EcoCapsule reproduction.
+#
+# Stage 1: the full tier-1 test suite (unit + golden-regression +
+#          determinism layers under tests/).
+# Stage 2: a seeded quick sweep of every registered experiment through
+#          the parallel runtime, into a throwaway directory, followed by
+#          manifest + result-file validation.
+#
+# Usage:  scripts/ci.sh [extra pytest args...]
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="${PWD}/src${PYTHONPATH:+:${PYTHONPATH}}"
+
+echo "== stage 1: tier-1 test suite =="
+python -m pytest -x -q "$@"
+
+echo "== stage 2: full experiment sweep (quick params) =="
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "${OUT_DIR}"' EXIT
+
+python -m repro.cli experiments run --all --jobs 2 --quick --out "${OUT_DIR}"
+
+RUN_DIR="$(find "${OUT_DIR}" -mindepth 1 -maxdepth 1 -type d ! -name '.cache' | head -n 1)"
+python -m repro.cli experiments validate "${RUN_DIR}"
+
+echo "== CI OK =="

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Regenerate the golden-regression snapshots in tests/goldens/.
+
+Runs every registered experiment at its pinned seed with the registry's
+quick parameters (the same configuration ``tests/test_experiment_goldens.py``
+replays) and rewrites one JSON snapshot per experiment.
+
+Usage::
+
+    PYTHONPATH=src python scripts/regen_goldens.py [NAME ...]
+
+Only run this after an *intentional* numeric change, and review the
+golden diff like any other code change -- see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.runtime import (  # noqa: E402  (path bootstrap above)
+    experiment_registry,
+    golden_snapshot,
+    write_json_atomic,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "goldens"
+
+
+def main(argv) -> int:
+    registry = experiment_registry()
+    names = argv or list(registry)
+    for name in names:
+        spec = registry[name]
+        params = spec.params(quick=True)
+        result = spec.execute(quick=True)
+        snapshot = golden_snapshot(name, result)
+        path = GOLDEN_DIR / f"{name}.json"
+        write_json_atomic(
+            path,
+            {
+                "experiment": name,
+                "module": spec.module_name,
+                "seed": params["seed"],
+                "params": params,
+                "scalars": snapshot,
+            },
+        )
+        print(f"wrote {path} ({len(snapshot)} scalars)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

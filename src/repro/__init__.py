@@ -33,6 +33,7 @@ from . import (
     phy,
     protocol,
     reader,
+    runtime,
     shm,
     transducer,
     units,
@@ -52,6 +53,7 @@ __all__ = [
     "phy",
     "protocol",
     "reader",
+    "runtime",
     "shm",
     "transducer",
     "units",

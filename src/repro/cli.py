@@ -7,6 +7,13 @@ Subcommands mirror the operator workflows the paper describes::
     python -m repro.cli shell --height 120
     python -m repro.cli survey --nodes 8 --length 8 --voltage 250
     python -m repro.cli pilot
+
+plus the experiment runtime (registry + parallel runner + cache)::
+
+    python -m repro.cli experiments list
+    python -m repro.cli experiments run --all --jobs 4 --out results
+    python -m repro.cli experiments run --only fig15 fig17 --force
+    python -m repro.cli experiments validate results/<run_id>
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ import argparse
 import math
 import random
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .acoustics import StructureGeometry, WavePrism, paper_structures
@@ -149,6 +157,85 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_experiments_list(args: argparse.Namespace) -> int:
+    from .runtime import experiment_registry
+
+    for spec in experiment_registry().values():
+        quick = " [quick]" if spec.quick_params else ""
+        print(f"{spec.name:22s} seed={spec.seed:<6d} {spec.title}{quick}")
+    return 0
+
+
+def _cmd_experiments_run(args: argparse.Namespace) -> int:
+    from .runtime import run_experiments
+
+    if not args.all and not args.only:
+        raise SystemExit("experiments run: pass --all or --only NAME [NAME ...]")
+    names = None if args.all else args.only
+    report = run_experiments(
+        names=names,
+        jobs=args.jobs,
+        out_dir=args.out,
+        force=args.force,
+        timeout_s=args.timeout,
+        cache_dir=args.cache_dir,
+        quick=args.quick,
+    )
+    for outcome in report.outcomes:
+        line = (
+            f"{outcome.name:22s} {outcome.status:7s} cache={outcome.cache:6s} "
+            f"{outcome.elapsed_s:6.2f}s"
+        )
+        if outcome.error:
+            line += f"  {outcome.error.strip().splitlines()[-1]}"
+        print(line)
+    totals = report.manifest["totals"]
+    print(
+        f"{totals['ok']}/{totals['experiments']} ok, "
+        f"{totals['cache_hits']} cache hit(s), "
+        f"{totals['elapsed_s']:.2f}s total"
+    )
+    print(f"manifest: {report.run_dir / 'manifest.json'}")
+    return 0 if report.ok else 1
+
+
+def _cmd_experiments_validate(args: argparse.Namespace) -> int:
+    from .errors import ManifestError
+    from .runtime import RESULT_SCHEMA, load_manifest, read_json
+
+    try:
+        manifest = load_manifest(args.run_dir)
+    except ManifestError as exc:
+        print(f"INVALID: {exc}")
+        return 1
+    problems = []
+    run_dir = Path(args.run_dir)
+    for entry in manifest["experiments"]:
+        if entry["status"] != "ok":
+            continue
+        path = run_dir / entry["result_file"]
+        try:
+            payload = read_json(path)
+        except (OSError, ValueError) as exc:
+            problems.append(f"{entry['name']}: unreadable result ({exc})")
+            continue
+        if payload.get("schema") != RESULT_SCHEMA:
+            problems.append(f"{entry['name']}: wrong result schema")
+        elif "result" not in payload:
+            problems.append(f"{entry['name']}: result file has no result")
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}")
+        return 1
+    totals = manifest["totals"]
+    print(
+        f"valid manifest: run {manifest['run_id']}, "
+        f"{totals['ok']}/{totals['experiments']} ok, "
+        f"{totals['cache_hits']} cache hit(s)"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="EcoCapsule reproduction toolkit"
@@ -190,6 +277,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--figures", nargs="*", help="figure ids (default: all tabular figures)"
     )
     export.set_defaults(func=_cmd_export)
+
+    experiments = sub.add_parser(
+        "experiments", help="run the paper experiments through the runtime"
+    )
+    exp_sub = experiments.add_subparsers(dest="experiments_command", required=True)
+
+    exp_list = exp_sub.add_parser("list", help="list registered experiments")
+    exp_list.set_defaults(func=_cmd_experiments_list)
+
+    exp_run = exp_sub.add_parser(
+        "run", help="run experiments in parallel with result caching"
+    )
+    exp_run.add_argument("--all", action="store_true", help="run every experiment")
+    exp_run.add_argument(
+        "--only", nargs="+", metavar="NAME", help="registry ids to run"
+    )
+    exp_run.add_argument("--jobs", type=int, default=2, help="worker processes")
+    exp_run.add_argument("--out", default="results", help="results directory")
+    exp_run.add_argument(
+        "--force", action="store_true", help="bypass the result cache"
+    )
+    exp_run.add_argument(
+        "--quick", action="store_true",
+        help="use the reduced (still seeded) CI parameters",
+    )
+    exp_run.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="per-experiment timeout in seconds",
+    )
+    exp_run.add_argument(
+        "--cache-dir", default=None, help="cache location (default <out>/.cache)"
+    )
+    exp_run.set_defaults(func=_cmd_experiments_run)
+
+    exp_validate = exp_sub.add_parser(
+        "validate", help="validate a run directory's manifest and results"
+    )
+    exp_validate.add_argument("run_dir", help="results/<run_id> directory")
+    exp_validate.set_defaults(func=_cmd_experiments_validate)
 
     return parser
 

@@ -53,3 +53,19 @@ class PowerError(ReproError):
 
 class DesignError(ReproError):
     """A mechanical/acoustic design request is infeasible (shell, prism, HRA)."""
+
+
+class RuntimeSubsystemError(ReproError):
+    """Base class for the experiment-runtime layer (registry/cache/runner)."""
+
+
+class RegistryError(RuntimeSubsystemError):
+    """An experiment name or module does not match the registry contract."""
+
+
+class SerializationError(RuntimeSubsystemError):
+    """A result object contains something the JSON serializer cannot encode."""
+
+
+class ManifestError(RuntimeSubsystemError):
+    """A run manifest is missing or violates the manifest schema."""

@@ -40,8 +40,14 @@ class Fig04Result:
         return "p" if row.p_amplitude >= row.s_amplitude else "s"
 
 
-def run(concrete_name: str = "NC", step_deg: float = 1.0) -> Fig04Result:
-    """Reproduce the Fig. 4 sweep for ``concrete_name``."""
+def run(
+    concrete_name: str = "NC", step_deg: float = 1.0, seed: int = 0
+) -> Fig04Result:
+    """Reproduce the Fig. 4 sweep for ``concrete_name``.
+
+    The sweep is fully deterministic; ``seed`` is accepted (and recorded
+    in run manifests) so every experiment exposes the seeded interface.
+    """
     concrete = get_concrete(concrete_name).medium
     low, high = s_only_window(PLA, concrete)
     rows: List[ModeAmplitudeRow] = []

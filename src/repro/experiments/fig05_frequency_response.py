@@ -43,8 +43,13 @@ def run(
     f_start: float = 20e3,
     f_stop: float = 400e3,
     f_step: float = 10e3,
+    seed: int = 0,
 ) -> Fig05Result:
-    """Sweep the four Fig. 5a blocks exactly as the paper does."""
+    """Sweep the four Fig. 5a blocks exactly as the paper does.
+
+    The sweep is fully deterministic; ``seed`` is accepted (and recorded
+    in run manifests) so every experiment exposes the seeded interface.
+    """
     frequencies = []
     f = f_start
     while f <= f_stop + 1.0:

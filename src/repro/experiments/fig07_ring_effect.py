@@ -46,8 +46,13 @@ def run(
     concrete_name: str = "NC",
     edge_duration: float = 0.5e-3,
     sample_rate: float = 4e6,
+    seed: int = 0,
 ) -> Fig07Result:
-    """Build both Fig. 7 symbols (0.5 ms edges as in the figure)."""
+    """Build both Fig. 7 symbols (0.5 ms edges as in the figure).
+
+    The waveforms are fully deterministic; ``seed`` is accepted (and
+    recorded in run manifests) for interface uniformity.
+    """
     block = ConcreteBlock(get_concrete(concrete_name), 0.15)
     response = FrequencyResponse(block)
     ring = RingdownModel()

@@ -49,8 +49,12 @@ class Fig12Result:
         return best_label, best_range
 
 
-def run(voltages: List[float] = None) -> Fig12Result:
-    """Sweep all six structures over ``voltages`` (default 10-250 V)."""
+def run(voltages: List[float] = None, seed: int = 0) -> Fig12Result:
+    """Sweep all six structures over ``voltages`` (default 10-250 V).
+
+    The link-budget sweep is fully deterministic; ``seed`` is accepted
+    (and recorded in run manifests) for interface uniformity.
+    """
     if voltages is None:
         voltages = [10.0, 25.0, 50.0, 84.0, 100.0, 125.0, 150.0, 200.0, 250.0]
     curves: Dict[str, RangeCurve] = {}

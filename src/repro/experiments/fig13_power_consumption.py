@@ -29,8 +29,12 @@ class Fig13Result:
         return max(active) - min(active)
 
 
-def run(bitrates_kbps: List[float] = None) -> Fig13Result:
-    """Sweep 0-8 kbps as in the figure."""
+def run(bitrates_kbps: List[float] = None, seed: int = 0) -> Fig13Result:
+    """Sweep 0-8 kbps as in the figure.
+
+    The power model is fully deterministic; ``seed`` is accepted (and
+    recorded in run manifests) for interface uniformity.
+    """
     if bitrates_kbps is None:
         bitrates_kbps = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
     mcu = McuPowerModel()

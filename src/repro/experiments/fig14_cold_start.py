@@ -25,8 +25,12 @@ class Fig14Result:
         raise KeyError(f"voltage {voltage} not in the sweep")
 
 
-def run(voltages: List[float] = None) -> Fig14Result:
-    """Sweep the activation voltage 0.5-5 V as in the figure."""
+def run(voltages: List[float] = None, seed: int = 0) -> Fig14Result:
+    """Sweep the activation voltage 0.5-5 V as in the figure.
+
+    The harvester model is fully deterministic; ``seed`` is accepted
+    (and recorded in run manifests) for interface uniformity.
+    """
     if voltages is None:
         voltages = [0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0]
     harvester = EnergyHarvester()

@@ -22,8 +22,12 @@ class Fig16Result:
     u2b_crossover: float  # bitrate where U2B overtakes EcoCapsule
 
 
-def run(bitrates_kbps: List[float] = None) -> Fig16Result:
-    """Sweep 1-15 kbps as in the figure."""
+def run(bitrates_kbps: List[float] = None, seed: int = 0) -> Fig16Result:
+    """Sweep 1-15 kbps as in the figure.
+
+    The SNR models are fully deterministic; ``seed`` is accepted (and
+    recorded in run manifests) for interface uniformity.
+    """
     if bitrates_kbps is None:
         bitrates_kbps = [1, 2, 4, 6, 8, 9, 10, 12, 13, 14, 15]
     eco = SnrBitrateModel()

@@ -37,8 +37,12 @@ def run(
     angles_deg: List[float] = None,
     concrete_name: str = "NC",
     reference_snr_db: float = 15.3,
+    seed: int = 0,
 ) -> Fig19Result:
     """Sweep the tested prism angles (the paper tests 0-75 deg).
+
+    The angle sweep is fully deterministic; ``seed`` is accepted (and
+    recorded in run manifests) for interface uniformity.
 
     ``reference_snr_db`` anchors a unity-quality injection; each angle's
     SNR is the reference scaled by its injection quality (energy into

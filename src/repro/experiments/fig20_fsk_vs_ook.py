@@ -34,8 +34,13 @@ class Fig20Result:
 def run(
     bitrates_kbps: List[float] = None,
     concrete_name: str = "NC",
+    seed: int = 0,
 ) -> Fig20Result:
-    """Sweep 1-10 kbps as in the figure."""
+    """Sweep 1-10 kbps as in the figure.
+
+    The symbol waveforms are fully deterministic; ``seed`` is accepted
+    (and recorded in run manifests) for interface uniformity.
+    """
     if bitrates_kbps is None:
         bitrates_kbps = [1.0, 2.0, 4.0, 6.0, 8.0, 10.0]
     block = ConcreteBlock(get_concrete(concrete_name), 0.15)

@@ -112,6 +112,33 @@ class HraDesignPoint:
     resonance_at_design_speed: float
 
 
+@dataclass(frozen=True)
+class TablesResult:
+    """Every tabular reproduction bundled for the experiment runtime."""
+
+    table1_rows: List[Table1Row]
+    table2_thresholds: Dict[str, Dict[str, float]]
+    table2_examples: List[Tuple[float, str, str]]
+    shell_points: List[ShellDesignPoint]
+    hra: HraDesignPoint
+
+
+def run(seed: int = 0) -> TablesResult:
+    """Regenerate Tables 1/2 plus the shell and HRA design points.
+
+    Everything here is a deterministic lookup; ``seed`` is accepted (and
+    recorded in run manifests) so every experiment exposes the seeded
+    interface the runtime registry expects.
+    """
+    return TablesResult(
+        table1_rows=table1(),
+        table2_thresholds=table2(),
+        table2_examples=table2_examples(),
+        shell_points=shell_design_points(),
+        hra=hra_design_point(),
+    )
+
+
 def hra_design_point(target: float = 230e3) -> HraDesignPoint:
     """The paper's HR geometry and the wave speed placing it at 230 kHz.
 

@@ -19,6 +19,7 @@ from .deployment import (
 )
 from .session import PlacedNode, SessionResult, SessionTiming, WallSession
 from .simulation import (
+    DEFAULT_SIMULATION_SEED,
     DownlinkSimulator,
     SnrBitrateModel,
     UplinkBasebandSimulator,
@@ -49,6 +50,7 @@ __all__ = [
     "SessionResult",
     "SessionTiming",
     "WallSession",
+    "DEFAULT_SIMULATION_SEED",
     "DownlinkSimulator",
     "SnrBitrateModel",
     "UplinkBasebandSimulator",

@@ -43,6 +43,12 @@ from ..phy import (
 from ..phy.modem import BackscatterModulator
 from ..units import db_amplitude
 
+#: Default RNG seed for the Monte-Carlo simulators.  A fixed value (not
+#: ``None``) so that out-of-the-box runs are reproducible and the
+#: experiment runtime can record the seed in run manifests; pass
+#: ``seed=None`` explicitly to opt back into OS-entropy draws.
+DEFAULT_SIMULATION_SEED = 0x5EC0  # "SEnsing COncrete"
+
 
 @dataclass(frozen=True)
 class UplinkResult:
@@ -98,7 +104,7 @@ class UplinkBasebandSimulator:
     processing_gain_db: float = 6.0
     detection_center_db: float = 3.5
     detection_scale_db: float = 0.45
-    seed: Optional[int] = None
+    seed: Optional[int] = DEFAULT_SIMULATION_SEED
 
     def __post_init__(self) -> None:
         if self.samples_per_symbol < 2 or self.samples_per_symbol % 2:
@@ -275,7 +281,7 @@ class UplinkPassbandSimulator:
     modulator: BackscatterModulator = field(default_factory=BackscatterModulator)
     channel_gain: float = 0.05
     noise_floor: float = 2e-3
-    seed: Optional[int] = None
+    seed: Optional[int] = DEFAULT_SIMULATION_SEED
 
     def __post_init__(self) -> None:
         if not 0.0 < self.carrier < self.sample_rate / 2.0:

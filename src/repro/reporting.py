@@ -57,6 +57,49 @@ def write_json(path: Union[str, Path], rows: Sequence[Row]) -> Path:
 
 
 # ----------------------------------------------------------------------
+# Serialized-run readers (the runtime's results/<run_id>/ layout)
+# ----------------------------------------------------------------------
+
+
+def load_result(path: Union[str, Path]) -> Dict:
+    """Read one per-experiment JSON written by the experiment runtime.
+
+    Validates the schema tag so stale or foreign files fail loudly;
+    returns the full payload (experiment, params, seed, result).
+    """
+    from .runtime import RESULT_SCHEMA, read_json
+
+    path = Path(path)
+    try:
+        payload = read_json(path)
+    except (OSError, ValueError) as exc:
+        raise ReportingError(f"unreadable result file {path}: {exc}") from None
+    if not isinstance(payload, dict) or payload.get("schema") != RESULT_SCHEMA:
+        raise ReportingError(
+            f"{path} is not a runtime result file (schema {RESULT_SCHEMA!r})"
+        )
+    return payload
+
+
+def load_run(run_dir: Union[str, Path]) -> Dict[str, Dict]:
+    """Load a whole sweep: experiment name -> result payload.
+
+    Reads the run's manifest (validating it) and every result file it
+    points at.  Failed experiments are skipped -- the manifest keeps
+    their error records.
+    """
+    from .runtime import load_manifest
+
+    run_dir = Path(run_dir)
+    manifest = load_manifest(run_dir)
+    results: Dict[str, Dict] = {}
+    for entry in manifest["experiments"]:
+        if entry["status"] == "ok" and entry.get("result_file"):
+            results[entry["name"]] = load_result(run_dir / entry["result_file"])
+    return results
+
+
+# ----------------------------------------------------------------------
 # Flatteners: experiment result -> rows
 # ----------------------------------------------------------------------
 

@@ -1,0 +1,77 @@
+"""Experiment runtime: registry, parallel runner, cache, manifests.
+
+The subsystem that turns the 18 per-figure experiment modules into a
+managed sweep::
+
+    from repro.runtime import run_experiments
+
+    report = run_experiments(jobs=4, out_dir="results")
+    print(report.run_dir / "manifest.json")
+
+or, from a shell::
+
+    python -m repro.cli experiments run --all --jobs 4 --out results
+
+Layers (see DESIGN.md "Experiment runtime"):
+
+* :mod:`~repro.runtime.registry` -- auto-discovers every
+  ``experiments.*.run(...)`` with its defaults and declared seed;
+* :mod:`~repro.runtime.runner` -- ``ProcessPoolExecutor`` sweep with
+  crash isolation, per-experiment timeouts and ordered collection;
+* :mod:`~repro.runtime.cache` -- content-addressed result cache keyed
+  on (module source, parameters, seed, library versions);
+* :mod:`~repro.runtime.manifest` -- run-manifest schema + validator;
+* :mod:`~repro.runtime.serialize` -- canonical dataclass-to-JSON;
+* :mod:`~repro.runtime.goldens` -- scalar snapshots for the
+  golden-regression test layer.
+"""
+
+from .cache import CACHE_ENTRY_SCHEMA, ResultCache, cache_key, library_versions
+from .goldens import compare_snapshots, flatten_scalars, golden_snapshot
+from .manifest import (
+    MANIFEST_SCHEMA,
+    RESULT_SCHEMA,
+    git_revision,
+    load_manifest,
+    validate_manifest,
+)
+from .registry import (
+    ExperimentSpec,
+    experiment_names,
+    experiment_registry,
+    get_spec,
+)
+from .runner import (
+    DEFAULT_TIMEOUT_S,
+    ExperimentOutcome,
+    RunReport,
+    run_experiments,
+)
+from .serialize import canonical_json, read_json, to_jsonable, write_json_atomic
+
+__all__ = [
+    "CACHE_ENTRY_SCHEMA",
+    "DEFAULT_TIMEOUT_S",
+    "ExperimentOutcome",
+    "ExperimentSpec",
+    "MANIFEST_SCHEMA",
+    "RESULT_SCHEMA",
+    "ResultCache",
+    "RunReport",
+    "cache_key",
+    "canonical_json",
+    "compare_snapshots",
+    "experiment_names",
+    "experiment_registry",
+    "flatten_scalars",
+    "get_spec",
+    "git_revision",
+    "golden_snapshot",
+    "library_versions",
+    "load_manifest",
+    "read_json",
+    "run_experiments",
+    "to_jsonable",
+    "validate_manifest",
+    "write_json_atomic",
+]

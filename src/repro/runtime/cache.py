@@ -1,0 +1,111 @@
+"""Content-addressed result cache for experiment runs.
+
+A cache entry is keyed by the SHA-256 of the canonical JSON of
+``{module source digest, parameters, seed, library versions}``, so a
+re-run with identical inputs is a file read, while *any* change to the
+experiment's source, its parameters, its seed, or the numeric stack
+(python/numpy/scipy/repro versions) misses and recomputes.
+
+Entries are plain JSON files named ``<key>.json`` inside the cache
+directory.  Corrupted or truncated entries are treated as misses and
+deleted -- a damaged cache can cost a recompute but never a crash and
+never a stale result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+from .serialize import canonical_json, write_json_atomic
+
+#: Schema tag stamped into every cache entry (bumping it invalidates
+#: all existing entries, exactly like a source change would).
+CACHE_ENTRY_SCHEMA = "repro/cache-entry/v1"
+
+
+def library_versions() -> Dict[str, str]:
+    """The version pins folded into every cache key."""
+    import numpy
+    import scipy
+
+    import repro
+
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+        "repro": repro.__version__,
+    }
+
+
+def cache_key(
+    source: str,
+    params: Mapping[str, Any],
+    seed: int,
+    versions: Optional[Mapping[str, str]] = None,
+) -> str:
+    """SHA-256 key for one (source, params, seed, versions) combination."""
+    if versions is None:
+        versions = library_versions()
+    source_digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    material = canonical_json(
+        {
+            "schema": CACHE_ENTRY_SCHEMA,
+            "source_sha256": source_digest,
+            "params": params,
+            "seed": seed,
+            "versions": dict(versions),
+        }
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Filesystem cache mapping keys to serialized experiment payloads."""
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+
+    def path_for(self, key: str) -> Path:
+        """Entry location for ``key`` (exists only after a store)."""
+        return self.directory / f"{key}.json"
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached payload, or None on miss *or* corrupted entry.
+
+        A corrupt entry (unreadable JSON, wrong schema tag, missing
+        result) is deleted so the slot heals itself on the next store.
+        """
+        path = self.path_for(key)
+        try:
+            with path.open() as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            self._discard(path)
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("schema") != CACHE_ENTRY_SCHEMA
+            or "result" not in entry
+        ):
+            self._discard(path)
+            return None
+        return entry
+
+    def store(self, key: str, payload: Mapping[str, Any]) -> Path:
+        """Persist ``payload`` (must contain 'result') under ``key``."""
+        entry = {"schema": CACHE_ENTRY_SCHEMA, "key": key, **payload}
+        return write_json_atomic(self.path_for(key), entry)
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass

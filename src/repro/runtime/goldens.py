@@ -1,0 +1,165 @@
+"""Golden-snapshot extraction for the regression test layer.
+
+A golden is a flat ``{path: scalar}`` dict distilled from one
+experiment's result: every scalar leaf of the serialized result tree,
+with long numeric arrays summarized (length / first / last / mean) so
+goldens stay reviewable, plus a handful of named headline metrics
+(``extra.*``) computed through the result objects' own methods --
+Fig. 15's ``floor_snr``, Fig. 17's throughput advantage, and so on.
+
+``tests/test_experiment_goldens.py`` compares freshly-computed
+snapshots against the checked-in ``tests/goldens/*.json``;
+``scripts/regen_goldens.py`` rewrites them after an intentional change.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Union
+
+from .serialize import NONFINITE_KEY, TYPE_KEY, to_jsonable
+
+Scalar = Union[bool, int, float, str, None]
+
+#: Numeric lists longer than this are summarized instead of inlined.
+SUMMARIZE_OVER = 16
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _decode_nonfinite(value: Dict[str, Any]) -> float:
+    tag = value[NONFINITE_KEY]
+    return {"inf": math.inf, "-inf": -math.inf, "nan": math.nan}[tag]
+
+
+def flatten_scalars(jsonable: Any, prefix: str = "") -> Dict[str, Scalar]:
+    """Flatten a serialized result into dotted-path scalar entries."""
+    out: Dict[str, Scalar] = {}
+
+    def visit(node: Any, path: str) -> None:
+        if isinstance(node, dict):
+            if set(node) == {NONFINITE_KEY}:
+                out[path] = repr(_decode_nonfinite(node))
+                return
+            for key in sorted(node):
+                if key == TYPE_KEY:
+                    continue
+                visit(node[key], f"{path}.{key}" if path else key)
+            return
+        if isinstance(node, list):
+            numeric = all(_is_number(v) for v in node)
+            if numeric and len(node) > SUMMARIZE_OVER:
+                out[f"{path}.len"] = len(node)
+                out[f"{path}.first"] = node[0]
+                out[f"{path}.last"] = node[-1]
+                out[f"{path}.mean"] = math.fsum(node) / len(node)
+                return
+            for index, item in enumerate(node):
+                visit(item, f"{path}[{index}]")
+            return
+        out[path] = node
+
+    visit(jsonable, prefix)
+    return out
+
+
+def _fig15_extras(result: Any) -> Dict[str, Scalar]:
+    return {
+        "floor_snr_eco_1e4_db": result.floor_snr("ecocapsule", 1e-4),
+        "floor_snr_pab_1e4_db": result.floor_snr("pab", 1e-4),
+    }
+
+
+def _fig17_extras(result: Any) -> Dict[str, Scalar]:
+    return {
+        "uhpc_advantage_bps": result.advantage_over_nc("UHPC"),
+        "uhpfrc_advantage_bps": result.advantage_over_nc("UHPFRC"),
+        "nc_throughput_bps": result.rows["NC"].measured_throughput,
+    }
+
+
+def _fig18_extras(result: Any) -> Dict[str, Scalar]:
+    return {f"median_{pos}_db": result.median(pos)
+            for pos in result.snr_samples_db}
+
+
+def _fig20_extras(result: Any) -> Dict[str, Scalar]:
+    low, high = result.gain_range
+    return {"gain_low": low, "gain_high": high}
+
+
+def _fig21_extras(result: Any) -> Dict[str, Scalar]:
+    return {
+        "storm_detected_in_both": result.storm_detected_in_both,
+        "sensors_mutually_verified": result.sensors_mutually_verified,
+        "health_at_or_above_b": result.health_at_or_above_b,
+    }
+
+
+def _fig22_extras(result: Any) -> Dict[str, Scalar]:
+    return {"modulation_depth": result.modulation_depth}
+
+
+def _fig24_extras(result: Any) -> Dict[str, Scalar]:
+    return {"guard_band_depth_db": result.guard_band_depth_db()}
+
+
+def _downlink_extras(result: Any) -> Dict[str, Scalar]:
+    return {"working_snr_db": result.working_snr()}
+
+
+def _fig07_extras(result: Any) -> Dict[str, Scalar]:
+    return {"suppression_ratio": result.suppression_ratio}
+
+
+#: Named headline metrics per experiment (all optional).
+EXTRA_METRICS: Dict[str, Callable[[Any], Dict[str, Scalar]]] = {
+    "fig07": _fig07_extras,
+    "fig15": _fig15_extras,
+    "fig17": _fig17_extras,
+    "fig18": _fig18_extras,
+    "fig20": _fig20_extras,
+    "fig21": _fig21_extras,
+    "fig22": _fig22_extras,
+    "fig24": _fig24_extras,
+    "downlink_reliability": _downlink_extras,
+}
+
+
+def golden_snapshot(name: str, result: Any) -> Dict[str, Scalar]:
+    """The full golden dict for one experiment's in-memory result."""
+    snapshot = flatten_scalars(to_jsonable(result))
+    extras = EXTRA_METRICS.get(name)
+    if extras is not None:
+        for key, value in extras(result).items():
+            encoded = to_jsonable(value)
+            if isinstance(encoded, dict):  # non-finite float marker
+                encoded = repr(_decode_nonfinite(encoded))
+            snapshot[f"extra.{key}"] = encoded
+    return snapshot
+
+
+def compare_snapshots(
+    expected: Dict[str, Scalar],
+    actual: Dict[str, Scalar],
+    rel_tol: float = 1e-7,
+    abs_tol: float = 1e-12,
+) -> Dict[str, str]:
+    """Differences keyed by path (empty == within tolerance)."""
+    problems: Dict[str, str] = {}
+    for path in sorted(set(expected) | set(actual)):
+        if path not in actual:
+            problems[path] = "missing from the fresh run"
+            continue
+        if path not in expected:
+            problems[path] = "not present in the golden"
+            continue
+        want, got = expected[path], actual[path]
+        if _is_number(want) and _is_number(got):
+            if not math.isclose(want, got, rel_tol=rel_tol, abs_tol=abs_tol):
+                problems[path] = f"expected {want!r}, got {got!r}"
+        elif want != got:
+            problems[path] = f"expected {want!r}, got {got!r}"
+    return problems

@@ -1,0 +1,162 @@
+"""Run-manifest schema and validation.
+
+Every sweep writes ``<out>/<run_id>/manifest.json`` describing exactly
+what ran: seeds, parameters, git revision, library versions, per-
+experiment timings, cache hits and failure records.  The manifest is
+the audit artifact -- two runs are comparable iff their manifests say
+they executed the same inputs.
+
+``validate_manifest`` is a dependency-free structural validator (no
+jsonschema in the container); it returns a list of human-readable
+problems, empty when the manifest conforms.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Union
+
+from ..errors import ManifestError
+from .serialize import read_json
+
+#: Manifest schema identifier; bump on breaking layout changes.
+MANIFEST_SCHEMA = "repro/run-manifest/v1"
+
+#: Per-experiment result file schema identifier.
+RESULT_SCHEMA = "repro/experiment-result/v1"
+
+#: Allowed per-experiment terminal states.
+EXPERIMENT_STATUSES = ("ok", "failed", "timeout")
+
+#: Allowed cache dispositions.
+CACHE_STATES = ("hit", "miss", "bypass")
+
+_TOP_LEVEL_FIELDS: Dict[str, type] = {
+    "schema": str,
+    "run_id": str,
+    "created_utc": str,
+    "git_sha": str,
+    "jobs": int,
+    "forced": bool,
+    "versions": dict,
+    "experiments": list,
+    "totals": dict,
+}
+
+_EXPERIMENT_FIELDS: Dict[str, type] = {
+    "name": str,
+    "module": str,
+    "params": dict,
+    "seed": int,
+    "status": str,
+    "cache": str,
+    "cache_key": str,
+    "elapsed_s": (int, float),  # type: ignore[dict-item]
+}
+
+_TOTALS_FIELDS: Dict[str, type] = {
+    "experiments": int,
+    "ok": int,
+    "failed": int,
+    "cache_hits": int,
+    "elapsed_s": (int, float),  # type: ignore[dict-item]
+}
+
+
+def git_revision(default: str = "unknown") -> str:
+    """The repository HEAD SHA, or ``default`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return default
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else default
+
+
+def validate_manifest(manifest: Mapping[str, Any]) -> List[str]:
+    """Structural problems in ``manifest`` (empty list == valid)."""
+    problems: List[str] = []
+    if not isinstance(manifest, Mapping):
+        return ["manifest is not a JSON object"]
+    for name, kind in _TOP_LEVEL_FIELDS.items():
+        if name not in manifest:
+            problems.append(f"missing top-level field {name!r}")
+        elif not isinstance(manifest[name], kind):
+            problems.append(
+                f"field {name!r} should be {getattr(kind, '__name__', kind)}"
+            )
+    if manifest.get("schema") not in (None, MANIFEST_SCHEMA):
+        problems.append(
+            f"schema is {manifest['schema']!r}, expected {MANIFEST_SCHEMA!r}"
+        )
+    entries = manifest.get("experiments")
+    if isinstance(entries, list):
+        seen = set()
+        for index, entry in enumerate(entries):
+            if not isinstance(entry, Mapping):
+                problems.append(f"experiments[{index}] is not an object")
+                continue
+            label = entry.get("name", f"#{index}")
+            for name, kind in _EXPERIMENT_FIELDS.items():
+                if name not in entry:
+                    problems.append(f"{label}: missing field {name!r}")
+                elif not isinstance(entry[name], kind):
+                    problems.append(f"{label}: field {name!r} has wrong type")
+            if entry.get("status") not in (None,) + EXPERIMENT_STATUSES:
+                problems.append(f"{label}: bad status {entry['status']!r}")
+            if entry.get("cache") not in (None,) + CACHE_STATES:
+                problems.append(f"{label}: bad cache state {entry['cache']!r}")
+            if entry.get("status") == "ok" and not entry.get("result_file"):
+                problems.append(f"{label}: ok entry has no result_file")
+            if entry.get("status") != "ok" and not entry.get("error"):
+                problems.append(f"{label}: non-ok entry has no error record")
+            if entry.get("name") in seen:
+                problems.append(f"{label}: duplicate experiment entry")
+            seen.add(entry.get("name"))
+    totals = manifest.get("totals")
+    if isinstance(totals, Mapping):
+        for name, kind in _TOTALS_FIELDS.items():
+            if name not in totals:
+                problems.append(f"totals: missing field {name!r}")
+            elif not isinstance(totals[name], kind):
+                problems.append(f"totals: field {name!r} has wrong type")
+        if isinstance(entries, list) and isinstance(totals.get("experiments"), int):
+            if totals["experiments"] != len(entries):
+                problems.append("totals.experiments does not match entry count")
+            ok = sum(1 for e in entries
+                     if isinstance(e, Mapping) and e.get("status") == "ok")
+            if isinstance(totals.get("ok"), int) and totals["ok"] != ok:
+                problems.append("totals.ok does not match entry statuses")
+            hits = sum(1 for e in entries
+                       if isinstance(e, Mapping) and e.get("cache") == "hit")
+            if isinstance(totals.get("cache_hits"), int) and totals["cache_hits"] != hits:
+                problems.append("totals.cache_hits does not match entries")
+    return problems
+
+
+def load_manifest(run_dir: Union[str, Path]) -> Dict[str, Any]:
+    """Read and validate ``<run_dir>/manifest.json``.
+
+    Raises :class:`~repro.errors.ManifestError` when the file is absent,
+    unreadable, or fails :func:`validate_manifest`.
+    """
+    path = Path(run_dir) / "manifest.json"
+    try:
+        manifest = read_json(path)
+    except FileNotFoundError:
+        raise ManifestError(f"no manifest at {path}") from None
+    except (OSError, ValueError) as exc:
+        raise ManifestError(f"unreadable manifest at {path}: {exc}") from None
+    problems = validate_manifest(manifest)
+    if problems:
+        raise ManifestError(
+            f"invalid manifest at {path}: " + "; ".join(problems)
+        )
+    return manifest

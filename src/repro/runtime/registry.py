@@ -1,0 +1,163 @@
+"""Auto-discovered registry of every paper experiment.
+
+Walks ``repro.experiments.__all__`` and records, per module, the
+``run(...)`` entrypoint, its default parameters (from the signature),
+the declared RNG seed, and a one-line title (the module docstring's
+first line).  The registry is what the parallel runner, the CLI, the
+result cache and the golden-regression tests all key off, so experiment
+modules stay plain "``run()`` returning a dataclass" with zero runtime
+imports of their own.
+
+Registry names are the short figure/table ids the paper uses: module
+``fig15_ber_vs_snr`` registers as ``fig15``; non-figure modules
+(``tables``, ``appendix_sensors``, ``downlink_reliability``) register
+under their full module name.
+"""
+
+from __future__ import annotations
+
+import inspect
+import re
+import types
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..errors import RegistryError
+
+#: Per-experiment parameter overrides giving a fast-but-still-seeded
+#: run for CI, golden tests and ``--quick`` sweeps.  Only the two
+#: Monte-Carlo-heavy experiments need trimming; everything else runs in
+#: milliseconds at its paper defaults.
+QUICK_PARAMS: Dict[str, Dict[str, Any]] = {
+    "fig15": {"total_bits": 4_000},
+    "fig17": {"measure_bits": 1_000},
+    "downlink_reliability": {"packets_per_point": 12},
+    "fig18": {"trials": 80},
+    "fig24": {"n_bits": 32},
+}
+
+_FIG_PREFIX = re.compile(r"^(fig\d+)_")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment: where it lives and how to run it.
+
+    Attributes:
+        name: Short registry id (``fig15``, ``tables``, ...).
+        module_name: Dotted import path of the experiment module.
+        title: First line of the module docstring.
+        default_params: ``run``'s keyword defaults, in signature order.
+        seed: The declared default seed (every experiment has one).
+        quick_params: Overrides for a fast seeded run (may be empty).
+    """
+
+    name: str
+    module_name: str
+    title: str
+    default_params: Mapping[str, Any]
+    seed: int
+    quick_params: Mapping[str, Any] = field(default_factory=dict)
+
+    def module(self) -> types.ModuleType:
+        """Import (or fetch the cached) experiment module."""
+        import importlib
+
+        return importlib.import_module(self.module_name)
+
+    def source(self) -> str:
+        """The module's source text (the cache-key ingredient)."""
+        return inspect.getsource(self.module())
+
+    def params(self, overrides: Optional[Mapping[str, Any]] = None,
+               quick: bool = False) -> Dict[str, Any]:
+        """Effective parameters: defaults, then quick, then overrides."""
+        merged = dict(self.default_params)
+        if quick:
+            merged.update(self.quick_params)
+        if overrides:
+            unknown = sorted(set(overrides) - set(merged))
+            if unknown:
+                raise RegistryError(
+                    f"{self.name}: unknown parameter(s) {unknown}; "
+                    f"run() accepts {sorted(merged)}"
+                )
+            merged.update(overrides)
+        return merged
+
+    def execute(self, overrides: Optional[Mapping[str, Any]] = None,
+                quick: bool = False) -> Any:
+        """Run the experiment with the resolved parameters."""
+        return self.module().run(**self.params(overrides, quick=quick))
+
+
+def registry_name(module_short_name: str) -> str:
+    """Map a module name to its registry id (``fig15_...`` -> ``fig15``)."""
+    match = _FIG_PREFIX.match(module_short_name)
+    return match.group(1) if match else module_short_name
+
+
+def _spec_for(module_short_name: str) -> ExperimentSpec:
+    import importlib
+
+    module_name = f"repro.experiments.{module_short_name}"
+    module = importlib.import_module(module_name)
+    run = getattr(module, "run", None)
+    if not callable(run):
+        raise RegistryError(f"{module_name} has no callable run()")
+    defaults: Dict[str, Any] = {}
+    for param in inspect.signature(run).parameters.values():
+        if param.default is inspect.Parameter.empty:
+            raise RegistryError(
+                f"{module_name}.run parameter {param.name!r} has no default"
+            )
+        defaults[param.name] = param.default
+    if "seed" not in defaults or not isinstance(defaults["seed"], int):
+        raise RegistryError(
+            f"{module_name}.run must declare an integer 'seed' default"
+        )
+    title = (module.__doc__ or module_short_name).strip().splitlines()[0]
+    name = registry_name(module_short_name)
+    return ExperimentSpec(
+        name=name,
+        module_name=module_name,
+        title=title,
+        default_params=defaults,
+        seed=defaults["seed"],
+        quick_params=dict(QUICK_PARAMS.get(name, {})),
+    )
+
+
+@lru_cache(maxsize=1)
+def _registry() -> Tuple[Tuple[str, ExperimentSpec], ...]:
+    from .. import experiments
+
+    specs = []
+    for short_name in experiments.__all__:
+        spec = _spec_for(short_name)
+        specs.append((spec.name, spec))
+    names = [name for name, _ in specs]
+    if len(set(names)) != len(names):
+        raise RegistryError(f"duplicate registry names in {names}")
+    return tuple(specs)
+
+
+def experiment_registry() -> Dict[str, ExperimentSpec]:
+    """All registered experiments, in ``experiments.__all__`` order."""
+    return dict(_registry())
+
+
+def experiment_names() -> List[str]:
+    """Registry ids in canonical (definition) order."""
+    return [name for name, _ in _registry()]
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    """Look up one experiment; raises RegistryError for unknown names."""
+    for known, spec in _registry():
+        if known == name:
+            return spec
+    raise RegistryError(
+        f"unknown experiment {name!r}; registered: {experiment_names()}"
+    )

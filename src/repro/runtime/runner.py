@@ -1,0 +1,333 @@
+"""Parallel experiment runner: process pool, cache, manifests.
+
+``run_experiments`` executes any subset of the registry across a
+``ProcessPoolExecutor`` with per-experiment crash isolation and
+timeouts, consults the content-addressed result cache first, and writes
+one JSON result file per experiment plus a ``manifest.json`` audit
+record into ``<out>/<run_id>/``.
+
+Isolation model: a python-level exception inside an experiment is
+caught *inside the worker* and returned as a failure record, so it can
+never take the pool down.  A hard worker death (segfault, OOM-kill)
+surfaces as ``BrokenProcessPool``; the runner marks the experiment
+failed, rebuilds the pool and resubmits the remaining experiments.  A
+timeout marks the experiment ``timeout`` and likewise recycles the pool
+so the stuck worker cannot occupy a slot for the rest of the sweep.
+
+Results are collected in registry order regardless of completion order,
+so serialized output (and therefore manifests and goldens) never depend
+on scheduling.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+import traceback
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from .cache import ResultCache, cache_key, library_versions
+from .manifest import (
+    MANIFEST_SCHEMA,
+    RESULT_SCHEMA,
+    git_revision,
+    validate_manifest,
+)
+from .registry import ExperimentSpec, experiment_registry, get_spec
+from .serialize import to_jsonable, write_json_atomic
+
+#: Default wall-clock budget per experiment (generous: the slowest
+#: paper experiment takes ~5 s at its default parameters).
+DEFAULT_TIMEOUT_S = 300.0
+
+
+@dataclass
+class ExperimentOutcome:
+    """Terminal record for one experiment in a sweep."""
+
+    name: str
+    module: str
+    params: Dict[str, Any]
+    seed: int
+    status: str  # 'ok' | 'failed' | 'timeout'
+    cache: str  # 'hit' | 'miss' | 'bypass'
+    cache_key: str
+    elapsed_s: float
+    result: Optional[Any] = None  # jsonable result payload when ok
+    result_file: Optional[str] = None
+    error: Optional[str] = None
+
+
+@dataclass
+class RunReport:
+    """Everything ``run_experiments`` produced, plus where it lives."""
+
+    run_id: str
+    run_dir: Path
+    manifest: Dict[str, Any]
+    outcomes: List[ExperimentOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.status == "ok" for outcome in self.outcomes)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.cache == "hit")
+
+
+def execute_serialized(
+    name: str, module_name: str, params: Mapping[str, Any]
+) -> Dict[str, Any]:
+    """Run one experiment and serialize it (the pool worker body).
+
+    Resolves the experiment by importing ``module_name`` directly (not
+    through the registry) so injected specs work identically.  Always
+    returns a record -- exceptions are folded into ``error`` so a
+    failing experiment cannot poison the pool.  Module-level so it
+    pickles for ``ProcessPoolExecutor``.
+    """
+    import importlib
+
+    start = time.perf_counter()
+    try:
+        module = importlib.import_module(module_name)
+        result = module.run(**dict(params))
+        return {
+            "name": name,
+            "elapsed_s": time.perf_counter() - start,
+            "result": to_jsonable(result),
+            "error": None,
+        }
+    except BaseException:
+        return {
+            "name": name,
+            "elapsed_s": time.perf_counter() - start,
+            "result": None,
+            "error": traceback.format_exc(limit=20),
+        }
+
+
+def _resolve_specs(
+    names: Optional[Sequence[str]],
+    specs: Optional[Sequence[ExperimentSpec]],
+) -> List[ExperimentSpec]:
+    if specs is not None:
+        return list(specs)
+    if names is None:
+        return list(experiment_registry().values())
+    return [get_spec(name) for name in names]
+
+
+def _collect_parallel(
+    pending: List[ExperimentOutcome],
+    jobs: int,
+    timeout_s: float,
+) -> None:
+    """Fill in ``pending`` outcomes via a worker pool, in place.
+
+    Rebuilds the pool after a timeout or a broken-pool event so one bad
+    experiment cannot stall or kill the rest of the sweep.
+    """
+    remaining = list(pending)
+    while remaining:
+        executor = concurrent.futures.ProcessPoolExecutor(max_workers=jobs)
+        futures = {
+            outcome.name: executor.submit(
+                execute_serialized, outcome.name, outcome.module, outcome.params
+            )
+            for outcome in remaining
+        }
+        recycle = False
+        still_waiting: List[ExperimentOutcome] = []
+        for outcome in remaining:
+            if recycle:
+                still_waiting.append(outcome)
+                continue
+            try:
+                record = futures[outcome.name].result(timeout=timeout_s)
+            except concurrent.futures.TimeoutError:
+                outcome.status = "timeout"
+                outcome.elapsed_s = timeout_s
+                outcome.error = f"timed out after {timeout_s:.1f} s"
+                recycle = True
+                continue
+            except concurrent.futures.process.BrokenProcessPool:
+                outcome.status = "failed"
+                outcome.error = "worker process died (broken pool)"
+                recycle = True
+                continue
+            outcome.elapsed_s = record["elapsed_s"]
+            if record["error"] is None:
+                outcome.status = "ok"
+                outcome.result = record["result"]
+            else:
+                outcome.status = "failed"
+                outcome.error = record["error"]
+        if recycle:
+            # A stuck or dead worker: reap the whole pool so the retry
+            # pool starts from clean slots (terminate is best-effort --
+            # _processes is internal but stable across 3.9..3.13).
+            for process in getattr(executor, "_processes", {}).values():
+                try:
+                    process.terminate()
+                except OSError:  # pragma: no cover - already gone
+                    pass
+        executor.shutdown(wait=not recycle, cancel_futures=True)
+        remaining = still_waiting
+
+
+def run_experiments(
+    names: Optional[Sequence[str]] = None,
+    jobs: int = 2,
+    out_dir: Union[str, Path] = "results",
+    force: bool = False,
+    timeout_s: float = DEFAULT_TIMEOUT_S,
+    cache_dir: Optional[Union[str, Path]] = None,
+    overrides: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    quick: bool = False,
+    specs: Optional[Sequence[ExperimentSpec]] = None,
+    run_id: Optional[str] = None,
+) -> RunReport:
+    """Run a sweep and persist results + manifest under ``out_dir``.
+
+    Args:
+        names: Registry ids to run; None means every experiment.
+        jobs: Worker processes; 0 runs inline in this process (handy
+            for debugging and coverage, identical results either way).
+        out_dir: Root results directory; the sweep writes into
+            ``out_dir/<run_id>/``.
+        force: Bypass the cache (entries are still refreshed).
+        timeout_s: Per-experiment wall-clock budget.
+        cache_dir: Cache location; defaults to ``out_dir/.cache`` so a
+            results tree carries its own cache.
+        overrides: Per-experiment parameter overrides, keyed by name.
+        quick: Apply each spec's ``quick_params`` before overrides.
+        specs: Explicit spec objects (tests inject synthetic ones).
+        run_id: Fixed id for the output directory; defaults to a
+            UTC timestamp.
+
+    Returns:
+        A :class:`RunReport`; ``report.manifest`` is already validated.
+    """
+    chosen = _resolve_specs(names, specs)
+    out_dir = Path(out_dir)
+    if run_id is None:
+        run_id = datetime.now(timezone.utc).strftime("run-%Y%m%d-%H%M%S-%f")
+    run_dir = out_dir / run_id
+    cache = ResultCache(Path(cache_dir) if cache_dir else out_dir / ".cache")
+    versions = library_versions()
+    overrides = overrides or {}
+    sweep_start = time.perf_counter()
+
+    outcomes: List[ExperimentOutcome] = []
+    pending: List[ExperimentOutcome] = []
+    for spec in chosen:
+        params = spec.params(overrides.get(spec.name), quick=quick)
+        key = cache_key(spec.source(), params, params["seed"], versions)
+        outcome = ExperimentOutcome(
+            name=spec.name,
+            module=spec.module_name,
+            params=dict(params),
+            seed=params["seed"],
+            status="failed",
+            cache="bypass" if force else "miss",
+            cache_key=key,
+            elapsed_s=0.0,
+        )
+        outcomes.append(outcome)
+        entry = None if force else cache.load(key)
+        if entry is not None:
+            outcome.cache = "hit"
+            outcome.status = "ok"
+            outcome.result = entry["result"]
+            outcome.elapsed_s = 0.0
+        else:
+            pending.append(outcome)
+
+    if pending:
+        if jobs <= 0:
+            for outcome in pending:
+                record = execute_serialized(
+                    outcome.name, outcome.module, outcome.params
+                )
+                outcome.elapsed_s = record["elapsed_s"]
+                if record["error"] is None:
+                    outcome.status = "ok"
+                    outcome.result = record["result"]
+                else:
+                    outcome.status = "failed"
+                    outcome.error = record["error"]
+        else:
+            _collect_parallel(pending, jobs, timeout_s)
+
+    run_dir.mkdir(parents=True, exist_ok=True)
+    for outcome in outcomes:
+        if outcome.status != "ok":
+            continue
+        if outcome.cache != "hit":
+            cache.store(
+                outcome.cache_key,
+                {
+                    "experiment": outcome.name,
+                    "params": outcome.params,
+                    "elapsed_s": outcome.elapsed_s,
+                    "result": outcome.result,
+                },
+            )
+        outcome.result_file = f"{outcome.name}.json"
+        write_json_atomic(
+            run_dir / outcome.result_file,
+            {
+                "schema": RESULT_SCHEMA,
+                "experiment": outcome.name,
+                "module": outcome.module,
+                "params": outcome.params,
+                "seed": outcome.seed,
+                "cache_key": outcome.cache_key,
+                "cache": outcome.cache,
+                "result": outcome.result,
+            },
+        )
+
+    manifest: Dict[str, Any] = {
+        "schema": MANIFEST_SCHEMA,
+        "run_id": run_id,
+        "created_utc": datetime.now(timezone.utc).isoformat(),
+        "git_sha": git_revision(),
+        "jobs": jobs,
+        "forced": bool(force),
+        "versions": versions,
+        "experiments": [
+            {
+                "name": o.name,
+                "module": o.module,
+                "params": to_jsonable(o.params),
+                "seed": o.seed,
+                "status": o.status,
+                "cache": o.cache,
+                "cache_key": o.cache_key,
+                "elapsed_s": o.elapsed_s,
+                "result_file": o.result_file,
+                "error": o.error,
+            }
+            for o in outcomes
+        ],
+        "totals": {
+            "experiments": len(outcomes),
+            "ok": sum(1 for o in outcomes if o.status == "ok"),
+            "failed": sum(1 for o in outcomes if o.status != "ok"),
+            "cache_hits": sum(1 for o in outcomes if o.cache == "hit"),
+            "elapsed_s": time.perf_counter() - sweep_start,
+        },
+    }
+    problems = validate_manifest(manifest)
+    if problems:  # pragma: no cover - internal consistency guard
+        raise AssertionError(f"runner produced an invalid manifest: {problems}")
+    write_json_atomic(run_dir / "manifest.json", manifest)
+    return RunReport(
+        run_id=run_id, run_dir=run_dir, manifest=manifest, outcomes=outcomes
+    )

@@ -1,0 +1,122 @@
+"""Dataclass-to-JSON serialization for experiment results.
+
+Every ``experiments.*.run(...)`` returns a (frozen) dataclass tree mixing
+plain scalars, dicts, tuples and numpy arrays.  This module flattens that
+tree into pure-JSON values so results can be written to disk, diffed,
+cached content-addressed, and re-read without importing the library.
+
+Two invariants matter for the determinism test-layer:
+
+* **canonical form** -- ``canonical_json`` sorts keys and uses fixed
+  separators, so the same result object always produces the same bytes;
+* **lossless floats** -- non-finite floats (which JSON cannot express)
+  are encoded as ``{"__nonfinite__": "inf" | "-inf" | "nan"}`` markers
+  instead of being silently dropped or emitted as invalid JSON.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from ..errors import SerializationError
+
+#: Marker key used to round-trip non-finite floats through JSON.
+NONFINITE_KEY = "__nonfinite__"
+
+#: Marker key carrying the originating dataclass name, so serialized
+#: results stay self-describing without a pickle-style type registry.
+TYPE_KEY = "__type__"
+
+
+def _encode_float(value: float) -> Union[float, Dict[str, str]]:
+    if math.isfinite(value):
+        return value
+    if math.isnan(value):
+        return {NONFINITE_KEY: "nan"}
+    return {NONFINITE_KEY: "inf" if value > 0 else "-inf"}
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Convert a result object into JSON-encodable python values.
+
+    Handles dataclasses (tagged with :data:`TYPE_KEY`), dicts, lists,
+    tuples, numpy arrays/scalars and plain scalars.  Raises
+    :class:`~repro.errors.SerializationError` for anything else, so a
+    new result field that cannot be persisted fails loudly.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return _encode_float(obj)
+    if isinstance(obj, np.generic):
+        return to_jsonable(obj.item())
+    if isinstance(obj, np.ndarray):
+        if obj.dtype.kind == "f" and bool(np.isfinite(obj).all()):
+            return obj.tolist()
+        return [to_jsonable(v) for v in obj.tolist()]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        encoded: Dict[str, Any] = {TYPE_KEY: type(obj).__name__}
+        for field in dataclasses.fields(obj):
+            encoded[field.name] = to_jsonable(getattr(obj, field.name))
+        return encoded
+    if isinstance(obj, dict):
+        out: Dict[str, Any] = {}
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                key = str(key)
+            out[key] = to_jsonable(value)
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    raise SerializationError(
+        f"cannot serialize {type(obj).__name__!r} "
+        f"(value {obj!r}); add a handler in runtime.serialize"
+    )
+
+
+def canonical_json(obj: Any) -> str:
+    """The canonical (sorted-key, fixed-separator) JSON text for ``obj``.
+
+    Bit-identical for equal inputs -- the backbone of the determinism
+    tests and of content-addressed cache keys.
+    """
+    return json.dumps(
+        to_jsonable(obj), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def write_json_atomic(path: Union[str, Path], payload: Any) -> Path:
+    """Write ``payload`` as indented JSON via a same-directory temp file.
+
+    The rename-into-place keeps readers (and the result cache) from ever
+    observing a half-written file.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = json.dumps(to_jsonable(payload), indent=2, sort_keys=True, allow_nan=False)
+    handle, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "w") as tmp:
+            tmp.write(text + "\n")
+        os.replace(tmp_name, path)
+    except BaseException:
+        if os.path.exists(tmp_name):
+            os.unlink(tmp_name)
+        raise
+    return path
+
+
+def read_json(path: Union[str, Path]) -> Any:
+    """Load a JSON file written by :func:`write_json_atomic`."""
+    with Path(path).open() as handle:
+        return json.load(handle)

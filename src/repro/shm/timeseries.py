@@ -16,6 +16,7 @@ Timestamps are hours since 1 July 2021 00:00 local.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass
 from typing import Dict, Tuple
@@ -66,9 +67,11 @@ class JulyTimeSeriesGenerator:
         return np.arange(n) / self.samples_per_hour
 
     def _rng(self, channel: str) -> np.random.Generator:
-        return np.random.default_rng(
-            abs(hash((self.seed, channel))) % (2**32)
-        )
+        # A stable digest, NOT builtin hash(): string hashing is salted
+        # per interpreter process (PYTHONHASHSEED), which would make the
+        # "same seed" draw different channels in different runs.
+        digest = hashlib.sha256(f"{self.seed}:{channel}".encode()).digest()
+        return np.random.default_rng(int.from_bytes(digest[:8], "big"))
 
     @staticmethod
     def _diurnal(hours: np.ndarray, phase: float = 15.0) -> np.ndarray:

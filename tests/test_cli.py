@@ -70,3 +70,67 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "fig13.csv" in out
         assert (tmp_path / "fig13.csv").exists()
+
+
+class TestExperimentsCommands:
+    def test_experiments_subcommands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["experiments", "list"],
+            ["experiments", "run", "--all", "--jobs", "4"],
+            ["experiments", "run", "--only", "fig15", "--force", "--quick"],
+            ["experiments", "validate", "some/run/dir"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_experiments_run_requires_a_selection(self):
+        with pytest.raises(SystemExit):
+            main(["experiments", "run"])
+
+    def test_experiments_list(self, capsys):
+        assert main(["experiments", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig15" in out
+        assert "tables" in out
+        assert "seed=" in out
+
+    def test_experiments_run_only_then_validate(self, capsys, tmp_path):
+        assert main(
+            [
+                "experiments",
+                "run",
+                "--only",
+                "fig13",
+                "tables",
+                "--jobs",
+                "0",
+                "--out",
+                str(tmp_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fig13" in out and "tables" in out
+        assert "2/2 ok" in out
+        assert "manifest:" in out
+
+        run_dir = next(p for p in tmp_path.iterdir() if p.is_dir() and p.name != ".cache")
+        assert main(["experiments", "validate", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "valid manifest" in out
+
+    def test_experiments_run_second_invocation_hits_cache(self, capsys, tmp_path):
+        argv = [
+            "experiments", "run", "--only", "fig13",
+            "--jobs", "0", "--out", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cache=hit" in out
+        assert "1 cache hit(s)" in out
+
+    def test_experiments_validate_rejects_a_missing_manifest(self, capsys, tmp_path):
+        assert main(["experiments", "validate", str(tmp_path)]) == 1
+        assert "INVALID" in capsys.readouterr().out

@@ -1,0 +1,87 @@
+"""Golden-regression tests: every experiment pinned at its seed.
+
+Each registered experiment runs with its registry ``quick_params`` at
+the declared seed; the flattened scalar snapshot (plus the headline
+``extra.*`` metrics) must match the checked-in ``tests/goldens/*.json``
+within tolerance.  A silent numeric drift anywhere in the simulators,
+materials DB or DSP chain fails here first.
+
+After an *intentional* change, regenerate with::
+
+    PYTHONPATH=src python scripts/regen_goldens.py
+
+and review the golden diff (see EXPERIMENTS.md).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.runtime import (
+    compare_snapshots,
+    experiment_registry,
+    golden_snapshot,
+    to_jsonable,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+REGISTRY = experiment_registry()
+
+#: Looser relative tolerance for the Monte-Carlo experiments, where a
+#: platform-level float quirk can flip a single bit decision; the
+#: analytic sweeps must match much tighter.
+REL_TOL = {
+    "fig15": 1e-6,
+    "fig17": 1e-6,
+    "fig18": 1e-6,
+    "fig22": 1e-6,
+    "fig24": 1e-6,
+    "downlink_reliability": 1e-6,
+    "appendix_sensors": 1e-6,
+    "fig21": 1e-6,
+}
+DEFAULT_REL_TOL = 1e-9
+
+
+def _load_golden(name):
+    path = GOLDEN_DIR / f"{name}.json"
+    if not path.exists():
+        pytest.fail(
+            f"no golden for {name}; run scripts/regen_goldens.py {name}"
+        )
+    return json.loads(path.read_text())
+
+
+def test_goldens_cover_every_registered_experiment():
+    on_disk = sorted(path.stem for path in GOLDEN_DIR.glob("*.json"))
+    assert on_disk == sorted(REGISTRY), (
+        "goldens out of sync with the registry; run scripts/regen_goldens.py"
+    )
+
+
+def test_golden_count_matches_the_paper_scope():
+    assert len(REGISTRY) == 18  # the 18 experiment modules
+
+
+@pytest.mark.parametrize("name", list(REGISTRY))
+def test_golden(name):
+    spec = REGISTRY[name]
+    golden = _load_golden(name)
+    params = spec.params(quick=True)
+    assert golden["seed"] == params["seed"], "golden pinned at a stale seed"
+    assert golden["params"] == to_jsonable(params), (
+        f"golden for {name} was generated with different parameters; "
+        "run scripts/regen_goldens.py"
+    )
+    result = spec.execute(quick=True)
+    fresh = golden_snapshot(name, result)
+    problems = compare_snapshots(
+        golden["scalars"], fresh, rel_tol=REL_TOL.get(name, DEFAULT_REL_TOL)
+    )
+    if problems:
+        detail = "\n".join(f"  {k}: {v}" for k, v in list(problems.items())[:20])
+        pytest.fail(
+            f"{name} drifted from its golden ({len(problems)} path(s)):\n"
+            f"{detail}\nIf intentional, run scripts/regen_goldens.py {name}"
+        )

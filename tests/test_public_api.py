@@ -18,6 +18,7 @@ SUBPACKAGES = [
     "repro.phy",
     "repro.protocol",
     "repro.reader",
+    "repro.runtime",
     "repro.shm",
     "repro.transducer",
 ]

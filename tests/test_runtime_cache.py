@@ -1,0 +1,131 @@
+"""Tests for the content-addressed result cache (runtime.cache)."""
+
+from repro.runtime import ResultCache, cache_key, library_versions, run_experiments
+
+
+VERSIONS = {"python": "3", "numpy": "2", "scipy": "1", "repro": "1"}
+
+
+def _key(**overrides):
+    base = dict(
+        source="def run(seed=0): pass",
+        params={"seed": 0, "x": 1.5},
+        seed=0,
+        versions=VERSIONS,
+    )
+    base.update(overrides)
+    return cache_key(**base)
+
+
+class TestCacheKey:
+    def test_key_is_stable(self):
+        assert _key() == _key()
+
+    def test_key_changes_when_module_source_changes(self):
+        assert _key() != _key(source="def run(seed=0): return 1")
+
+    def test_key_changes_with_parameters(self):
+        assert _key() != _key(params={"seed": 0, "x": 2.5})
+
+    def test_key_changes_with_seed(self):
+        assert _key() != _key(seed=1, params={"seed": 1, "x": 1.5})
+
+    def test_key_changes_with_library_versions(self):
+        other = dict(VERSIONS, numpy="3")
+        assert _key() != _key(versions=other)
+
+    def test_default_versions_come_from_the_environment(self):
+        versions = library_versions()
+        assert set(versions) == {"python", "numpy", "scipy", "repro"}
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = _key()
+        assert cache.load(key) is None
+        cache.store(key, {"experiment": "x", "result": {"value": 3}})
+        entry = cache.load(key)
+        assert entry is not None
+        assert entry["result"] == {"value": 3}
+
+    def test_corrupted_entry_is_a_miss_and_is_deleted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = _key()
+        cache.store(key, {"result": 1})
+        cache.path_for(key).write_text("{ this is not json")
+        assert cache.load(key) is None
+        assert not cache.path_for(key).exists()
+
+    def test_entry_without_result_is_discarded(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = _key()
+        cache.path_for(key).parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(key).write_text('{"schema": "repro/cache-entry/v1"}')
+        assert cache.load(key) is None
+        assert not cache.path_for(key).exists()
+
+    def test_wrong_schema_tag_is_discarded(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = _key()
+        cache.path_for(key).parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(key).write_text('{"schema": "other/v9", "result": 1}')
+        assert cache.load(key) is None
+
+
+class TestRunnerCacheBehaviour:
+    """End-to-end hit/miss/--force/corruption through run_experiments."""
+
+    NAMES = ["fig13", "tables"]
+
+    def test_second_run_hits_and_force_bypasses(self, tmp_path):
+        first = run_experiments(
+            names=self.NAMES, jobs=0, out_dir=tmp_path, quick=True
+        )
+        assert first.ok and first.cache_hits == 0
+        assert all(o.cache == "miss" for o in first.outcomes)
+
+        second = run_experiments(
+            names=self.NAMES, jobs=0, out_dir=tmp_path, quick=True
+        )
+        assert second.ok and second.cache_hits == len(self.NAMES)
+        assert second.manifest["totals"]["cache_hits"] == len(self.NAMES)
+
+        forced = run_experiments(
+            names=self.NAMES, jobs=0, out_dir=tmp_path, quick=True, force=True
+        )
+        assert forced.ok and forced.cache_hits == 0
+        assert all(o.cache == "bypass" for o in forced.outcomes)
+        assert forced.manifest["forced"] is True
+
+    def test_cached_result_equals_computed_result(self, tmp_path):
+        first = run_experiments(names=["fig13"], jobs=0, out_dir=tmp_path)
+        second = run_experiments(names=["fig13"], jobs=0, out_dir=tmp_path)
+        assert second.outcomes[0].cache == "hit"
+        assert first.outcomes[0].result == second.outcomes[0].result
+
+    def test_corrupted_cache_entry_recovers_by_recomputing(self, tmp_path):
+        first = run_experiments(names=["fig13"], jobs=0, out_dir=tmp_path)
+        cache = ResultCache(tmp_path / ".cache")
+        entry_path = cache.path_for(first.outcomes[0].cache_key)
+        assert entry_path.exists()
+        entry_path.write_text("garbage not json at all")
+
+        second = run_experiments(names=["fig13"], jobs=0, out_dir=tmp_path)
+        assert second.ok
+        assert second.outcomes[0].cache == "miss"  # recomputed, no crash
+        assert first.outcomes[0].result == second.outcomes[0].result
+        # ...and the slot healed: a third run hits again.
+        third = run_experiments(names=["fig13"], jobs=0, out_dir=tmp_path)
+        assert third.outcomes[0].cache == "hit"
+
+    def test_parameter_change_misses(self, tmp_path):
+        run_experiments(names=["fig13"], jobs=0, out_dir=tmp_path)
+        changed = run_experiments(
+            names=["fig13"],
+            jobs=0,
+            out_dir=tmp_path,
+            overrides={"fig13": {"bitrates_kbps": [0.0, 2.0]}},
+        )
+        assert changed.outcomes[0].cache == "miss"
+        assert changed.ok

@@ -1,0 +1,76 @@
+"""Tests for the experiment registry (runtime.registry)."""
+
+import inspect
+
+import pytest
+
+from repro import experiments
+from repro.errors import RegistryError
+from repro.runtime import experiment_names, experiment_registry, get_spec
+from repro.runtime.registry import registry_name
+
+
+class TestDiscovery:
+    def test_every_experiment_module_is_registered(self):
+        assert len(experiment_names()) == len(experiments.__all__)
+
+    def test_names_are_short_figure_ids(self):
+        names = experiment_names()
+        assert "fig15" in names
+        assert "tables" in names
+        assert "appendix_sensors" in names
+        assert "fig15_ber_vs_snr" not in names
+
+    def test_registry_order_follows_module_order(self):
+        expected = [registry_name(short) for short in experiments.__all__]
+        assert experiment_names() == expected
+
+    def test_registry_name_mapping(self):
+        assert registry_name("fig15_ber_vs_snr") == "fig15"
+        assert registry_name("downlink_reliability") == "downlink_reliability"
+
+
+class TestSpecs:
+    def test_every_spec_declares_an_integer_seed(self):
+        for spec in experiment_registry().values():
+            assert isinstance(spec.seed, int), spec.name
+            assert spec.default_params["seed"] == spec.seed
+
+    def test_default_params_match_run_signature(self):
+        for spec in experiment_registry().values():
+            signature = inspect.signature(spec.module().run)
+            defaults = {
+                name: param.default
+                for name, param in signature.parameters.items()
+            }
+            assert dict(spec.default_params) == defaults, spec.name
+
+    def test_titles_come_from_module_docstrings(self):
+        spec = get_spec("fig15")
+        assert "Fig. 15" in spec.title
+
+    def test_quick_params_are_a_subset_of_run_parameters(self):
+        for spec in experiment_registry().values():
+            unknown = set(spec.quick_params) - set(spec.default_params)
+            assert not unknown, f"{spec.name}: {unknown}"
+
+    def test_params_merges_defaults_quick_and_overrides(self):
+        spec = get_spec("fig15")
+        params = spec.params({"total_bits": 123}, quick=True)
+        assert params["total_bits"] == 123  # override beats quick
+        assert params["seed"] == spec.seed
+
+    def test_unknown_override_is_rejected(self):
+        with pytest.raises(RegistryError):
+            get_spec("fig15").params({"not_a_param": 1})
+
+    def test_unknown_experiment_is_rejected(self):
+        with pytest.raises(RegistryError):
+            get_spec("fig99")
+
+    def test_source_returns_module_text(self):
+        assert "def run(" in get_spec("fig13").source()
+
+    def test_execute_runs_the_module(self):
+        result = get_spec("fig13").execute()
+        assert result.standby_power > 0.0
