@@ -6,6 +6,9 @@
 # Stage 2: a seeded quick sweep of every registered experiment through
 #          the parallel runtime, into a throwaway directory, followed by
 #          manifest + result-file validation.
+# Stage 3: observability smoke -- one experiment under --obs, asserting
+#          the manifest carries a profile block and the exported Chrome
+#          trace validates against the trace-event schema.
 #
 # Usage:  scripts/ci.sh [extra pytest args...]
 
@@ -25,5 +28,38 @@ python -m repro.cli experiments run --all --jobs 2 --quick --out "${OUT_DIR}"
 
 RUN_DIR="$(find "${OUT_DIR}" -mindepth 1 -maxdepth 1 -type d ! -name '.cache' | head -n 1)"
 python -m repro.cli experiments validate "${RUN_DIR}"
+
+echo "== stage 3: observability smoke (--obs) =="
+python -m repro.cli experiments run --only fig13 --jobs 0 --quick --obs \
+    --out "${OUT_DIR}/obs"
+
+OBS_RUN_DIR="$(find "${OUT_DIR}/obs" -mindepth 1 -maxdepth 1 -type d ! -name '.cache' | head -n 1)"
+python - "${OBS_RUN_DIR}" <<'PY'
+import json
+import sys
+from pathlib import Path
+
+from repro.obs import validate_chrome_trace, validate_profile
+from repro.runtime import load_manifest
+
+run_dir = Path(sys.argv[1])
+manifest = load_manifest(run_dir)
+assert "obs" in manifest, "observed run produced no manifest obs block"
+for entry in manifest["experiments"]:
+    assert validate_profile(entry.get("profile")), (
+        f"{entry['name']}: missing or malformed profile"
+    )
+trace = json.loads((run_dir / manifest["obs"]["trace_file"]).read_text())
+problems = validate_chrome_trace(trace)
+assert not problems, f"trace.json failed validation: {problems}"
+print(
+    f"obs smoke OK: {len(manifest['experiments'])} profile(s), "
+    f"{manifest['obs']['spans']} span(s), "
+    f"{manifest['obs']['warnings']} warning(s)"
+)
+PY
+
+python -m repro.cli experiments stats "${OBS_RUN_DIR}" > /dev/null
+python -m repro.cli experiments trace "${OBS_RUN_DIR}" > /dev/null
 
 echo "== CI OK =="

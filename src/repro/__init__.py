@@ -30,6 +30,7 @@ from . import (
     link,
     materials,
     node,
+    obs,
     phy,
     protocol,
     reader,

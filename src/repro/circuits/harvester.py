@@ -18,6 +18,7 @@ import math
 from dataclasses import dataclass
 
 from ..errors import PowerError
+from ..obs import obs_counter, obs_enabled, obs_histogram
 
 
 @dataclass(frozen=True)
@@ -136,6 +137,7 @@ class EnergyHarvester:
             PowerError: when the input cannot power the node at all.
         """
         if not self.can_power_up(input_peak):
+            obs_counter("harvester.activation_failures").inc()
             raise PowerError(
                 f"input peak {input_peak:.3f} V is below the activation "
                 f"threshold {self.activation_voltage} V"
@@ -152,7 +154,11 @@ class EnergyHarvester:
         conduction = min(1.0, overdrive / 0.66)
         effective_r = r / max(conduction, 1e-3)
         tau = effective_r * self.storage_capacitance
-        return tau * math.log(v_oc / (v_oc - v_min))
+        cold_start = tau * math.log(v_oc / (v_oc - v_min))
+        if obs_enabled():
+            obs_counter("harvester.charge_cycles").inc()
+            obs_histogram("harvester.cold_start_s").observe(cold_start)
+        return cold_start
 
     def harvested_power(self, input_peak: float, load_voltage: float = None) -> float:
         """Steady-state power (W) available to the load.

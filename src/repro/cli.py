@@ -13,7 +13,10 @@ plus the experiment runtime (registry + parallel runner + cache)::
     python -m repro.cli experiments list
     python -m repro.cli experiments run --all --jobs 4 --out results
     python -m repro.cli experiments run --only fig15 fig17 --force
+    python -m repro.cli experiments run --only fig15 --obs -v
     python -m repro.cli experiments validate results/<run_id>
+    python -m repro.cli experiments stats results/<run_id>
+    python -m repro.cli experiments trace results/<run_id> --out trace.json
 """
 
 from __future__ import annotations
@@ -166,6 +169,15 @@ def _cmd_experiments_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_profile(profile) -> str:
+    parts = [f"wall={profile['wall_s']:.3f}s", f"cpu={profile['cpu_s']:.3f}s"]
+    if profile.get("max_rss_kb") is not None:
+        parts.append(f"rss={profile['max_rss_kb'] / 1024.0:.1f}MB")
+    if profile.get("py_alloc_peak_kb") is not None:
+        parts.append(f"pyalloc={profile['py_alloc_peak_kb'] / 1024.0:.1f}MB")
+    return " ".join(parts)
+
+
 def _cmd_experiments_run(args: argparse.Namespace) -> int:
     from .runtime import run_experiments
 
@@ -180,6 +192,7 @@ def _cmd_experiments_run(args: argparse.Namespace) -> int:
         timeout_s=args.timeout,
         cache_dir=args.cache_dir,
         quick=args.quick,
+        obs=args.obs,
     )
     for outcome in report.outcomes:
         line = (
@@ -189,13 +202,28 @@ def _cmd_experiments_run(args: argparse.Namespace) -> int:
         if outcome.error:
             line += f"  {outcome.error.strip().splitlines()[-1]}"
         print(line)
+        if args.verbose:
+            detail = (
+                f"{'':22s} seed={outcome.seed} "
+                f"key={outcome.cache_key[:12]}"
+            )
+            if outcome.profile is not None:
+                detail += f"  {_format_profile(outcome.profile)}"
+            print(detail)
     totals = report.manifest["totals"]
-    print(
-        f"{totals['ok']}/{totals['experiments']} ok, "
-        f"{totals['cache_hits']} cache hit(s), "
-        f"{totals['elapsed_s']:.2f}s total"
+    summary = (
+        f"{totals['ok']}/{totals['experiments']} ok "
+        f"({report.cache_hits} cache hit(s), {report.fresh_ok} fresh)"
     )
+    if report.failures:
+        summary += f", {report.failures} failed"
+    if report.timeouts:
+        summary += f", {report.timeouts} timed out"
+    print(f"{summary}, {totals['elapsed_s']:.2f}s total")
     print(f"manifest: {report.run_dir / 'manifest.json'}")
+    if args.obs:
+        print(f"metrics:  {report.run_dir / 'metrics.json'}")
+        print(f"trace:    {report.run_dir / 'trace.json'}")
     return 0 if report.ok else 1
 
 
@@ -233,6 +261,97 @@ def _cmd_experiments_validate(args: argparse.Namespace) -> int:
         f"{totals['ok']}/{totals['experiments']} ok, "
         f"{totals['cache_hits']} cache hit(s)"
     )
+    return 0
+
+
+def _load_obs_artifact(run_dir: Path, filename: str):
+    """Read one obs export from a run directory, or None with a hint."""
+    from .runtime import read_json
+
+    path = run_dir / filename
+    if not path.exists():
+        print(
+            f"no {filename} in {run_dir}; re-run the sweep with "
+            "`experiments run --obs` to collect observability data"
+        )
+        return None
+    try:
+        return read_json(path)
+    except (OSError, ValueError) as exc:
+        print(f"INVALID: unreadable {filename}: {exc}")
+        return None
+
+
+def _cmd_experiments_stats(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .obs import render_snapshot_text
+    from .runtime import load_manifest
+    from .errors import ManifestError
+
+    run_dir = Path(args.run_dir)
+    payload = _load_obs_artifact(run_dir, "metrics.json")
+    if payload is None:
+        return 1
+    if args.json:
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"metrics for run {payload.get('run_id', run_dir.name)}:")
+    print(render_snapshot_text(payload), end="")
+    events = payload.get("events", {})
+    records = events.get("events", [])
+    if records:
+        print(f"events ({len(records)} recorded, {events.get('dropped', 0)} dropped):")
+        for event in records:
+            fields = " ".join(f"{k}={v}" for k, v in event["fields"].items())
+            print(f"  [{event['level']}] {event['name']} {fields}")
+    try:
+        manifest = load_manifest(run_dir)
+    except ManifestError:
+        manifest = None
+    if manifest is not None:
+        profiled = [
+            e for e in manifest["experiments"] if e.get("profile") is not None
+        ]
+        if profiled:
+            print("per-experiment profiles:")
+            for entry in profiled:
+                print(
+                    f"  {entry['name']:22s} {_format_profile(entry['profile'])}"
+                )
+    return 0
+
+
+def _cmd_experiments_trace(args: argparse.Namespace) -> int:
+    import json as json_module
+    import shutil
+
+    from .obs import validate_chrome_trace
+
+    run_dir = Path(args.run_dir)
+    trace = _load_obs_artifact(run_dir, "trace.json")
+    if trace is None:
+        return 1
+    problems = validate_chrome_trace(trace)
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}")
+        return 1
+    events = trace["traceEvents"]
+    spans = sum(1 for e in events if e.get("ph") == "X")
+    if args.out:
+        out_path = Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(run_dir / "trace.json", out_path)
+        print(f"wrote {out_path} ({spans} span(s))")
+    else:
+        print(
+            f"valid chrome trace: {spans} span(s), "
+            f"{len(events)} event(s) -- load {run_dir / 'trace.json'} "
+            "in chrome://tracing or https://ui.perfetto.dev"
+        )
+        if args.json:
+            print(json_module.dumps(trace, indent=2, sort_keys=True))
     return 0
 
 
@@ -309,6 +428,17 @@ def build_parser() -> argparse.ArgumentParser:
     exp_run.add_argument(
         "--cache-dir", default=None, help="cache location (default <out>/.cache)"
     )
+    exp_run.add_argument(
+        "--obs",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="collect metrics, trace spans and per-experiment profiles "
+        "(--no-obs, the default, runs the no-op instrumentation path)",
+    )
+    exp_run.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="per-experiment detail: seed, cache key, profile",
+    )
     exp_run.set_defaults(func=_cmd_experiments_run)
 
     exp_validate = exp_sub.add_parser(
@@ -316,6 +446,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     exp_validate.add_argument("run_dir", help="results/<run_id> directory")
     exp_validate.set_defaults(func=_cmd_experiments_validate)
+
+    exp_stats = exp_sub.add_parser(
+        "stats", help="print the metrics collected by a --obs run"
+    )
+    exp_stats.add_argument("run_dir", help="results/<run_id> directory")
+    exp_stats.add_argument(
+        "--json", action="store_true", help="dump the raw metrics.json payload"
+    )
+    exp_stats.set_defaults(func=_cmd_experiments_stats)
+
+    exp_trace = exp_sub.add_parser(
+        "trace", help="validate/export the Chrome trace from a --obs run"
+    )
+    exp_trace.add_argument("run_dir", help="results/<run_id> directory")
+    exp_trace.add_argument(
+        "--out", default=None, help="copy the trace JSON to this path"
+    )
+    exp_trace.add_argument(
+        "--json", action="store_true", help="print the trace JSON to stdout"
+    )
+    exp_trace.set_defaults(func=_cmd_experiments_trace)
 
     return parser
 

@@ -69,3 +69,7 @@ class SerializationError(RuntimeSubsystemError):
 
 class ManifestError(RuntimeSubsystemError):
     """A run manifest is missing or violates the manifest schema."""
+
+
+class ObsError(ReproError):
+    """Misuse of the observability layer (metrics, tracing, profiling)."""

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import PowerError, ProtocolError
 from ..node import EcoCapsule
+from ..obs import obs_counter, obs_enabled, obs_gauge, obs_histogram, obs_span
 from ..phy import PieTiming
 from ..protocol import TdmaInventory, SensorReport
 from .budget import PowerUpLink
@@ -124,7 +125,12 @@ class WallSession:
 
     def run(self, max_rounds: int = 20) -> SessionResult:
         """Execute the full session: charge, inventory, read, account."""
-        powered, dark, charge_time = self.charge()
+        with obs_span("session.charge", nodes=len(self.nodes)):
+            powered, dark, charge_time = self.charge()
+        if obs_enabled():
+            obs_counter("session.nodes_powered").inc(len(powered))
+            obs_counter("session.nodes_dark").inc(len(dark))
+            obs_histogram("session.charge_s").observe(charge_time)
         if not powered:
             return SessionResult(
                 powered_nodes=[],
@@ -145,20 +151,21 @@ class WallSession:
         reports: Dict[int, List[SensorReport]] = {}
         slots_used = 0
         rounds_used = 0
-        for _ in range(max_rounds):
-            round_result = inventory.run_round()
-            rounds_used += 1
-            slots_used += len(round_result.slots)
-            for slot in round_result.slots:
-                if slot.singulated_node_id is not None and slot.reports:
-                    # Later rounds re-singulate already-served nodes (they
-                    # power-cycle between rounds); keep the first full read.
-                    if slot.singulated_node_id not in reports:
-                        reports[slot.singulated_node_id] = list(slot.reports)
-            if len(reports) == len(powered):
-                break
-            for p in powered:
-                p.capsule.protocol.power_cycle()
+        with obs_span("session.inventory", powered=len(powered)):
+            for _ in range(max_rounds):
+                round_result = inventory.run_round()
+                rounds_used += 1
+                slots_used += len(round_result.slots)
+                for slot in round_result.slots:
+                    if slot.singulated_node_id is not None and slot.reports:
+                        # Later rounds re-singulate already-served nodes (they
+                        # power-cycle between rounds); keep the first full read.
+                        if slot.singulated_node_id not in reports:
+                            reports[slot.singulated_node_id] = list(slot.reports)
+                if len(reports) == len(powered):
+                    break
+                for p in powered:
+                    p.capsule.protocol.power_cycle()
 
         elapsed = charge_time + slots_used * self.timing.slot_duration
         energy = {
@@ -167,7 +174,7 @@ class WallSession:
             )
             for p in powered
         }
-        return SessionResult(
+        result = SessionResult(
             powered_nodes=sorted(p.capsule.node_id for p in powered),
             dark_nodes=sorted(p.capsule.node_id for p in dark),
             reports=reports,
@@ -176,3 +183,17 @@ class WallSession:
             rounds_used=rounds_used,
             node_energy=energy,
         )
+        if obs_enabled():
+            # Session health gauges: last-session view of charging
+            # coverage and read throughput (the paper's two headline
+            # operator metrics).
+            obs_gauge("session.charge_coverage").set(result.coverage)
+            if result.elapsed > 0.0:
+                obs_gauge("session.reads_per_second").set(
+                    result.reads_per_second
+                )
+            obs_counter("session.reports_collected").inc(
+                sum(len(r) for r in reports.values())
+            )
+            obs_counter("session.runs").inc()
+        return result

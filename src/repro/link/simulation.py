@@ -34,6 +34,7 @@ from ..acoustics import (
     ook_symbol_waveform,
 )
 from ..errors import AcousticsError, DecodingError
+from ..obs import obs_counter, obs_enabled, obs_span
 from ..phy import (
     Fm0Decoder,
     LinkStatistics,
@@ -164,26 +165,35 @@ class UplinkBasebandSimulator:
         if not synced:
             # The receiver never locks; the payload is effectively random.
             flips = int(self._rng.binomial(len(payload), 0.5))
-            return UplinkResult(
+            result = UplinkResult(
                 bits_sent=len(payload),
                 bit_errors=flips,
                 duration=duration,
                 snr_db=snr_db,
                 synced=False,
             )
-
-        decoder = Fm0Decoder(samples_per_symbol=n)
-        decoded = decoder.decode(received)
-        errors = sum(
-            1 for a, b in zip(decoded[len(self.preamble):], payload) if a != b
-        )
-        return UplinkResult(
-            bits_sent=len(payload),
-            bit_errors=errors,
-            duration=duration,
-            snr_db=snr_db,
-            synced=True,
-        )
+        else:
+            decoder = Fm0Decoder(samples_per_symbol=n)
+            decoded = decoder.decode(received)
+            errors = sum(
+                1 for a, b in zip(decoded[len(self.preamble):], payload)
+                if a != b
+            )
+            result = UplinkResult(
+                bits_sent=len(payload),
+                bit_errors=errors,
+                duration=duration,
+                snr_db=snr_db,
+                synced=True,
+            )
+        if obs_enabled():
+            obs_counter("link.uplink.packets").inc()
+            obs_counter("link.uplink.bits_sent").inc(result.bits_sent)
+            obs_counter("link.uplink.bit_errors").inc(result.bit_errors)
+            obs_counter("link.uplink.symbols_simulated").inc(clean.size)
+            if not result.synced:
+                obs_counter("link.uplink.sync_failures").inc()
+        return result
 
     def measure_ber(
         self,
@@ -197,14 +207,18 @@ class UplinkBasebandSimulator:
             raise DecodingError("bit counts must be positive")
         stats = LinkStatistics()
         sent = 0
-        while sent < total_bits:
-            payload = list(self._rng.integers(0, 2, size=packet_bits))
-            result = self.run(payload, bitrate, snr_db)
-            stats.bits_sent += result.bits_sent
-            stats.bits_correct += result.bits_sent - result.bit_errors
-            stats.trials += 1
-            stats.elapsed += result.duration
-            sent += packet_bits
+        with obs_span(
+            "link.measure_ber", snr_db=snr_db, total_bits=total_bits
+        ):
+            while sent < total_bits:
+                payload = list(self._rng.integers(0, 2, size=packet_bits))
+                result = self.run(payload, bitrate, snr_db)
+                stats.bits_sent += result.bits_sent
+                stats.bits_correct += result.bits_sent - result.bit_errors
+                stats.trials += 1
+                stats.elapsed += result.duration
+                sent += packet_bits
+        obs_counter("link.uplink.ber_points").inc()
         return stats.ber
 
 
@@ -334,6 +348,10 @@ class UplinkPassbandSimulator:
         decoded = receiver.decode(waveform, len(bits), carrier=self.carrier)
         errors = sum(1 for a, b in zip(decoded, bits) if a != b)
         snr = receiver.uplink_snr_db(waveform, carrier=self.carrier)
+        if obs_enabled():
+            obs_counter("link.uplink.passband_transfers").inc()
+            obs_counter("link.uplink.bits_sent").inc(len(bits))
+            obs_counter("link.uplink.bit_errors").inc(errors)
         return UplinkResult(
             bits_sent=len(bits),
             bit_errors=errors,
@@ -394,6 +412,9 @@ class DownlinkSimulator:
         tail for OOK, suppressed off-tone for FSK.
         """
         waveform = self.symbol_waveform(bitrate, scheme)
+        if obs_enabled():
+            obs_counter("link.downlink.symbols_simulated").inc()
+            obs_counter(f"link.downlink.symbols.{scheme}").inc()
         edge = self.edge_durations(bitrate)
         residual = low_edge_residual(waveform, edge, self.sample_rate)
         if residual <= 0.0:

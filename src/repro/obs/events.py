@@ -1,0 +1,119 @@
+"""Structured events: bounded, thread-safe log of notable occurrences.
+
+Counters say *how often*; events say *what exactly*.  The cache uses
+this to make corrupt-entry discards visible (key, path, reason) instead
+of silently recomputing, and anything else that wants a breadcrumb with
+fields attaches one here.  Events are exported alongside the metrics
+snapshot in ``metrics.json`` and surfaced by ``experiments stats``.
+
+Every event is also mirrored to the standard :mod:`logging` channel
+``repro.obs`` (warnings at ``WARNING``), so operators who only wire up
+python logging still see them.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+logger = logging.getLogger("repro.obs")
+
+#: Events kept per log; older entries are dropped (the *count* of
+#: dropped events is retained so truncation is visible).
+DEFAULT_EVENT_CAPACITY = 1000
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+class EventLog:
+    """Append-only bounded event buffer with a snapshot view."""
+
+    def __init__(self, capacity: int = DEFAULT_EVENT_CAPACITY):
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._events: List[Dict[str, Any]] = []
+        self._dropped = 0
+
+    def emit(self, level: str, name: str, **fields: Any) -> Dict[str, Any]:
+        """Record one event and mirror it to python logging."""
+        event = {
+            "ts_unix": time.time(),
+            "level": level,
+            "name": name,
+            "fields": fields,
+        }
+        with self._lock:
+            if len(self._events) >= self.capacity:
+                self._events.pop(0)
+                self._dropped += 1
+            self._events.append(event)
+        logger.log(
+            _LEVELS.get(level, logging.INFO),
+            "%s %s", name,
+            " ".join(f"{k}={v}" for k, v in fields.items()),
+        )
+        return event
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "events": [dict(e) for e in self._events],
+                "dropped": self._dropped,
+            }
+
+    def absorb(self, snapshot: Any) -> None:
+        """Fold an exported snapshot (e.g. a pool worker's) into this log."""
+        if not isinstance(snapshot, dict):
+            return
+        events = snapshot.get("events", [])
+        with self._lock:
+            self._dropped += int(snapshot.get("dropped", 0))
+            for event in events:
+                if self.capacity <= 0:
+                    self._dropped += 1
+                    continue
+                if len(self._events) >= self.capacity:
+                    self._events.pop(0)
+                    self._dropped += 1
+                self._events.append(dict(event))
+
+    def count(self, level: Optional[str] = None) -> int:
+        with self._lock:
+            if level is None:
+                return len(self._events)
+            return sum(1 for e in self._events if e["level"] == level)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self._dropped = 0
+
+
+class NullEventLog(EventLog):
+    """Disabled-mode event log: still mirrors to logging, stores nothing.
+
+    Keeping the logging mirror means operational warnings (e.g. corrupt
+    cache entries) reach standard handlers even with obs off.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(capacity=0)
+
+    def emit(self, level: str, name: str, **fields: Any) -> Dict[str, Any]:
+        logger.log(
+            _LEVELS.get(level, logging.INFO),
+            "%s %s", name,
+            " ".join(f"{k}={v}" for k, v in fields.items()),
+        )
+        return {"level": level, "name": name, "fields": fields}
+
+
+#: Shared store-nothing event log used when observability is disabled.
+NULL_EVENT_LOG = NullEventLog()

@@ -1,0 +1,382 @@
+"""Process-local metrics: counters, gauges, histograms, registries.
+
+The metric model is deliberately small and Prometheus-shaped:
+
+* :class:`Counter` -- monotonically increasing float;
+* :class:`Gauge` -- settable float (last write wins);
+* :class:`Histogram` -- bucketed observations with count/sum/min/max;
+* labeled children via ``metric.labels(key=value)``, so one registered
+  name fans out into per-label series (``tdma.slots{session="s1"}``);
+* a :class:`MetricsRegistry` owning the metrics, with text and JSON
+  exposition and snapshot *merging* (how worker-process metrics fold
+  back into the parent runner's registry).
+
+Everything is thread-safe: registration takes a registry lock, value
+updates take a per-metric lock.  The ``NULL_*`` singletons are the
+disabled-mode counterparts -- every mutator is a ``pass`` -- so
+instrumented code paths cost one dict lookup and a no-op call when
+observability is off (see :mod:`repro.obs`).
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..errors import ObsError
+
+#: Schema tag stamped into exported metrics snapshots.
+METRICS_SCHEMA = "repro/obs-metrics/v1"
+
+#: Default histogram bucket upper bounds (seconds-flavoured, spanning
+#: microsecond DSP spans to multi-minute sweeps); callers with other
+#: units pass their own boundaries.
+DEFAULT_BUCKETS = (
+    0.0001, 0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0
+)
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_items(labels: Mapping[str, Any]) -> LabelItems:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def series_name(name: str, labels: LabelItems = ()) -> str:
+    """The exposition key for one series: ``name{k=v,...}`` or ``name``."""
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{rendered}}}"
+
+
+class _Metric:
+    """Shared plumbing: identity, lock, label-child creation."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, help: str = "",
+                 labels: LabelItems = (),
+                 registry: Optional["MetricsRegistry"] = None):
+        if not name:
+            raise ObsError("metric name cannot be empty")
+        self.name = name
+        self.help = help
+        self.label_items = labels
+        self._registry = registry
+        self._lock = threading.Lock()
+
+    @property
+    def series(self) -> str:
+        return series_name(self.name, self.label_items)
+
+    def labels(self, **labels: Any) -> "_Metric":
+        """The child series of this metric for one label combination."""
+        if self._registry is None:
+            raise ObsError(
+                f"metric {self.name!r} is unregistered; labels() needs a registry"
+            )
+        merged = dict(self.label_items)
+        merged.update({str(k): str(v) for k, v in labels.items()})
+        return self._registry._get_or_create(
+            type(self), self.name, self.help, _label_items(merged),
+            **self._child_kwargs(),
+        )
+
+    def _child_kwargs(self) -> Dict[str, Any]:
+        return {}
+
+
+class Counter(_Metric):
+    """Monotonic counter; ``inc`` with a negative amount is an error."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: LabelItems = (),
+                 registry: Optional["MetricsRegistry"] = None):
+        super().__init__(name, help, labels, registry)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ObsError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge(_Metric):
+    """Point-in-time value; ``set`` overwrites, ``inc``/``dec`` adjust."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labels: LabelItems = (),
+                 registry: Optional["MetricsRegistry"] = None):
+        super().__init__(name, help, labels, registry)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram(_Metric):
+    """Bucketed observations (cumulative buckets, Prometheus-style)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "", labels: LabelItems = (),
+                 registry: Optional["MetricsRegistry"] = None,
+                 buckets: Iterable[float] = DEFAULT_BUCKETS):
+        super().__init__(name, help, labels, registry)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ObsError(f"histogram {name!r} needs at least one bucket")
+        self.bounds = bounds
+        self._bucket_counts = [0] * (len(bounds) + 1)  # +inf overflow slot
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def _child_kwargs(self) -> Dict[str, Any]:
+        return {"buckets": self.bounds}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+            self._count += 1
+            self._sum += value
+            self._min = value if self._min is None else min(self._min, value)
+            self._max = value if self._max is None else max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def summary(self) -> Dict[str, Any]:
+        """Snapshot dict: count/sum/min/max plus cumulative buckets."""
+        with self._lock:
+            cumulative: List[List[Any]] = []
+            running = 0
+            for bound, n in zip(self.bounds, self._bucket_counts):
+                running += n
+                cumulative.append([bound, running])
+            cumulative.append(["+inf", self._count])
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+                "buckets": cumulative,
+            }
+
+
+class _NullMetric:
+    """Disabled-mode stand-in: every operation is a cheap no-op."""
+
+    __slots__ = ()
+
+    def labels(self, **labels: Any) -> "_NullMetric":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+    @property
+    def count(self) -> int:
+        return 0
+
+    @property
+    def sum(self) -> float:
+        return 0.0
+
+
+#: Shared no-op metric handed out when observability is disabled.
+NULL_METRIC = _NullMetric()
+
+
+class MetricsRegistry:
+    """Thread-safe collection of metrics with exposition and merging."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[Tuple[str, LabelItems], _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str,
+                       labels: LabelItems, **kwargs: Any) -> Any:
+        with self._lock:
+            existing = self._metrics.get((name, labels))
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ObsError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, requested {cls.kind}"
+                    )
+                return existing
+            metric = cls(name, help=help, labels=labels, registry=self,
+                         **kwargs)
+            self._metrics[(name, labels)] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help, ())
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help, ())
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Iterable[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help, (), buckets=buckets)
+
+    def metrics(self) -> List[_Metric]:
+        with self._lock:
+            return [self._metrics[key] for key in sorted(self._metrics)]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready view of every series, keyed by exposition name."""
+        counters: Dict[str, float] = {}
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, Dict[str, Any]] = {}
+        for metric in self.metrics():
+            if isinstance(metric, Counter):
+                counters[metric.series] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[metric.series] = metric.value
+            elif isinstance(metric, Histogram):
+                histograms[metric.series] = metric.summary()
+        return {
+            "schema": METRICS_SCHEMA,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def merge_snapshot(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold an exported snapshot into this registry.
+
+        Counters and histogram count/sum add; gauges take the incoming
+        value (last write wins).  Histogram *bucket* detail cannot be
+        reconstructed from a summary, so merged observations land via
+        count/sum/min/max only -- exact enough for cross-process
+        aggregation of worker registries.
+        """
+        for series, value in snapshot.get("counters", {}).items():
+            name, labels = parse_series(series)
+            target = self.counter(name)
+            if labels:
+                target = target.labels(**dict(labels))
+            target.inc(value)
+        for series, value in snapshot.get("gauges", {}).items():
+            name, labels = parse_series(series)
+            target = self.gauge(name)
+            if labels:
+                target = target.labels(**dict(labels))
+            target.set(value)
+        for series, summary in snapshot.get("histograms", {}).items():
+            name, labels = parse_series(series)
+            hist = self.histogram(name)
+            if labels:
+                hist = hist.labels(**dict(labels))
+            with hist._lock:
+                hist._count += int(summary.get("count", 0))
+                hist._sum += float(summary.get("sum", 0.0))
+                # Cumulative buckets re-expand into per-slot counts.
+                previous = 0
+                for bound_pair in summary.get("buckets", []):
+                    bound, cum = bound_pair
+                    if bound == "+inf":
+                        slot = len(hist.bounds)
+                    else:
+                        slot = bisect.bisect_left(hist.bounds, float(bound))
+                    hist._bucket_counts[slot] += int(cum) - previous
+                    previous = int(cum)
+                for extreme, picker in (("min", min), ("max", max)):
+                    incoming_value = summary.get(extreme)
+                    if incoming_value is None:
+                        continue
+                    current = getattr(hist, f"_{extreme}")
+                    setattr(
+                        hist, f"_{extreme}",
+                        incoming_value if current is None
+                        else picker(current, incoming_value),
+                    )
+
+    def render_text(self) -> str:
+        return render_snapshot_text(self.snapshot())
+
+
+def parse_series(series: str) -> Tuple[str, LabelItems]:
+    """Invert :func:`series_name`: ``name{k=v}`` -> (name, ((k, v),))."""
+    if "{" not in series:
+        return series, ()
+    name, _, rest = series.partition("{")
+    body = rest.rstrip("}")
+    labels = []
+    for part in body.split(","):
+        if not part:
+            continue
+        key, _, value = part.partition("=")
+        labels.append((key, value))
+    return name, tuple(labels)
+
+
+def render_snapshot_text(snapshot: Mapping[str, Any]) -> str:
+    """Human-readable exposition of a metrics snapshot.
+
+    One line per series, grouped by metric kind, so ``experiments
+    stats`` output diffs cleanly between runs.
+    """
+    lines: List[str] = []
+    for kind in ("counters", "gauges"):
+        series = snapshot.get(kind, {})
+        for name in sorted(series):
+            value = series[name]
+            rendered = f"{value:g}" if isinstance(value, float) else str(value)
+            lines.append(f"{kind[:-1]} {name} {rendered}")
+    for name in sorted(snapshot.get("histograms", {})):
+        summary = snapshot["histograms"][name]
+        mean = summary["sum"] / summary["count"] if summary["count"] else 0.0
+        lines.append(
+            f"histogram {name} count={summary['count']} "
+            f"sum={summary['sum']:.6g} mean={mean:.6g} "
+            f"min={summary['min']} max={summary['max']}"
+        )
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,106 @@
+"""Per-block resource profiles: wall time, CPU time, peak memory.
+
+:class:`ProfileProbe` is a context manager that measures one block of
+work -- the runner wraps each experiment ``run()`` in one (inside the
+pool worker, so the numbers describe *that* experiment's process) and
+embeds the result in the run manifest's ``profile`` section.
+
+Measured quantities:
+
+* ``wall_s`` -- elapsed monotonic wall clock;
+* ``cpu_s`` -- process CPU time (user + system) via ``process_time``;
+* ``max_rss_kb`` -- the process's peak resident set (``resource``
+  module; ``None`` on platforms without it);
+* ``py_alloc_peak_kb`` -- peak python allocation during the block via
+  ``tracemalloc`` (only when ``trace_allocations=True``; tracing costs
+  2-4x on allocation-heavy code, so the runner enables it only under
+  ``--obs``).
+
+``ru_maxrss`` is a process-lifetime high-water mark, so for blocks run
+inside a fresh pool worker it is effectively per-experiment; for inline
+runs it is an upper bound.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from typing import Any, Dict, Optional
+
+try:  # pragma: no cover - absent only on non-POSIX platforms
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None  # type: ignore[assignment]
+
+#: Schema tag for profile dicts embedded in manifests.
+PROFILE_SCHEMA = "repro/obs-profile/v1"
+
+
+def peak_rss_kb() -> Optional[int]:
+    """The process's lifetime peak RSS in KiB (None when unavailable)."""
+    if resource is None:  # pragma: no cover - non-POSIX
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    # Linux reports KiB; macOS reports bytes.
+    rss = int(usage.ru_maxrss)
+    import sys
+    if sys.platform == "darwin":  # pragma: no cover - linux container
+        rss //= 1024
+    return rss
+
+
+class ProfileProbe:
+    """Measure one block: ``with ProfileProbe() as probe: ...``."""
+
+    def __init__(self, trace_allocations: bool = True):
+        self.trace_allocations = trace_allocations
+        self.wall_s: Optional[float] = None
+        self.cpu_s: Optional[float] = None
+        self.max_rss_kb: Optional[int] = None
+        self.py_alloc_peak_kb: Optional[int] = None
+        self._started_tracemalloc = False
+
+    def __enter__(self) -> "ProfileProbe":
+        if self.trace_allocations:
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._started_tracemalloc = True
+            tracemalloc.reset_peak()
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.wall_s = time.perf_counter() - self._wall0
+        self.cpu_s = time.process_time() - self._cpu0
+        self.max_rss_kb = peak_rss_kb()
+        if self.trace_allocations:
+            _, peak = tracemalloc.get_traced_memory()
+            self.py_alloc_peak_kb = peak // 1024
+            if self._started_tracemalloc:
+                tracemalloc.stop()
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The profile as the manifest's ``profile`` payload."""
+        return {
+            "schema": PROFILE_SCHEMA,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "max_rss_kb": self.max_rss_kb,
+            "py_alloc_peak_kb": self.py_alloc_peak_kb,
+        }
+
+
+def validate_profile(profile: Any) -> bool:
+    """True when ``profile`` looks like a ProfileProbe export."""
+    if not isinstance(profile, dict):
+        return False
+    for field in ("wall_s", "cpu_s"):
+        if not isinstance(profile.get(field), (int, float)):
+            return False
+    for field in ("max_rss_kb", "py_alloc_peak_kb"):
+        if profile.get(field) is not None and not isinstance(
+            profile[field], (int, float)
+        ):
+            return False
+    return True

@@ -1,0 +1,249 @@
+"""Span-based tracing with Chrome ``chrome://tracing`` JSON export.
+
+A :class:`Tracer` records *spans*: named intervals opened with the
+``tracer.span("name", key=value)`` context manager.  Spans nest -- each
+thread keeps its own open-span stack, so a span opened while another is
+active records that span as its parent.  Timing uses the monotonic
+``perf_counter_ns`` clock for durations and ``time_ns`` for the wall
+anchor, so merged traces from several processes (the runner's pool
+workers) land on one shared timeline.
+
+``to_chrome_trace`` renders the recorded spans as Chrome trace-event
+JSON (complete ``"ph": "X"`` events plus process-name metadata), which
+loads directly into ``chrome://tracing`` / Perfetto.
+``validate_chrome_trace`` is the structural checker the CLI and CI use.
+
+The :data:`NULL_TRACER` singleton is the disabled-mode tracer: its
+``span`` returns a shared no-op context manager, so un-instrumented
+runs pay one attribute lookup and a constant-object ``with``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Dict, List, Mapping, Optional
+
+#: Schema tag for exported trace files (carried in ``otherData``).
+TRACE_SCHEMA = "repro/obs-trace/v1"
+
+
+class Span:
+    """One named interval; use via ``with tracer.span(...)``."""
+
+    __slots__ = (
+        "name", "args", "pid", "tid", "parent_name",
+        "start_wall_ns", "_start_perf_ns", "duration_ns", "_tracer",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 parent_name: Optional[str], args: Dict[str, Any]):
+        self.name = name
+        self.args = args
+        self.pid = os.getpid()
+        self.tid = threading.get_ident()
+        self.parent_name = parent_name
+        self.start_wall_ns = time.time_ns()
+        self._start_perf_ns = time.perf_counter_ns()
+        self.duration_ns: Optional[int] = None
+        self._tracer = tracer
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.duration_ns = time.perf_counter_ns() - self._start_perf_ns
+        self._tracer._pop(self)
+
+    def set(self, **args: Any) -> None:
+        """Attach extra key/value detail to the span."""
+        self.args.update(args)
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "parent": self.parent_name,
+            "pid": self.pid,
+            "tid": self.tid,
+            "start_wall_ns": self.start_wall_ns,
+            "duration_ns": self.duration_ns,
+            "args": dict(self.args),
+        }
+
+
+class _NullSpan:
+    """Disabled-mode span: a reusable, argument-swallowing context."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+    def set(self, **args: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans from any thread; exports a merged Chrome trace."""
+
+    def __init__(self, process_label: Optional[str] = None):
+        self.process_label = process_label or f"pid-{os.getpid()}"
+        self._lock = threading.Lock()
+        self._records: List[Dict[str, Any]] = []
+        self._stacks = threading.local()
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._stacks, "open_spans", None)
+        if stack is None:
+            stack = self._stacks.open_spans = []
+        return stack
+
+    def span(self, name: str, **args: Any) -> Span:
+        stack = self._stack()
+        parent = stack[-1].name if stack else None
+        return Span(self, name, parent, args)
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        with self._lock:
+            self._records.append(span.to_record())
+
+    def records(self) -> List[Dict[str, Any]]:
+        """Completed spans, in completion order."""
+        with self._lock:
+            return list(self._records)
+
+    def add_records(self, records: List[Mapping[str, Any]],
+                    process_label: Optional[str] = None) -> None:
+        """Merge spans exported by another tracer (e.g. a pool worker)."""
+        cleaned = []
+        for record in records:
+            entry = dict(record)
+            if process_label:
+                entry.setdefault("process_label", process_label)
+            cleaned.append(entry)
+        with self._lock:
+            self._records.extend(cleaned)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """The trace as a Chrome trace-event JSON object."""
+        records = self.records()
+        events: List[Dict[str, Any]] = []
+        labels: Dict[int, str] = {}
+        for record in records:
+            pid = int(record["pid"])
+            labels.setdefault(
+                pid, str(record.get("process_label", self.process_label))
+            )
+            events.append({
+                "name": record["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": record["start_wall_ns"] / 1000.0,  # microseconds
+                "dur": (record["duration_ns"] or 0) / 1000.0,
+                "pid": pid,
+                "tid": int(record["tid"]),
+                "args": {
+                    **record.get("args", {}),
+                    **(
+                        {"parent": record["parent"]}
+                        if record.get("parent") else {}
+                    ),
+                },
+            })
+        for pid, label in sorted(labels.items()):
+            events.append({
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            })
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"schema": TRACE_SCHEMA, "spans": len(records)},
+        }
+
+
+class NullTracer:
+    """Disabled-mode tracer: every span is the shared no-op context."""
+
+    def span(self, name: str, **args: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def records(self) -> List[Dict[str, Any]]:
+        return []
+
+    def add_records(self, records: List[Mapping[str, Any]],
+                    process_label: Optional[str] = None) -> None:
+        pass
+
+    def clear(self) -> None:
+        pass
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        return {
+            "traceEvents": [],
+            "displayTimeUnit": "ms",
+            "otherData": {"schema": TRACE_SCHEMA, "spans": 0},
+        }
+
+
+#: Shared no-op tracer handed out when observability is disabled.
+NULL_TRACER = NullTracer()
+
+
+def validate_chrome_trace(trace: Any) -> List[str]:
+    """Structural problems in a Chrome trace object (empty == valid).
+
+    Checks the subset of the trace-event format this library emits:
+    a ``traceEvents`` list of ``"X"`` (complete) and ``"M"`` (metadata)
+    events with numeric timestamps and integer pid/tid.
+    """
+    problems: List[str] = []
+    if not isinstance(trace, Mapping):
+        return ["trace is not a JSON object"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["trace has no traceEvents list"]
+    for index, event in enumerate(events):
+        label = f"traceEvents[{index}]"
+        if not isinstance(event, Mapping):
+            problems.append(f"{label} is not an object")
+            continue
+        if not isinstance(event.get("name"), str) or not event.get("name"):
+            problems.append(f"{label}: missing or empty name")
+        phase = event.get("ph")
+        if phase not in ("X", "M"):
+            problems.append(f"{label}: unsupported phase {phase!r}")
+        if not isinstance(event.get("ts"), (int, float)) or event.get("ts", -1) < 0:
+            problems.append(f"{label}: bad ts")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                problems.append(f"{label}: {key} is not an integer")
+        if phase == "X":
+            duration = event.get("dur")
+            if not isinstance(duration, (int, float)) or duration < 0:
+                problems.append(f"{label}: complete event has bad dur")
+        if "args" in event and not isinstance(event["args"], Mapping):
+            problems.append(f"{label}: args is not an object")
+    return problems

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..errors import ProtocolError
+from ..obs import obs_counter, obs_enabled, obs_gauge
 from .node_sm import NodeStateMachine
 from .packets import Ack, Query, QueryRep, ReadSensor, Rn16Reply, SensorReport, SetBlf
 
@@ -137,6 +138,15 @@ class TdmaInventory:
                 if isinstance(reply, Rn16Reply):
                     replies[node.node_id] = reply
 
+        if obs_enabled():
+            # One bulk update per round (not per slot) keeps the
+            # instrumented inventory loop cheap even at Q=15.
+            obs_counter("tdma.rounds").inc()
+            obs_counter("tdma.slots").inc(len(round_result.slots))
+            obs_counter("tdma.collisions").inc(round_result.collisions)
+            obs_counter("tdma.empties").inc(round_result.empties)
+            obs_counter("tdma.singulations").inc(round_result.singulated)
+            obs_gauge("tdma.q").set(self._q_float)
         return round_result
 
     def inventory_all(self, max_rounds: int = 20) -> Dict[int, List[SensorReport]]:

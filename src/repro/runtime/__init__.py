@@ -31,6 +31,7 @@ from .goldens import compare_snapshots, flatten_scalars, golden_snapshot
 from .manifest import (
     MANIFEST_SCHEMA,
     RESULT_SCHEMA,
+    SUPPORTED_MANIFEST_SCHEMAS,
     git_revision,
     load_manifest,
     validate_manifest,
@@ -44,7 +45,9 @@ from .registry import (
 from .runner import (
     DEFAULT_TIMEOUT_S,
     ExperimentOutcome,
+    METRICS_FILENAME,
     RunReport,
+    TRACE_FILENAME,
     run_experiments,
 )
 from .serialize import canonical_json, read_json, to_jsonable, write_json_atomic
@@ -55,9 +58,12 @@ __all__ = [
     "ExperimentOutcome",
     "ExperimentSpec",
     "MANIFEST_SCHEMA",
+    "METRICS_FILENAME",
     "RESULT_SCHEMA",
     "ResultCache",
     "RunReport",
+    "SUPPORTED_MANIFEST_SCHEMAS",
+    "TRACE_FILENAME",
     "cache_key",
     "canonical_json",
     "compare_snapshots",

@@ -9,7 +9,10 @@ experiment's source, its parameters, its seed, or the numeric stack
 Entries are plain JSON files named ``<key>.json`` inside the cache
 directory.  Corrupted or truncated entries are treated as misses and
 deleted -- a damaged cache can cost a recompute but never a crash and
-never a stale result.
+never a stale result.  Each discard increments the
+``cache.corrupt_discarded`` counter and emits a ``cache.corrupt_entry``
+warning event (mirrored to the ``repro.obs`` logger), so a poisoned
+cache shows up as telemetry instead of an invisible slow-down.
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ import platform
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Union
 
+from ..obs import obs_counter, obs_event
 from .serialize import canonical_json, write_json_atomic
 
 #: Schema tag stamped into every cache entry (bumping it invalidates
@@ -85,23 +89,38 @@ class ResultCache:
             with path.open() as handle:
                 entry = json.load(handle)
         except FileNotFoundError:
+            obs_counter("cache.misses").inc()
             return None
-        except (OSError, ValueError):
-            self._discard(path)
+        except (OSError, ValueError) as exc:
+            self._discard_corrupt(key, path, f"unreadable JSON: {exc}")
             return None
         if (
             not isinstance(entry, dict)
             or entry.get("schema") != CACHE_ENTRY_SCHEMA
             or "result" not in entry
         ):
-            self._discard(path)
+            self._discard_corrupt(
+                key, path, "wrong schema tag or missing result"
+            )
             return None
+        obs_counter("cache.hits").inc()
         return entry
 
     def store(self, key: str, payload: Mapping[str, Any]) -> Path:
         """Persist ``payload`` (must contain 'result') under ``key``."""
         entry = {"schema": CACHE_ENTRY_SCHEMA, "key": key, **payload}
+        obs_counter("cache.stores").inc()
         return write_json_atomic(self.path_for(key), entry)
+
+    def _discard_corrupt(self, key: str, path: Path, reason: str) -> None:
+        """Delete a poisoned entry, leaving a visible telemetry trail."""
+        self._discard(path)
+        obs_counter("cache.corrupt_discarded").inc()
+        obs_counter("cache.misses").inc()
+        obs_event(
+            "warning", "cache.corrupt_entry",
+            key=key, path=str(path), reason=reason,
+        )
 
     @staticmethod
     def _discard(path: Path) -> None:

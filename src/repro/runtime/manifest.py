@@ -18,10 +18,18 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Union
 
 from ..errors import ManifestError
+from ..obs import validate_profile
 from .serialize import read_json
 
 #: Manifest schema identifier; bump on breaking layout changes.
-MANIFEST_SCHEMA = "repro/run-manifest/v1"
+#: v2 adds the optional per-experiment ``profile`` section (wall/CPU/
+#: peak-RSS collected under ``--obs``) and the optional top-level
+#: ``obs`` block pointing at the run's metrics/trace exports.
+MANIFEST_SCHEMA = "repro/run-manifest/v2"
+
+#: Schemas ``validate_manifest`` accepts: v1 manifests (pre-obs, no
+#: profile section) remain readable forever.
+SUPPORTED_MANIFEST_SCHEMAS = ("repro/run-manifest/v1", MANIFEST_SCHEMA)
 
 #: Per-experiment result file schema identifier.
 RESULT_SCHEMA = "repro/experiment-result/v1"
@@ -92,10 +100,14 @@ def validate_manifest(manifest: Mapping[str, Any]) -> List[str]:
             problems.append(
                 f"field {name!r} should be {getattr(kind, '__name__', kind)}"
             )
-    if manifest.get("schema") not in (None, MANIFEST_SCHEMA):
+    if manifest.get("schema") not in (None,) + SUPPORTED_MANIFEST_SCHEMAS:
         problems.append(
-            f"schema is {manifest['schema']!r}, expected {MANIFEST_SCHEMA!r}"
+            f"schema is {manifest['schema']!r}, expected one of "
+            f"{SUPPORTED_MANIFEST_SCHEMAS!r}"
         )
+    obs_block = manifest.get("obs")
+    if obs_block is not None and not isinstance(obs_block, Mapping):
+        problems.append("field 'obs' should be an object when present")
     entries = manifest.get("experiments")
     if isinstance(entries, list):
         seen = set()
@@ -117,6 +129,12 @@ def validate_manifest(manifest: Mapping[str, Any]) -> List[str]:
                 problems.append(f"{label}: ok entry has no result_file")
             if entry.get("status") != "ok" and not entry.get("error"):
                 problems.append(f"{label}: non-ok entry has no error record")
+            profile = entry.get("profile")
+            if profile is not None and not validate_profile(profile):
+                problems.append(
+                    f"{label}: profile section is malformed "
+                    "(needs numeric wall_s and cpu_s)"
+                )
             if entry.get("name") in seen:
                 problems.append(f"{label}: duplicate experiment entry")
             seen.add(entry.get("name"))

@@ -22,6 +22,7 @@ on scheduling.
 from __future__ import annotations
 
 import concurrent.futures
+import os
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -29,6 +30,18 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
+from ..obs import (
+    ProfileProbe,
+    activate_obs,
+    obs_counter,
+    obs_enabled,
+    obs_events,
+    obs_histogram,
+    obs_registry,
+    obs_span,
+    obs_tracer,
+    restore_obs,
+)
 from .cache import ResultCache, cache_key, library_versions
 from .manifest import (
     MANIFEST_SCHEMA,
@@ -42,6 +55,10 @@ from .serialize import to_jsonable, write_json_atomic
 #: Default wall-clock budget per experiment (generous: the slowest
 #: paper experiment takes ~5 s at its default parameters).
 DEFAULT_TIMEOUT_S = 300.0
+
+#: Filenames of the observability artifacts inside a run directory.
+METRICS_FILENAME = "metrics.json"
+TRACE_FILENAME = "trace.json"
 
 
 @dataclass
@@ -59,6 +76,7 @@ class ExperimentOutcome:
     result: Optional[Any] = None  # jsonable result payload when ok
     result_file: Optional[str] = None
     error: Optional[str] = None
+    profile: Optional[Dict[str, Any]] = None  # wall/CPU/RSS under --obs
 
 
 @dataclass
@@ -78,9 +96,24 @@ class RunReport:
     def cache_hits(self) -> int:
         return sum(1 for o in self.outcomes if o.cache == "hit")
 
+    @property
+    def fresh_ok(self) -> int:
+        """Experiments that succeeded by actually running (not cached)."""
+        return sum(
+            1 for o in self.outcomes if o.status == "ok" and o.cache != "hit"
+        )
+
+    @property
+    def failures(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "failed")
+
+    @property
+    def timeouts(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "timeout")
+
 
 def execute_serialized(
-    name: str, module_name: str, params: Mapping[str, Any]
+    name: str, module_name: str, params: Mapping[str, Any], obs: bool = False
 ) -> Dict[str, Any]:
     """Run one experiment and serialize it (the pool worker body).
 
@@ -89,26 +122,75 @@ def execute_serialized(
     returns a record -- exceptions are folded into ``error`` so a
     failing experiment cannot poison the pool.  Module-level so it
     pickles for ``ProcessPoolExecutor``.
+
+    With ``obs=True`` the worker installs its own observability scope
+    around the experiment and ships everything home in the record: a
+    ``profile`` (wall/CPU/peak-RSS/python-alloc), the worker's metrics
+    snapshot, and its trace spans -- the runner merges them into the
+    parent scope.  A fresh scope (not the inherited one) keeps fork-
+    started workers from double-counting into the parent registry.
     """
     import importlib
 
+    scope = activate_obs(process_label=f"worker-{os.getpid()}") if obs else None
+    probe = ProfileProbe() if obs else None
     start = time.perf_counter()
     try:
-        module = importlib.import_module(module_name)
-        result = module.run(**dict(params))
-        return {
-            "name": name,
-            "elapsed_s": time.perf_counter() - start,
-            "result": to_jsonable(result),
-            "error": None,
-        }
-    except BaseException:
-        return {
-            "name": name,
-            "elapsed_s": time.perf_counter() - start,
-            "result": None,
-            "error": traceback.format_exc(limit=20),
-        }
+        try:
+            module = importlib.import_module(module_name)
+            with obs_span(f"experiment.{name}", module=module_name):
+                if probe is not None:
+                    with probe:
+                        result = module.run(**dict(params))
+                else:
+                    result = module.run(**dict(params))
+            record = {
+                "name": name,
+                "elapsed_s": time.perf_counter() - start,
+                "result": to_jsonable(result),
+                "error": None,
+            }
+        except BaseException:
+            record = {
+                "name": name,
+                "elapsed_s": time.perf_counter() - start,
+                "result": None,
+                "error": traceback.format_exc(limit=20),
+            }
+        if scope is not None:
+            record["profile"] = (
+                probe.as_dict() if probe.wall_s is not None else None
+            )
+            record["metrics"] = scope.export()
+            record["spans"] = scope.tracer.records()
+            record["process_label"] = scope.tracer.process_label
+        return record
+    finally:
+        if scope is not None:
+            restore_obs(scope)
+
+
+def _absorb_record(outcome: ExperimentOutcome, record: Mapping[str, Any]) -> None:
+    """Fold one worker record into its outcome and the live obs scope."""
+    outcome.elapsed_s = record["elapsed_s"]
+    if record["error"] is None:
+        outcome.status = "ok"
+        outcome.result = record["result"]
+    else:
+        outcome.status = "failed"
+        outcome.error = record["error"]
+    outcome.profile = record.get("profile")
+    metrics = record.get("metrics")
+    if metrics is not None:
+        registry = obs_registry()
+        if registry is not None:
+            registry.merge_snapshot(metrics)
+        obs_events().absorb(metrics.get("events", {}))
+    spans = record.get("spans")
+    if spans:
+        obs_tracer().add_records(
+            spans, process_label=record.get("process_label")
+        )
 
 
 def _resolve_specs(
@@ -126,6 +208,7 @@ def _collect_parallel(
     pending: List[ExperimentOutcome],
     jobs: int,
     timeout_s: float,
+    obs: bool = False,
 ) -> None:
     """Fill in ``pending`` outcomes via a worker pool, in place.
 
@@ -137,7 +220,11 @@ def _collect_parallel(
         executor = concurrent.futures.ProcessPoolExecutor(max_workers=jobs)
         futures = {
             outcome.name: executor.submit(
-                execute_serialized, outcome.name, outcome.module, outcome.params
+                execute_serialized,
+                outcome.name,
+                outcome.module,
+                outcome.params,
+                obs,
             )
             for outcome in remaining
         }
@@ -160,13 +247,7 @@ def _collect_parallel(
                 outcome.error = "worker process died (broken pool)"
                 recycle = True
                 continue
-            outcome.elapsed_s = record["elapsed_s"]
-            if record["error"] is None:
-                outcome.status = "ok"
-                outcome.result = record["result"]
-            else:
-                outcome.status = "failed"
-                outcome.error = record["error"]
+            _absorb_record(outcome, record)
         if recycle:
             # A stuck or dead worker: reap the whole pool so the retry
             # pool starts from clean slots (terminate is best-effort --
@@ -191,6 +272,7 @@ def run_experiments(
     quick: bool = False,
     specs: Optional[Sequence[ExperimentSpec]] = None,
     run_id: Optional[str] = None,
+    obs: bool = False,
 ) -> RunReport:
     """Run a sweep and persist results + manifest under ``out_dir``.
 
@@ -209,10 +291,32 @@ def run_experiments(
         specs: Explicit spec objects (tests inject synthetic ones).
         run_id: Fixed id for the output directory; defaults to a
             UTC timestamp.
+        obs: Collect observability for this run -- metrics, trace
+            spans and per-experiment profiles.  The run directory gains
+            ``metrics.json`` + ``trace.json`` and every manifest entry
+            a ``profile`` section.  Off by default: the disabled path
+            is no-op instrumentation (see :mod:`repro.obs`).
 
     Returns:
         A :class:`RunReport`; ``report.manifest`` is already validated.
     """
+    scope = activate_obs(process_label="runner") if obs else None
+    try:
+        return _run_experiments_body(
+            names=names, jobs=jobs, out_dir=out_dir, force=force,
+            timeout_s=timeout_s, cache_dir=cache_dir, overrides=overrides,
+            quick=quick, specs=specs, run_id=run_id, scope=scope,
+        )
+    finally:
+        if scope is not None:
+            restore_obs(scope)
+
+
+def _run_experiments_body(
+    names, jobs, out_dir, force, timeout_s, cache_dir, overrides,
+    quick, specs, run_id, scope,
+) -> RunReport:
+    obs = scope is not None
     chosen = _resolve_specs(names, specs)
     out_dir = Path(out_dir)
     if run_id is None:
@@ -225,73 +329,110 @@ def run_experiments(
 
     outcomes: List[ExperimentOutcome] = []
     pending: List[ExperimentOutcome] = []
-    for spec in chosen:
-        params = spec.params(overrides.get(spec.name), quick=quick)
-        key = cache_key(spec.source(), params, params["seed"], versions)
-        outcome = ExperimentOutcome(
-            name=spec.name,
-            module=spec.module_name,
-            params=dict(params),
-            seed=params["seed"],
-            status="failed",
-            cache="bypass" if force else "miss",
-            cache_key=key,
-            elapsed_s=0.0,
-        )
-        outcomes.append(outcome)
-        entry = None if force else cache.load(key)
-        if entry is not None:
-            outcome.cache = "hit"
-            outcome.status = "ok"
-            outcome.result = entry["result"]
-            outcome.elapsed_s = 0.0
-        else:
-            pending.append(outcome)
+    with obs_span("runner.cache_lookup", experiments=len(chosen)):
+        for spec in chosen:
+            params = spec.params(overrides.get(spec.name), quick=quick)
+            key = cache_key(spec.source(), params, params["seed"], versions)
+            outcome = ExperimentOutcome(
+                name=spec.name,
+                module=spec.module_name,
+                params=dict(params),
+                seed=params["seed"],
+                status="failed",
+                cache="bypass" if force else "miss",
+                cache_key=key,
+                elapsed_s=0.0,
+            )
+            outcomes.append(outcome)
+            if force:
+                obs_counter("runner.cache.bypass").inc()
+                pending.append(outcome)
+                continue
+            lookup_probe = ProfileProbe(trace_allocations=False) if obs else None
+            if lookup_probe is not None:
+                with lookup_probe:
+                    entry = cache.load(key)
+            else:
+                entry = cache.load(key)
+            if entry is not None:
+                outcome.cache = "hit"
+                outcome.status = "ok"
+                outcome.result = entry["result"]
+                outcome.elapsed_s = 0.0
+                obs_counter("runner.cache.hits").inc()
+                if lookup_probe is not None:
+                    # A hit's cost is the lookup itself; record it so
+                    # every manifest entry carries a profile.
+                    outcome.profile = lookup_probe.as_dict()
+            else:
+                obs_counter("runner.cache.misses").inc()
+                pending.append(outcome)
 
     if pending:
-        if jobs <= 0:
-            for outcome in pending:
-                record = execute_serialized(
-                    outcome.name, outcome.module, outcome.params
-                )
-                outcome.elapsed_s = record["elapsed_s"]
-                if record["error"] is None:
-                    outcome.status = "ok"
-                    outcome.result = record["result"]
-                else:
-                    outcome.status = "failed"
-                    outcome.error = record["error"]
-        else:
-            _collect_parallel(pending, jobs, timeout_s)
+        with obs_span("runner.execute", pending=len(pending), jobs=jobs):
+            if jobs <= 0:
+                for outcome in pending:
+                    record = execute_serialized(
+                        outcome.name, outcome.module, outcome.params, obs
+                    )
+                    _absorb_record(outcome, record)
+            else:
+                _collect_parallel(pending, jobs, timeout_s, obs=obs)
+
+    if obs_enabled():
+        elapsed_hist = obs_histogram("runner.experiment.elapsed_s")
+        for outcome in outcomes:
+            obs_counter(f"runner.experiments.{outcome.status}").inc()
+            if outcome.cache != "hit":
+                elapsed_hist.observe(outcome.elapsed_s)
 
     run_dir.mkdir(parents=True, exist_ok=True)
-    for outcome in outcomes:
-        if outcome.status != "ok":
-            continue
-        if outcome.cache != "hit":
-            cache.store(
-                outcome.cache_key,
+    with obs_span("runner.persist", run_id=run_id):
+        for outcome in outcomes:
+            if outcome.status != "ok":
+                continue
+            if outcome.cache != "hit":
+                cache.store(
+                    outcome.cache_key,
+                    {
+                        "experiment": outcome.name,
+                        "params": outcome.params,
+                        "elapsed_s": outcome.elapsed_s,
+                        "result": outcome.result,
+                    },
+                )
+            outcome.result_file = f"{outcome.name}.json"
+            write_json_atomic(
+                run_dir / outcome.result_file,
                 {
+                    "schema": RESULT_SCHEMA,
                     "experiment": outcome.name,
+                    "module": outcome.module,
                     "params": outcome.params,
-                    "elapsed_s": outcome.elapsed_s,
+                    "seed": outcome.seed,
+                    "cache_key": outcome.cache_key,
+                    "cache": outcome.cache,
                     "result": outcome.result,
                 },
             )
-        outcome.result_file = f"{outcome.name}.json"
-        write_json_atomic(
-            run_dir / outcome.result_file,
-            {
-                "schema": RESULT_SCHEMA,
-                "experiment": outcome.name,
-                "module": outcome.module,
-                "params": outcome.params,
-                "seed": outcome.seed,
-                "cache_key": outcome.cache_key,
-                "cache": outcome.cache,
-                "result": outcome.result,
-            },
-        )
+
+    entries: List[Dict[str, Any]] = []
+    for o in outcomes:
+        entry = {
+            "name": o.name,
+            "module": o.module,
+            "params": to_jsonable(o.params),
+            "seed": o.seed,
+            "status": o.status,
+            "cache": o.cache,
+            "cache_key": o.cache_key,
+            "elapsed_s": o.elapsed_s,
+            "result_file": o.result_file,
+            "error": o.error,
+        }
+        if o.profile is not None:
+            entry["profile"] = o.profile
+        entries.append(entry)
 
     manifest: Dict[str, Any] = {
         "schema": MANIFEST_SCHEMA,
@@ -301,21 +442,7 @@ def run_experiments(
         "jobs": jobs,
         "forced": bool(force),
         "versions": versions,
-        "experiments": [
-            {
-                "name": o.name,
-                "module": o.module,
-                "params": to_jsonable(o.params),
-                "seed": o.seed,
-                "status": o.status,
-                "cache": o.cache,
-                "cache_key": o.cache_key,
-                "elapsed_s": o.elapsed_s,
-                "result_file": o.result_file,
-                "error": o.error,
-            }
-            for o in outcomes
-        ],
+        "experiments": entries,
         "totals": {
             "experiments": len(outcomes),
             "ok": sum(1 for o in outcomes if o.status == "ok"),
@@ -324,6 +451,23 @@ def run_experiments(
             "elapsed_s": time.perf_counter() - sweep_start,
         },
     }
+
+    if scope is not None:
+        # Export the collected telemetry next to the results; the
+        # manifest's obs block is the discovery pointer for
+        # ``experiments stats`` / ``experiments trace``.
+        metrics_payload = scope.export()
+        metrics_payload["run_id"] = run_id
+        write_json_atomic(run_dir / METRICS_FILENAME, metrics_payload)
+        write_json_atomic(run_dir / TRACE_FILENAME, scope.tracer.to_chrome_trace())
+        manifest["obs"] = {
+            "metrics_file": METRICS_FILENAME,
+            "trace_file": TRACE_FILENAME,
+            "spans": len(scope.tracer.records()),
+            "events": scope.events.count(),
+            "warnings": scope.events.count("warning"),
+        }
+
     problems = validate_manifest(manifest)
     if problems:  # pragma: no cover - internal consistency guard
         raise AssertionError(f"runner produced an invalid manifest: {problems}")

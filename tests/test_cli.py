@@ -134,3 +134,91 @@ class TestExperimentsCommands:
     def test_experiments_validate_rejects_a_missing_manifest(self, capsys, tmp_path):
         assert main(["experiments", "validate", str(tmp_path)]) == 1
         assert "INVALID" in capsys.readouterr().out
+
+
+class TestObservabilityCommands:
+    def _run_observed(self, tmp_path, capsys):
+        assert main(
+            [
+                "experiments", "run", "--only", "fig13", "--quick",
+                "--jobs", "0", "--obs", "--out", str(tmp_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        run_dir = next(
+            p for p in tmp_path.iterdir()
+            if p.is_dir() and p.name != ".cache"
+        )
+        return run_dir, out
+
+    def test_obs_subcommands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["experiments", "run", "--all", "--obs", "-v"],
+            ["experiments", "run", "--all", "--no-obs"],
+            ["experiments", "stats", "some/run/dir"],
+            ["experiments", "stats", "some/run/dir", "--json"],
+            ["experiments", "trace", "some/run/dir", "--out", "t.json"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_run_with_obs_points_at_the_exports(self, capsys, tmp_path):
+        run_dir, out = self._run_observed(tmp_path, capsys)
+        assert "metrics:" in out
+        assert "trace:" in out
+        assert (run_dir / "metrics.json").exists()
+        assert (run_dir / "trace.json").exists()
+
+    def test_run_verbose_shows_profile_detail(self, capsys, tmp_path):
+        assert main(
+            [
+                "experiments", "run", "--only", "fig13", "--quick",
+                "--jobs", "0", "--obs", "-v", "--out", str(tmp_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "seed=" in out
+        assert "key=" in out
+        assert "wall=" in out and "cpu=" in out
+        assert "1 fresh" in out
+
+    def test_stats_renders_metrics_and_profiles(self, capsys, tmp_path):
+        run_dir, _ = self._run_observed(tmp_path, capsys)
+        assert main(["experiments", "stats", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "metrics for run" in out
+        assert "counter runner.experiments.ok 1" in out
+        assert "per-experiment profiles:" in out
+        assert "fig13" in out
+
+    def test_stats_json_dumps_the_snapshot(self, capsys, tmp_path):
+        import json
+
+        run_dir, _ = self._run_observed(tmp_path, capsys)
+        assert main(["experiments", "stats", str(run_dir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counters"]["runner.experiments.ok"] == 1.0
+
+    def test_stats_without_obs_artifacts_fails_with_hint(self, capsys, tmp_path):
+        assert main(["experiments", "stats", str(tmp_path)]) == 1
+        assert "--obs" in capsys.readouterr().out
+
+    def test_trace_validates_and_copies(self, capsys, tmp_path):
+        import json
+
+        run_dir, _ = self._run_observed(tmp_path, capsys)
+        copy_path = tmp_path / "copy.json"
+        assert main(["experiments", "trace", str(run_dir)]) == 0
+        assert "valid chrome trace" in capsys.readouterr().out
+        assert main(
+            ["experiments", "trace", str(run_dir), "--out", str(copy_path)]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert json.loads(copy_path.read_text())["traceEvents"]
+
+    def test_trace_flags_a_corrupted_export(self, capsys, tmp_path):
+        run_dir, _ = self._run_observed(tmp_path, capsys)
+        (run_dir / "trace.json").write_text('{"traceEvents": [{"ph": "?"}]}')
+        assert main(["experiments", "trace", str(run_dir)]) == 1
+        assert "INVALID" in capsys.readouterr().out

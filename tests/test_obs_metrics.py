@@ -1,0 +1,233 @@
+"""Tests for the metrics registry (obs.metrics) and the obs facade."""
+
+import threading
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import (
+    MetricsRegistry,
+    NULL_METRIC,
+    activate_obs,
+    obs_counter,
+    obs_enabled,
+    obs_event,
+    obs_gauge,
+    obs_histogram,
+    observed,
+    parse_series,
+    render_snapshot_text,
+    restore_obs,
+    series_name,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = MetricsRegistry().counter("c")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_cannot_decrease(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ObsError):
+            counter.inc(-1.0)
+
+    def test_same_name_returns_same_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc()
+        assert registry.counter("c").value == 2.0
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("c")
+        with pytest.raises(ObsError):
+            registry.gauge("c")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10.0)
+        gauge.inc(2.0)
+        gauge.dec(0.5)
+        assert gauge.value == 11.5
+
+    def test_set_overwrites(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(1.0)
+        gauge.set(-4.0)
+        assert gauge.value == -4.0
+
+
+class TestHistogram:
+    def test_count_sum_min_max(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 2.0, 20.0):
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary["count"] == 3
+        assert summary["sum"] == 22.5
+        assert summary["min"] == 0.5
+        assert summary["max"] == 20.0
+
+    def test_buckets_are_cumulative(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 0.7, 2.0, 20.0):
+            hist.observe(value)
+        buckets = dict(
+            (str(bound), count) for bound, count in hist.summary()["buckets"]
+        )
+        assert buckets["1.0"] == 2  # <= 1.0
+        assert buckets["10.0"] == 3  # <= 10.0
+        assert buckets["+inf"] == 4
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ObsError):
+            MetricsRegistry().histogram("h", buckets=())
+
+
+class TestLabels:
+    def test_children_are_separate_series(self):
+        registry = MetricsRegistry()
+        base = registry.counter("reqs")
+        base.labels(node="1").inc(3)
+        base.labels(node="2").inc(5)
+        assert base.labels(node="1").value == 3
+        assert base.labels(node="2").value == 5
+        assert base.value == 0.0  # parent untouched
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.labels(a="1", b="2").inc()
+        counter.labels(b="2", a="1").inc()
+        assert counter.labels(a="1", b="2").value == 2.0
+
+    def test_series_name_round_trip(self):
+        name = series_name("c", (("a", "1"), ("b", "2")))
+        assert name == "c{a=1,b=2}"
+        assert parse_series(name) == ("c", (("a", "1"), ("b", "2")))
+        assert parse_series("bare") == ("bare", ())
+
+    def test_labelled_series_appear_in_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("c").labels(node="7").inc(2)
+        assert registry.snapshot()["counters"] == {"c": 0.0, "c{node=7}": 2.0}
+
+
+class TestConcurrency:
+    def test_concurrent_increments_from_threads(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        hist = registry.histogram("h", buckets=(0.5,))
+        per_thread, threads = 5_000, 8
+
+        def work():
+            for _ in range(per_thread):
+                counter.inc()
+                hist.observe(1.0)
+
+        pool = [threading.Thread(target=work) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert counter.value == per_thread * threads
+        assert hist.count == per_thread * threads
+        assert hist.sum == float(per_thread * threads)
+
+
+class TestSnapshotMerge:
+    def test_counters_add_and_gauges_overwrite(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(2)
+        b.counter("c").inc(3)
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(9.0)
+        a.merge_snapshot(b.snapshot())
+        assert a.counter("c").value == 5.0
+        assert a.gauge("g").value == 9.0
+
+    def test_histograms_merge_counts_and_extremes(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h").observe(0.2)
+        b.histogram("h").observe(7.0)
+        b.histogram("h").observe(0.004)
+        a.merge_snapshot(b.snapshot())
+        summary = a.histogram("h").summary()
+        assert summary["count"] == 3
+        assert summary["sum"] == pytest.approx(7.204)
+        assert summary["min"] == 0.004
+        assert summary["max"] == 7.0
+
+    def test_labelled_series_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").labels(k="x").inc()
+        b.counter("c").labels(k="x").inc(4)
+        a.merge_snapshot(b.snapshot())
+        assert a.counter("c").labels(k="x").value == 5.0
+
+
+class TestExposition:
+    def test_render_text_lists_every_series(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3)
+        registry.gauge("coverage").set(0.75)
+        registry.histogram("lat", buckets=(1.0,)).observe(0.5)
+        text = registry.render_text()
+        assert "counter hits 3" in text
+        assert "gauge coverage 0.75" in text
+        assert "histogram lat count=1" in text
+
+    def test_render_snapshot_text_round_trips_through_json(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        import json
+
+        snapshot = json.loads(json.dumps(registry.snapshot()))
+        assert "counter c 1" in render_snapshot_text(snapshot)
+
+
+class TestFacade:
+    def test_disabled_by_default_hands_out_null_metric(self):
+        assert not obs_enabled()
+        assert obs_counter("x") is NULL_METRIC
+        assert obs_gauge("x") is NULL_METRIC
+        assert obs_histogram("x") is NULL_METRIC
+        # All mutators are harmless no-ops.
+        obs_counter("x").inc()
+        obs_gauge("x").set(3.0)
+        obs_histogram("x").observe(1.0)
+        obs_event("warning", "nothing.stored", detail="dropped")
+
+    def test_activation_installs_live_metrics(self):
+        with observed() as scope:
+            assert obs_enabled()
+            obs_counter("c").inc(2)
+            obs_event("info", "hello", who="test")
+            assert scope.registry.counter("c").value == 2.0
+            assert scope.events.count() == 1
+        assert not obs_enabled()
+
+    def test_activations_nest_like_a_stack(self):
+        outer = activate_obs()
+        obs_counter("c").inc()
+        inner = activate_obs()
+        obs_counter("c").inc(10)
+        assert inner.registry.counter("c").value == 10.0
+        restore_obs(inner)
+        assert obs_counter("c").value == 1.0
+        restore_obs(outer)
+        assert not obs_enabled()
+
+    def test_scope_export_includes_events(self):
+        with observed() as scope:
+            obs_counter("c").inc()
+            obs_event("warning", "w", a="b")
+            payload = scope.export()
+        assert payload["counters"] == {"c": 1.0}
+        assert payload["events"]["events"][0]["name"] == "w"

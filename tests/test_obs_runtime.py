@@ -1,0 +1,199 @@
+"""Integration tests: observability through the runner and manifests.
+
+Covers the ``--obs`` runner path (profiles, metrics.json, trace.json,
+manifest ``obs`` block), manifest schema-v2 round-trips with v1
+backward compatibility, corrupt-cache telemetry, and the golden-
+compatibility guarantee that instrumentation never perturbs results.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import (
+    obs_enabled,
+    observed,
+    validate_chrome_trace,
+    validate_profile,
+)
+from repro.runtime import (
+    MANIFEST_SCHEMA,
+    METRICS_FILENAME,
+    SUPPORTED_MANIFEST_SCHEMAS,
+    TRACE_FILENAME,
+    compare_snapshots,
+    golden_snapshot,
+    load_manifest,
+    run_experiments,
+    validate_manifest,
+)
+
+from .test_experiment_goldens import (
+    DEFAULT_REL_TOL,
+    REGISTRY,
+    REL_TOL,
+    _load_golden,
+)
+
+
+class TestObsRun:
+    def test_obs_run_exports_profiles_metrics_and_trace(self, tmp_path):
+        report = run_experiments(
+            names=["fig13"], jobs=0, out_dir=tmp_path, quick=True, obs=True
+        )
+        assert report.ok
+        assert not obs_enabled()  # scope fully restored after the run
+
+        manifest = load_manifest(report.run_dir)
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        (entry,) = manifest["experiments"]
+        assert validate_profile(entry["profile"])
+        assert entry["profile"]["wall_s"] > 0.0
+
+        obs_block = manifest["obs"]
+        assert obs_block["metrics_file"] == METRICS_FILENAME
+        assert obs_block["trace_file"] == TRACE_FILENAME
+        assert obs_block["spans"] >= 4  # lookup/execute/persist/experiment
+
+        metrics = json.loads((report.run_dir / METRICS_FILENAME).read_text())
+        assert metrics["run_id"] == report.run_id
+        assert metrics["counters"]["runner.cache.misses"] == 1.0
+        assert metrics["counters"]["runner.experiments.ok"] == 1.0
+        assert metrics["histograms"]["runner.experiment.elapsed_s"]["count"] == 1
+
+        trace = json.loads((report.run_dir / TRACE_FILENAME).read_text())
+        assert validate_chrome_trace(trace) == []
+        span_names = {e["name"] for e in trace["traceEvents"]}
+        assert "experiment.fig13" in span_names
+        assert "runner.execute" in span_names
+
+    def test_obs_off_run_has_no_telemetry_artifacts(self, tmp_path):
+        report = run_experiments(names=["fig13"], jobs=0, out_dir=tmp_path)
+        manifest = load_manifest(report.run_dir)
+        assert "obs" not in manifest
+        assert "profile" not in manifest["experiments"][0]
+        assert not (report.run_dir / METRICS_FILENAME).exists()
+        assert not (report.run_dir / TRACE_FILENAME).exists()
+
+    def test_pool_workers_ship_their_telemetry_home(self, tmp_path):
+        report = run_experiments(
+            names=["fig13"], jobs=2, out_dir=tmp_path, quick=True,
+            force=True, obs=True,
+        )
+        assert report.ok
+        assert validate_profile(report.outcomes[0].profile)
+        trace = json.loads((report.run_dir / TRACE_FILENAME).read_text())
+        experiment_event = next(
+            e for e in trace["traceEvents"] if e["name"] == "experiment.fig13"
+        )
+        # The experiment span was recorded inside the pool worker and
+        # merged back: its pid is the worker's, not the runner's.
+        assert experiment_event["pid"] != os.getpid()
+        labels = {
+            e["args"]["name"]
+            for e in trace["traceEvents"] if e["ph"] == "M"
+        }
+        assert any(label.startswith("worker-") for label in labels)
+
+    def test_cache_hits_still_carry_a_profile(self, tmp_path):
+        first = run_experiments(
+            names=["fig13"], jobs=0, out_dir=tmp_path, quick=True, obs=True
+        )
+        assert first.fresh_ok == 1 and first.cache_hits == 0
+        again = run_experiments(
+            names=["fig13"], jobs=0, out_dir=tmp_path, quick=True, obs=True
+        )
+        assert again.cache_hits == 1 and again.fresh_ok == 0
+        (entry,) = load_manifest(again.run_dir)["experiments"]
+        assert entry["cache"] == "hit"
+        assert validate_profile(entry["profile"])
+        metrics = json.loads((again.run_dir / METRICS_FILENAME).read_text())
+        assert metrics["counters"]["runner.cache.hits"] == 1.0
+
+    def test_corrupt_cache_entry_is_counted_and_reported(self, tmp_path):
+        first = run_experiments(
+            names=["fig13"], jobs=0, out_dir=tmp_path, quick=True
+        )
+        key = first.outcomes[0].cache_key
+        entry_path = tmp_path / ".cache" / f"{key}.json"
+        assert entry_path.exists()
+        entry_path.write_text("{ not json")
+
+        again = run_experiments(
+            names=["fig13"], jobs=0, out_dir=tmp_path, quick=True, obs=True
+        )
+        assert again.outcomes[0].cache == "miss"
+        assert not again.cache_hits
+        metrics = json.loads((again.run_dir / METRICS_FILENAME).read_text())
+        assert metrics["counters"]["cache.corrupt_discarded"] == 1.0
+        warnings = [
+            e for e in metrics["events"]["events"]
+            if e["name"] == "cache.corrupt_entry"
+        ]
+        (event,) = warnings
+        assert event["level"] == "warning"
+        assert event["fields"]["key"] == key
+        assert "unreadable JSON" in event["fields"]["reason"]
+        assert load_manifest(again.run_dir)["obs"]["warnings"] == 1
+
+
+class TestManifestCompat:
+    def _fresh_manifest(self, tmp_path, obs=True):
+        report = run_experiments(
+            names=["fig13"], jobs=0, out_dir=tmp_path, quick=True, obs=obs
+        )
+        return json.loads((report.run_dir / "manifest.json").read_text())
+
+    def test_v2_round_trips_with_and_without_profile(self, tmp_path):
+        with_profile = self._fresh_manifest(tmp_path / "a", obs=True)
+        without_profile = self._fresh_manifest(tmp_path / "b", obs=False)
+        assert validate_manifest(with_profile) == []
+        assert validate_manifest(without_profile) == []
+
+    def test_v1_manifests_without_profile_still_validate(self, tmp_path):
+        manifest = self._fresh_manifest(tmp_path, obs=False)
+        manifest["schema"] = "repro/run-manifest/v1"
+        assert "repro/run-manifest/v1" in SUPPORTED_MANIFEST_SCHEMAS
+        assert validate_manifest(manifest) == []
+
+    def test_unknown_schema_is_rejected(self, tmp_path):
+        manifest = self._fresh_manifest(tmp_path, obs=False)
+        manifest["schema"] = "repro/run-manifest/v99"
+        assert any("schema" in p for p in validate_manifest(manifest))
+
+    def test_malformed_profile_is_rejected(self, tmp_path):
+        manifest = self._fresh_manifest(tmp_path, obs=True)
+        manifest["experiments"][0]["profile"] = {"wall_s": "quick"}
+        assert any("profile" in p for p in validate_manifest(manifest))
+
+    def test_malformed_obs_block_is_rejected(self, tmp_path):
+        manifest = self._fresh_manifest(tmp_path, obs=True)
+        manifest["obs"] = "yes"
+        assert any("obs" in p for p in validate_manifest(manifest))
+
+
+@pytest.mark.parametrize("name", list(REGISTRY))
+def test_obs_does_not_perturb_goldens(name):
+    """Instrumented runs must produce bit-for-bit the golden physics.
+
+    Every registered experiment executes with a live obs scope; the
+    scalar snapshot must still match the checked-in golden within the
+    standard tolerance.  Guards against instrumentation ever touching
+    an RNG stream or reordering float accumulation.
+    """
+    spec = REGISTRY[name]
+    golden = _load_golden(name)
+    with observed() as scope:
+        result = spec.execute(quick=True)
+    fresh = golden_snapshot(name, result)
+    problems = compare_snapshots(
+        golden["scalars"], fresh, rel_tol=REL_TOL.get(name, DEFAULT_REL_TOL)
+    )
+    assert not problems, (
+        f"{name} drifted under --obs ({len(problems)} path(s)): "
+        f"{list(problems.items())[:5]}"
+    )
+    # The scope must not leak past its context.
+    assert not obs_enabled()
+    assert scope.registry.snapshot()["schema"]

@@ -1,0 +1,196 @@
+"""Tests for the tracer (obs.tracing), profiler and event log."""
+
+import json
+import threading
+
+from repro.obs import (
+    EventLog,
+    NULL_TRACER,
+    NullTracer,
+    ProfileProbe,
+    TRACE_SCHEMA,
+    Tracer,
+    obs_span,
+    observed,
+    validate_chrome_trace,
+    validate_profile,
+)
+from repro.obs.tracing import _NULL_SPAN
+
+
+class TestSpans:
+    def test_span_records_name_args_and_duration(self):
+        tracer = Tracer(process_label="test")
+        with tracer.span("work", kind="unit") as span:
+            span.set(extra=1)
+        (record,) = tracer.records()
+        assert record["name"] == "work"
+        assert record["args"] == {"kind": "unit", "extra": 1}
+        assert record["duration_ns"] >= 0
+        assert record["parent"] is None
+
+    def test_nested_spans_record_their_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        by_name = {r["name"]: r for r in tracer.records()}
+        assert by_name["inner"]["parent"] == "outer"
+        assert by_name["outer"]["parent"] is None
+        # Sibling after the nest has no parent again.
+        with tracer.span("after"):
+            pass
+        assert tracer.records()[-1]["parent"] is None
+
+    def test_threads_keep_independent_span_stacks(self):
+        tracer = Tracer()
+        ready = threading.Event()
+
+        def other_thread():
+            with tracer.span("thread-span"):
+                ready.set()
+
+        with tracer.span("main-span"):
+            worker = threading.Thread(target=other_thread)
+            worker.start()
+            worker.join()
+        by_name = {r["name"]: r for r in tracer.records()}
+        # The other thread's span must not pick up main's open span.
+        assert by_name["thread-span"]["parent"] is None
+        assert by_name["thread-span"]["tid"] != by_name["main-span"]["tid"]
+
+
+class TestChromeExport:
+    def test_export_is_valid_and_json_serializable(self):
+        tracer = Tracer(process_label="runner")
+        with tracer.span("a", seed=7):
+            with tracer.span("b"):
+                pass
+        trace = json.loads(json.dumps(tracer.to_chrome_trace()))
+        assert validate_chrome_trace(trace) == []
+        assert trace["otherData"]["schema"] == TRACE_SCHEMA
+        assert trace["otherData"]["spans"] == 2
+
+    def test_export_contains_complete_and_metadata_events(self):
+        tracer = Tracer(process_label="runner")
+        with tracer.span("a"):
+            pass
+        events = tracer.to_chrome_trace()["traceEvents"]
+        phases = [e["ph"] for e in events]
+        assert phases.count("X") == 1
+        assert phases.count("M") == 1
+        meta = next(e for e in events if e["ph"] == "M")
+        assert meta["args"]["name"] == "runner"
+
+    def test_merged_worker_records_keep_their_process_label(self):
+        parent, worker = Tracer(process_label="parent"), Tracer()
+        with worker.span("remote"):
+            pass
+        parent.add_records(worker.records(), process_label="worker-1")
+        trace = parent.to_chrome_trace()
+        meta = next(e for e in trace["traceEvents"] if e["ph"] == "M")
+        assert meta["args"]["name"] == "worker-1"
+        assert validate_chrome_trace(trace) == []
+
+    def test_validator_flags_malformed_events(self):
+        assert validate_chrome_trace([]) == ["trace is not a JSON object"]
+        assert validate_chrome_trace({}) == ["trace has no traceEvents list"]
+        problems = validate_chrome_trace({
+            "traceEvents": [
+                {"name": "", "ph": "Z", "ts": -1, "pid": "x", "tid": 0},
+                {"name": "ok", "ph": "X", "ts": 0, "pid": 1, "tid": 1},
+            ]
+        })
+        assert any("missing or empty name" in p for p in problems)
+        assert any("unsupported phase" in p for p in problems)
+        assert any("bad ts" in p for p in problems)
+        assert any("pid is not an integer" in p for p in problems)
+        assert any("complete event has bad dur" in p for p in problems)
+
+
+class TestDisabledMode:
+    def test_null_tracer_records_nothing(self):
+        with NULL_TRACER.span("ignored", detail=1) as span:
+            span.set(more=2)
+        assert NULL_TRACER.records() == []
+        assert validate_chrome_trace(NULL_TRACER.to_chrome_trace()) == []
+
+    def test_null_tracer_reuses_one_span_object(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b") is _NULL_SPAN
+        assert isinstance(NULL_TRACER, NullTracer)
+
+    def test_obs_span_is_noop_when_disabled(self):
+        with obs_span("outside-any-scope") as span:
+            assert span is _NULL_SPAN
+
+    def test_obs_span_records_inside_scope(self):
+        with observed() as scope:
+            with obs_span("scoped", run="x"):
+                pass
+        (record,) = scope.tracer.records()
+        assert record["name"] == "scoped"
+        assert record["args"] == {"run": "x"}
+
+
+class TestProfileProbe:
+    def test_measures_wall_cpu_and_memory(self):
+        with ProfileProbe() as probe:
+            sum(range(100_000))
+            buf = bytearray(2_000_000)
+            del buf
+        assert probe.wall_s >= 0.0
+        assert probe.cpu_s >= 0.0
+        assert probe.max_rss_kb is None or probe.max_rss_kb > 0
+        # The 2 MB bytearray must show up in the allocation peak.
+        assert probe.py_alloc_peak_kb >= 1_000
+
+    def test_as_dict_validates(self):
+        with ProfileProbe(trace_allocations=False) as probe:
+            pass
+        payload = probe.as_dict()
+        assert validate_profile(payload)
+        assert payload["py_alloc_peak_kb"] is None
+
+    def test_validate_profile_rejects_malformed(self):
+        assert not validate_profile(None)
+        assert not validate_profile({"wall_s": 0.1})  # cpu_s missing
+        assert not validate_profile({"wall_s": "fast", "cpu_s": 0.0})
+        assert not validate_profile(
+            {"wall_s": 0.1, "cpu_s": 0.1, "max_rss_kb": "big"}
+        )
+        assert validate_profile(
+            {"wall_s": 0.1, "cpu_s": 0.1, "max_rss_kb": None,
+             "py_alloc_peak_kb": 12}
+        )
+
+
+class TestEventLog:
+    def test_emit_and_snapshot(self):
+        log = EventLog()
+        log.emit("warning", "cache.corrupt_entry", key="abc", reason="json")
+        snapshot = log.snapshot()
+        assert snapshot["dropped"] == 0
+        (event,) = snapshot["events"]
+        assert event["level"] == "warning"
+        assert event["fields"] == {"key": "abc", "reason": "json"}
+        assert log.count() == 1
+        assert log.count("warning") == 1
+        assert log.count("error") == 0
+
+    def test_capacity_bound_drops_oldest(self):
+        log = EventLog(capacity=2)
+        for i in range(5):
+            log.emit("info", f"e{i}")
+        snapshot = log.snapshot()
+        assert [e["name"] for e in snapshot["events"]] == ["e3", "e4"]
+        assert snapshot["dropped"] == 3
+
+    def test_absorb_folds_worker_events(self):
+        parent, worker = EventLog(), EventLog()
+        worker.emit("warning", "w1", node=1)
+        parent.emit("info", "local")
+        parent.absorb(worker.snapshot())
+        assert parent.count() == 2
+        assert parent.count("warning") == 1
+        parent.absorb("not-a-snapshot")  # ignored, not an error
+        assert parent.count() == 2
