@@ -9,6 +9,10 @@
 # Stage 3: observability smoke -- one experiment under --obs, asserting
 #          the manifest carries a profile block and the exported Chrome
 #          trace validates against the trace-event schema.
+# Stage 4: fault-injection smoke -- the fault sweep twice under the
+#          same --faults plan at a fixed seed, asserting the degraded
+#          sessions still produce valid manifests and that the two
+#          runs' result payloads are byte-identical (determinism).
 #
 # Usage:  scripts/ci.sh [extra pytest args...]
 
@@ -61,5 +65,59 @@ PY
 
 python -m repro.cli experiments stats "${OBS_RUN_DIR}" > /dev/null
 python -m repro.cli experiments trace "${OBS_RUN_DIR}" > /dev/null
+
+echo "== stage 4: fault-injection smoke (--faults) =="
+PLAN_FILE="${OUT_DIR}/plan.json"
+python - "${PLAN_FILE}" <<'PY'
+import sys
+
+from repro.faults import FaultPlan
+
+# A hostile but survivable channel; seeded so both runs replay it.
+FaultPlan(
+    seed=17,
+    uplink_ber=0.005,
+    reply_loss_rate=0.15,
+    brownout_rate=0.10,
+    reader_dropout_rate=0.30,
+    slot_jitter_rate=0.05,
+    stuck_sensor_rate=0.10,
+).to_json_file(sys.argv[1])
+PY
+
+for attempt in a b; do
+    python -m repro.cli experiments run --only fault_sweep --jobs 0 --quick \
+        --force --faults "${PLAN_FILE}" --out "${OUT_DIR}/faults-${attempt}"
+    FAULT_RUN_DIR="$(find "${OUT_DIR}/faults-${attempt}" -mindepth 1 -maxdepth 1 -type d ! -name '.cache' | head -n 1)"
+    python -m repro.cli experiments validate "${FAULT_RUN_DIR}"
+done
+
+python - "${OUT_DIR}" <<'PY'
+import json
+import sys
+from pathlib import Path
+
+out_dir = Path(sys.argv[1])
+payloads = []
+for attempt in ("a", "b"):
+    run_dir = next(
+        p for p in (out_dir / f"faults-{attempt}").iterdir()
+        if p.is_dir() and p.name != ".cache"
+    )
+    payloads.append((run_dir / "fault_sweep.json").read_bytes())
+assert payloads[0] == payloads[1], (
+    "fault sweep is not deterministic across runs at the same seed/plan"
+)
+result = json.loads(payloads[0])["result"]
+points = result["points"]
+assert any(p["retries"] > 0 or p["degraded"] for p in points), (
+    "fault smoke injected nothing: no retries and no degradation recorded"
+)
+degraded = sum(1 for p in points if p["degraded"])
+print(
+    f"fault smoke OK: {len(points)} point(s), {degraded} degraded, "
+    "two runs byte-identical"
+)
+PY
 
 echo "== CI OK =="

@@ -27,6 +27,7 @@ from . import (
     baselines,
     circuits,
     errors,
+    faults,
     link,
     materials,
     node,
@@ -48,6 +49,7 @@ __all__ = [
     "baselines",
     "circuits",
     "errors",
+    "faults",
     "link",
     "materials",
     "node",

@@ -14,6 +14,7 @@ plus the experiment runtime (registry + parallel runner + cache)::
     python -m repro.cli experiments run --all --jobs 4 --out results
     python -m repro.cli experiments run --only fig15 fig17 --force
     python -m repro.cli experiments run --only fig15 --obs -v
+    python -m repro.cli experiments run --only fault_sweep --faults plan.json
     python -m repro.cli experiments validate results/<run_id>
     python -m repro.cli experiments stats results/<run_id>
     python -m repro.cli experiments trace results/<run_id> --out trace.json
@@ -106,8 +107,10 @@ def _cmd_survey(args: argparse.Namespace) -> int:
         )
         for i in range(args.nodes)
     ]
+    plan = _load_fault_plan(args.faults) if args.faults else None
     session = WallSession(
-        budget=budget, nodes=nodes, tx_voltage=args.voltage, seed=args.seed
+        budget=budget, nodes=nodes, tx_voltage=args.voltage, seed=args.seed,
+        faults=plan,
     )
     result = session.run()
     print(
@@ -123,6 +126,22 @@ def _cmd_survey(args: argparse.Namespace) -> int:
         )
     if result.dark_nodes:
         print(f"  dark nodes (out of range): {result.dark_nodes}")
+    if result.degraded:
+        print(
+            f"  DEGRADED: unheard nodes {result.unheard_nodes}"
+            + (" (charging failed)" if result.charge_failed else "")
+        )
+    if result.retries or result.charge_attempts > 1:
+        print(
+            f"  recovery: {result.retries} command retries, "
+            f"{result.charge_attempts} charge attempt(s), "
+            f"{result.backoff_s:.2f} s backoff, {result.recharges} recharge(s)"
+        )
+    if result.fault_counts:
+        faults = ", ".join(
+            f"{k}={v}" for k, v in sorted(result.fault_counts.items())
+        )
+        print(f"  injected faults: {faults}")
     return 0
 
 
@@ -178,12 +197,45 @@ def _format_profile(profile) -> str:
     return " ".join(parts)
 
 
+def _load_fault_plan(path: str):
+    """Load a CLI ``--faults`` plan or exit with the config error."""
+    from .errors import FaultConfigError
+    from .faults import FaultPlan
+
+    try:
+        return FaultPlan.from_json_file(path)
+    except FaultConfigError as exc:
+        raise SystemExit(f"--faults: {exc}")
+
+
+def _fault_overrides(names, plan):
+    """Per-experiment overrides injecting ``plan`` where it is accepted."""
+    from .runtime import experiment_registry
+
+    registry = experiment_registry()
+    selected = list(registry) if names is None else names
+    accepting = [
+        name
+        for name in selected
+        if name in registry and "fault_plan" in registry[name].default_params
+    ]
+    if not accepting:
+        raise SystemExit(
+            "--faults: none of the selected experiments accept a fault_plan "
+            "parameter (try --only fault_sweep)"
+        )
+    return {name: {"fault_plan": plan.to_dict()} for name in accepting}
+
+
 def _cmd_experiments_run(args: argparse.Namespace) -> int:
     from .runtime import run_experiments
 
     if not args.all and not args.only:
         raise SystemExit("experiments run: pass --all or --only NAME [NAME ...]")
     names = None if args.all else args.only
+    overrides = None
+    if args.faults:
+        overrides = _fault_overrides(names, _load_fault_plan(args.faults))
     report = run_experiments(
         names=names,
         jobs=args.jobs,
@@ -191,8 +243,10 @@ def _cmd_experiments_run(args: argparse.Namespace) -> int:
         force=args.force,
         timeout_s=args.timeout,
         cache_dir=args.cache_dir,
+        overrides=overrides,
         quick=args.quick,
         obs=args.obs,
+        retries=args.retries,
     )
     for outcome in report.outcomes:
         line = (
@@ -381,6 +435,10 @@ def build_parser() -> argparse.ArgumentParser:
     survey.add_argument("--concrete", default="UHPC")
     survey.add_argument("--voltage", type=float, default=250.0)
     survey.add_argument("--seed", type=int, default=7)
+    survey.add_argument(
+        "--faults", default=None, metavar="PLAN.JSON",
+        help="run the survey under a fault plan (see docs/ROBUSTNESS.md)",
+    )
     survey.set_defaults(func=_cmd_survey)
 
     pilot = sub.add_parser("pilot", help="run the footbridge pilot analytics")
@@ -427,6 +485,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     exp_run.add_argument(
         "--cache-dir", default=None, help="cache location (default <out>/.cache)"
+    )
+    exp_run.add_argument(
+        "--faults", default=None, metavar="PLAN.JSON",
+        help="fault-plan JSON injected into experiments that accept a "
+        "fault_plan parameter (see docs/ROBUSTNESS.md)",
+    )
+    exp_run.add_argument(
+        "--retries", type=int, default=0,
+        help="re-run failed/timed-out experiments up to N extra times "
+        "with exponential backoff",
     )
     exp_run.add_argument(
         "--obs",

@@ -73,3 +73,7 @@ class ManifestError(RuntimeSubsystemError):
 
 class ObsError(ReproError):
     """Misuse of the observability layer (metrics, tracing, profiling)."""
+
+
+class FaultConfigError(ReproError):
+    """A fault plan is malformed (bad rate, unknown field, broken file)."""

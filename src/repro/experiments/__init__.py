@@ -8,6 +8,7 @@ per-experiment index for the figure-to-module map.
 from . import (
     appendix_sensors,
     downlink_reliability,
+    fault_sweep,
     fig04_mode_amplitudes,
     fig05_frequency_response,
     fig07_ring_effect,
@@ -29,6 +30,7 @@ from . import (
 __all__ = [
     "appendix_sensors",
     "downlink_reliability",
+    "fault_sweep",
     "fig04_mode_amplitudes",
     "fig05_frequency_response",
     "fig07_ring_effect",

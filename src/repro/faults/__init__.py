@@ -1,0 +1,32 @@
+"""Fault injection: deterministic hostile-world modelling for the stack.
+
+``repro.faults`` is the layer that lets every simulator above it stop
+assuming a perfect world.  A :class:`FaultPlan` declares *what* can go
+wrong (bit errors, lost replies, brownouts, reader dropouts, slot
+jitter, stuck sensors) as seeded probabilities; a
+:class:`FaultInjector` built from the plan decides *when* each fault
+fires, reproducibly.  ``TdmaInventory`` and ``WallSession`` accept a
+plan directly; the CLI loads one from JSON via
+``experiments run --faults plan.json``.
+
+See ``docs/ROBUSTNESS.md`` for the fault taxonomy, the plan schema and
+the retry/degradation policies layered on top.
+"""
+
+from .injector import FaultInjector
+from .plan import (
+    FAULT_PLAN_SCHEMA,
+    FaultPlan,
+    RATE_FIELDS,
+    ber_from_snr_db,
+    plan_from_link_budget,
+)
+
+__all__ = [
+    "FAULT_PLAN_SCHEMA",
+    "FaultInjector",
+    "FaultPlan",
+    "RATE_FIELDS",
+    "ber_from_snr_db",
+    "plan_from_link_budget",
+]

@@ -1,0 +1,166 @@
+"""Deterministic fault injection driven by a :class:`FaultPlan`.
+
+The injector is the single source of fault randomness.  Every fault
+type draws from its own named RNG stream (seeded from the plan seed +
+the stream name), so enabling one fault never perturbs the draws of
+another: a run with ``brownout_rate=0.1`` sees the same brownouts
+whether or not bit errors are also enabled.  A rate of zero never
+touches its stream at all, which is what keeps an inactive plan's
+simulation byte-identical to a run with no plan.
+
+Every injected fault is double-booked: into the injector's local
+``counts`` (returned with degraded results so fault totals are part of
+the deterministic payload) and into the ``faults.*`` observability
+counters (visible in ``experiments stats`` when --obs is on).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..obs import obs_counter, obs_enabled
+from .plan import FaultPlan
+
+
+class FaultInjector:
+    """Replays the faults a :class:`FaultPlan` describes, deterministically.
+
+    Args:
+        plan: The fault plan to execute.
+
+    Build one per simulation run (its RNG streams and stuck-sensor
+    latches are stateful); :meth:`from_plan` returns None for absent
+    or inactive plans so call sites can keep a fast no-fault path.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.counts: Dict[str, int] = {}
+        self._streams: Dict[str, random.Random] = {}
+        self._stuck: Dict[Tuple[int, str], Optional[int]] = {}
+
+    @classmethod
+    def from_plan(cls, plan: Optional[FaultPlan]) -> Optional["FaultInjector"]:
+        """An injector for ``plan``, or None when there is nothing to inject."""
+        if plan is None or not plan.active:
+            return None
+        return cls(plan)
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+
+    def _stream(self, name: str) -> random.Random:
+        """The named RNG stream (created on first use, seed-stable)."""
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = random.Random(f"{self.plan.seed}:{name}")
+            self._streams[name] = stream
+        return stream
+
+    def record(self, name: str, count: int = 1) -> None:
+        """Book ``count`` occurrences of fault ``name`` (local + obs)."""
+        if count <= 0:
+            return
+        self.counts[name] = self.counts.get(name, 0) + count
+        if obs_enabled():
+            obs_counter(f"faults.{name}").inc(count)
+
+    def _hit(self, stream: str, rate: float) -> bool:
+        """One Bernoulli draw from ``stream``; zero rates never draw."""
+        return rate > 0.0 and self._stream(stream).random() < rate
+
+    # ------------------------------------------------------------------
+    # Channel faults
+    # ------------------------------------------------------------------
+
+    def _corrupt(self, bits: Sequence[int], ber: float, label: str) -> List[int]:
+        if ber <= 0.0:
+            return list(bits)
+        stream = self._stream(label)
+        out = list(bits)
+        flipped = 0
+        for index in range(len(out)):
+            if stream.random() < ber:
+                out[index] ^= 1
+                flipped += 1
+        self.record(f"{label}_bits_flipped", flipped)
+        return out
+
+    def corrupt_downlink(self, bits: Sequence[int]) -> List[int]:
+        """Reader->node command bits after the channel's bit flips."""
+        return self._corrupt(bits, self.plan.downlink_ber, "downlink")
+
+    def corrupt_uplink(self, bits: Sequence[int]) -> List[int]:
+        """Node->reader reply bits after the channel's bit flips."""
+        return self._corrupt(bits, self.plan.uplink_ber, "uplink")
+
+    def drop_reply(self) -> bool:
+        """True when an uplink reply vanishes in a deep fade."""
+        hit = self._hit("reply_loss", self.plan.reply_loss_rate)
+        if hit:
+            self.record("replies_dropped")
+        return hit
+
+    def slot_jitter(self) -> bool:
+        """True when the reader's slot timing slips this slot."""
+        hit = self._hit("slot_jitter", self.plan.slot_jitter_rate)
+        if hit:
+            self.record("jittered_slots")
+        return hit
+
+    # ------------------------------------------------------------------
+    # Power faults
+    # ------------------------------------------------------------------
+
+    def brownout(self) -> bool:
+        """True when a node browns out this round (draw once per node)."""
+        hit = self._hit("brownout", self.plan.brownout_rate)
+        if hit:
+            self.record("brownouts")
+        return hit
+
+    def victim_slot(self, n_slots: int) -> int:
+        """The slot at which a browned-out node's supply collapses."""
+        if n_slots <= 1:
+            return 0
+        return self._stream("brownout_slot").randrange(n_slots)
+
+    def reader_dropout(self) -> bool:
+        """True when one CBW charge attempt fails at the reader."""
+        hit = self._hit("reader_dropout", self.plan.reader_dropout_rate)
+        if hit:
+            self.record("reader_dropouts")
+        return hit
+
+    # ------------------------------------------------------------------
+    # Sensor faults
+    # ------------------------------------------------------------------
+
+    def latch_stuck(self, report):
+        """Apply the stuck-at fault model to one sensor report.
+
+        The first read of a (node, channel) pair decides -- once, from
+        the ``stuck`` stream -- whether that sensor is a stuck-at unit;
+        a stuck sensor latches its first raw reading and repeats it on
+        every later read.  Healthy sensors pass through untouched.
+        """
+        rate = self.plan.stuck_sensor_rate
+        if rate <= 0.0:
+            return report
+        from ..protocol.packets import SensorReport
+
+        key = (report.node_id, report.channel)
+        if key not in self._stuck:
+            stuck = self._stream("stuck").random() < rate
+            # A stuck unit latches this very first reading.
+            self._stuck[key] = report.raw if stuck else None
+            return report
+        latched = self._stuck[key]
+        if latched is None:
+            return report
+        self.record("stuck_reads")
+        return SensorReport(
+            node_id=report.node_id, channel=report.channel, raw=latched
+        )

@@ -1,0 +1,221 @@
+"""Fault plans: declarative, seedable descriptions of a hostile channel.
+
+The 17-month footbridge pilot survives a physical reality the clean
+simulators never exercise: charge-starved brownouts, off-resonance
+links that flip bits, a reader whose CBW blast occasionally fails, and
+sensors that silently latch.  A :class:`FaultPlan` captures those
+failure modes as *rates* so any simulator can accept one plan object,
+and the :class:`~repro.faults.injector.FaultInjector` built from it
+replays the same faults for the same seed -- fault runs are as
+reproducible as clean runs.
+
+All rates are probabilities in [0, 1]:
+
+* ``downlink_ber`` / ``uplink_ber`` -- per-bit flip probability on
+  reader commands / node replies (corruption is caught by the Gen2
+  CRCs, exercising ``protocol.crc`` on the live TDMA path);
+* ``reply_loss_rate`` -- a reply vanishes entirely (deep fade);
+* ``brownout_rate`` -- per node per round, the harvested supply
+  collapses mid-round and the node forgets its protocol state;
+* ``reader_dropout_rate`` -- a CBW charge attempt fails outright
+  (cable knock, amplifier trip); the session retries with backoff;
+* ``slot_jitter_rate`` -- the reader samples the wrong uplink window
+  for a slot and hears nothing;
+* ``stuck_sensor_rate`` -- per (node, channel), the sensor latches its
+  first reading forever (stuck-at fault).
+
+A plan with every rate at zero is *inactive*: simulators take the
+exact code path they take with no plan at all, so golden snapshots
+stay byte-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Mapping, Union
+
+from ..errors import FaultConfigError
+
+#: Field names that hold probabilities (everything except the seed).
+RATE_FIELDS = (
+    "downlink_ber",
+    "uplink_ber",
+    "reply_loss_rate",
+    "brownout_rate",
+    "reader_dropout_rate",
+    "slot_jitter_rate",
+    "stuck_sensor_rate",
+)
+
+#: Schema tag written into serialized plans.
+FAULT_PLAN_SCHEMA = "repro/fault-plan/v1"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seedable description of every fault the stack can inject.
+
+    Args:
+        seed: Seed for the fault RNG streams (independent of the
+            simulator seeds, so the same protocol run can be replayed
+            under different fault draws and vice versa).
+        downlink_ber: Per-bit flip probability, reader -> node.
+        uplink_ber: Per-bit flip probability, node -> reader.
+        reply_loss_rate: Probability an uplink reply is lost entirely.
+        brownout_rate: Per-node-per-round probability of a mid-round
+            supply collapse.
+        reader_dropout_rate: Probability one CBW charge attempt fails.
+        slot_jitter_rate: Probability a slot's timing slips and the
+            reader hears nothing that slot.
+        stuck_sensor_rate: Per-(node, channel) probability the sensor
+            is a stuck-at unit that latches its first reading.
+    """
+
+    seed: int = 0
+    downlink_ber: float = 0.0
+    uplink_ber: float = 0.0
+    reply_loss_rate: float = 0.0
+    brownout_rate: float = 0.0
+    reader_dropout_rate: float = 0.0
+    slot_jitter_rate: float = 0.0
+    stuck_sensor_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.seed, int):
+            raise FaultConfigError(f"seed must be an int, got {self.seed!r}")
+        for name in RATE_FIELDS:
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise FaultConfigError(f"{name} must be a number, got {value!r}")
+            if math.isnan(value) or not 0.0 <= value <= 1.0:
+                raise FaultConfigError(
+                    f"{name} must be a probability in [0, 1], got {value}"
+                )
+
+    # ------------------------------------------------------------------
+    # Derived plans
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The inactive plan (every rate zero)."""
+        return cls()
+
+    @property
+    def active(self) -> bool:
+        """True when any fault rate is nonzero."""
+        return any(getattr(self, name) > 0.0 for name in RATE_FIELDS)
+
+    def scaled(self, intensity: float) -> "FaultPlan":
+        """This plan with every rate multiplied by ``intensity``.
+
+        Rates clamp at 1.0; ``intensity=0`` yields an inactive plan, so
+        a fault sweep's zero point runs the exact clean code path.
+        """
+        if intensity < 0.0:
+            raise FaultConfigError(f"intensity cannot be negative: {intensity}")
+        rates = {
+            name: min(1.0, getattr(self, name) * intensity)
+            for name in RATE_FIELDS
+        }
+        return dataclasses.replace(self, **rates)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict (includes the schema tag)."""
+        payload: Dict[str, Any] = {"schema": FAULT_PLAN_SCHEMA, "seed": self.seed}
+        for name in RATE_FIELDS:
+            payload[name] = getattr(self, name)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultPlan":
+        """Build a plan from a dict, rejecting unknown keys loudly."""
+        if not isinstance(payload, Mapping):
+            raise FaultConfigError(
+                f"fault plan must be an object, got {type(payload).__name__}"
+            )
+        known = {"schema", "seed", *RATE_FIELDS}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise FaultConfigError(
+                f"unknown fault-plan field(s) {unknown}; known: {sorted(known)}"
+            )
+        schema = payload.get("schema", FAULT_PLAN_SCHEMA)
+        if schema != FAULT_PLAN_SCHEMA:
+            raise FaultConfigError(
+                f"unsupported fault-plan schema {schema!r} "
+                f"(expected {FAULT_PLAN_SCHEMA!r})"
+            )
+        kwargs = {k: v for k, v in payload.items() if k != "schema"}
+        return cls(**kwargs)
+
+    @classmethod
+    def from_json_file(cls, path: Union[str, Path]) -> "FaultPlan":
+        """Load a plan from a JSON file (the CLI ``--faults`` format)."""
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except OSError as exc:
+            raise FaultConfigError(f"cannot read fault plan {path}: {exc}")
+        except ValueError as exc:
+            raise FaultConfigError(f"fault plan {path} is not valid JSON: {exc}")
+        return cls.from_dict(payload)
+
+    def to_json_file(self, path: Union[str, Path]) -> None:
+        """Write the plan as JSON (round-trips with :meth:`from_json_file`)."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+
+
+def ber_from_snr_db(snr_db: float) -> float:
+    """Coherent-detection bit error rate at a given in-band SNR (dB).
+
+    The standard BPSK/OOK-style waterline ``0.5 * erfc(sqrt(Es/N0))``;
+    the anchor for deriving packet-corruption rates from a link budget
+    instead of guessing them.
+
+    >>> ber_from_snr_db(40.0) < 1e-12
+    True
+    """
+    es_n0 = 10.0 ** (snr_db / 10.0)
+    return 0.5 * math.erfc(math.sqrt(es_n0))
+
+
+def plan_from_link_budget(
+    link: Any,
+    distance: float,
+    tx_voltage: float,
+    seed: int = 0,
+    **overrides: float,
+) -> FaultPlan:
+    """Derive a fault plan from a charging-link budget.
+
+    Maps the harvested headroom at ``distance`` (dB above the
+    activation threshold, :func:`repro.link.harvested_headroom_db`) to
+    a symmetric bit error rate via :func:`ber_from_snr_db`, so packet
+    corruption tracks the same physics as the power-up range.  Nodes
+    near the edge of the charge envelope also brown out: the brownout
+    rate ramps from 0 (>= 10 dB headroom) to 0.25 (0 dB).
+
+    Extra keyword rates (e.g. ``reply_loss_rate=0.05``) are applied on
+    top of the derived ones.
+    """
+    from ..link.budget import harvested_headroom_db
+
+    headroom_db = harvested_headroom_db(link, distance, tx_voltage)
+    ber = ber_from_snr_db(headroom_db)
+    brownout = min(0.25, max(0.0, (10.0 - headroom_db) / 10.0 * 0.25))
+    rates: Dict[str, float] = {
+        "downlink_ber": min(1.0, ber),
+        "uplink_ber": min(1.0, ber),
+        "brownout_rate": brownout,
+    }
+    rates.update(overrides)
+    return FaultPlan(seed=seed, **rates)

@@ -25,7 +25,7 @@ from .packets import (
     SetBlf,
     parse_command,
 )
-from .tdma import InventoryRound, SlotOutcome, TdmaInventory
+from .tdma import InventoryResult, InventoryRound, SlotOutcome, TdmaInventory
 
 __all__ = [
     "append_crc16",
@@ -47,6 +47,7 @@ __all__ = [
     "SensorReport",
     "SetBlf",
     "parse_command",
+    "InventoryResult",
     "InventoryRound",
     "SlotOutcome",
     "TdmaInventory",

@@ -14,7 +14,16 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..errors import ProtocolError
-from .packets import Ack, Query, QueryRep, ReadSensor, Rn16Reply, SensorReport, SetBlf
+from .packets import (
+    Ack,
+    Query,
+    QueryRep,
+    ReadSensor,
+    Rn16Reply,
+    SensorReport,
+    SetBlf,
+    parse_command,
+)
 
 #: Node protocol states.
 READY = "ready"
@@ -64,6 +73,21 @@ class NodeStateMachine:
         if isinstance(command, ReadSensor):
             return self._on_read_sensor(command)
         raise ProtocolError(f"node cannot handle {type(command).__name__}")
+
+    def handle_bits(self, bits) -> Optional[object]:
+        """Process a raw downlink bit vector, as heard over the air.
+
+        This is the fault-tolerant entry point the lossy channel uses:
+        a real tag that hears a command failing its CRC (or an opcode
+        mangled into garbage) simply stays silent, so parse errors are
+        swallowed rather than raised.  Clean simulations keep calling
+        :meth:`handle` with typed commands directly.
+        """
+        try:
+            command = parse_command(bits)
+        except ProtocolError:
+            return None
+        return self.handle(command)
 
     def _on_query(self, query: Query) -> Optional[Rn16Reply]:
         self.slot_counter = self._rng.randrange(1 << query.q)

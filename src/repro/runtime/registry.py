@@ -33,6 +33,7 @@ QUICK_PARAMS: Dict[str, Dict[str, Any]] = {
     "fig15": {"total_bits": 4_000},
     "fig17": {"measure_bits": 1_000},
     "downlink_reliability": {"packets_per_point": 12},
+    "fault_sweep": {"intensities": [0.0, 1.0, 2.0], "nodes": 5, "max_rounds": 8},
     "fig18": {"trials": 80},
     "fig24": {"n_bits": 32},
 }

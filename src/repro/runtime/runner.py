@@ -77,6 +77,7 @@ class ExperimentOutcome:
     result_file: Optional[str] = None
     error: Optional[str] = None
     profile: Optional[Dict[str, Any]] = None  # wall/CPU/RSS under --obs
+    attempts: int = 1  # execution attempts incl. the first
 
 
 @dataclass
@@ -273,6 +274,8 @@ def run_experiments(
     specs: Optional[Sequence[ExperimentSpec]] = None,
     run_id: Optional[str] = None,
     obs: bool = False,
+    retries: int = 0,
+    retry_backoff_s: float = 0.25,
 ) -> RunReport:
     """Run a sweep and persist results + manifest under ``out_dir``.
 
@@ -296,25 +299,51 @@ def run_experiments(
             ``metrics.json`` + ``trace.json`` and every manifest entry
             a ``profile`` section.  Off by default: the disabled path
             is no-op instrumentation (see :mod:`repro.obs`).
+        retries: Re-execute failed/timed-out experiments up to this
+            many extra times (crash-only recovery: a deterministic
+            failure fails every attempt, but a transient one -- OOM
+            kill, machine hiccup -- gets another chance).
+        retry_backoff_s: First inter-attempt backoff; doubles per
+            retry round, capped at 30 s.
 
     Returns:
         A :class:`RunReport`; ``report.manifest`` is already validated.
     """
+    if retries < 0:
+        raise ValueError(f"retries cannot be negative: {retries}")
     scope = activate_obs(process_label="runner") if obs else None
     try:
         return _run_experiments_body(
             names=names, jobs=jobs, out_dir=out_dir, force=force,
             timeout_s=timeout_s, cache_dir=cache_dir, overrides=overrides,
             quick=quick, specs=specs, run_id=run_id, scope=scope,
+            retries=retries, retry_backoff_s=retry_backoff_s,
         )
     finally:
         if scope is not None:
             restore_obs(scope)
 
 
+def _execute_pending(
+    pending: List[ExperimentOutcome],
+    jobs: int,
+    timeout_s: float,
+    obs: bool,
+) -> None:
+    """One execution pass over ``pending`` (inline or pooled)."""
+    if jobs <= 0:
+        for outcome in pending:
+            record = execute_serialized(
+                outcome.name, outcome.module, outcome.params, obs
+            )
+            _absorb_record(outcome, record)
+    else:
+        _collect_parallel(pending, jobs, timeout_s, obs=obs)
+
+
 def _run_experiments_body(
     names, jobs, out_dir, force, timeout_s, cache_dir, overrides,
-    quick, specs, run_id, scope,
+    quick, specs, run_id, scope, retries, retry_backoff_s,
 ) -> RunReport:
     obs = scope is not None
     chosen = _resolve_specs(names, specs)
@@ -370,14 +399,24 @@ def _run_experiments_body(
 
     if pending:
         with obs_span("runner.execute", pending=len(pending), jobs=jobs):
-            if jobs <= 0:
-                for outcome in pending:
-                    record = execute_serialized(
-                        outcome.name, outcome.module, outcome.params, obs
-                    )
-                    _absorb_record(outcome, record)
-            else:
-                _collect_parallel(pending, jobs, timeout_s, obs=obs)
+            _execute_pending(pending, jobs, timeout_s, obs)
+        # Retry pass: anything that failed or timed out gets up to
+        # ``retries`` fresh attempts with doubling backoff in between.
+        for attempt in range(1, retries + 1):
+            unlucky = [o for o in pending if o.status != "ok"]
+            if not unlucky:
+                break
+            time.sleep(min(retry_backoff_s * 2 ** (attempt - 1), 30.0))
+            obs_counter("runner.retries").inc(len(unlucky))
+            for outcome in unlucky:
+                outcome.attempts += 1
+                outcome.status = "failed"
+                outcome.error = None
+                outcome.result = None
+            with obs_span(
+                "runner.retry", attempt=attempt, experiments=len(unlucky)
+            ):
+                _execute_pending(unlucky, jobs, timeout_s, obs)
 
     if obs_enabled():
         elapsed_hist = obs_histogram("runner.experiment.elapsed_s")
@@ -432,6 +471,8 @@ def _run_experiments_body(
         }
         if o.profile is not None:
             entry["profile"] = o.profile
+        if o.attempts > 1:
+            entry["attempts"] = o.attempts
         entries.append(entry)
 
     manifest: Dict[str, Any] = {

@@ -222,3 +222,69 @@ class TestObservabilityCommands:
         (run_dir / "trace.json").write_text('{"traceEvents": [{"ph": "?"}]}')
         assert main(["experiments", "trace", str(run_dir)]) == 1
         assert "INVALID" in capsys.readouterr().out
+
+
+class TestFaultsFlag:
+    @staticmethod
+    def _write_plan(tmp_path, **rates):
+        from repro.faults import FaultPlan
+
+        path = tmp_path / "plan.json"
+        FaultPlan(seed=5, **rates).to_json_file(path)
+        return str(path)
+
+    def test_survey_with_faults_reports_recovery(self, capsys, tmp_path):
+        plan = self._write_plan(
+            tmp_path, reply_loss_rate=0.3, brownout_rate=0.2
+        )
+        assert main(
+            ["survey", "--nodes", "4", "--seed", "3", "--faults", plan]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "injected faults:" in out
+        assert "recovery:" in out
+
+    def test_survey_with_bad_plan_exits(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"no_such_rate": 1.0}')
+        with pytest.raises(SystemExit):
+            main(["survey", "--faults", str(bad)])
+
+    def test_experiments_run_with_faults(self, capsys, tmp_path):
+        plan = self._write_plan(tmp_path, reply_loss_rate=0.2)
+        assert main(
+            [
+                "experiments", "run", "--only", "fault_sweep", "--quick",
+                "--jobs", "0", "--out", str(tmp_path / "out"),
+                "--faults", plan,
+            ]
+        ) == 0
+        assert "fault_sweep" in capsys.readouterr().out
+
+    def test_experiments_run_faults_rejected_without_acceptor(self, tmp_path):
+        plan = self._write_plan(tmp_path, reply_loss_rate=0.2)
+        with pytest.raises(SystemExit, match="fault_plan"):
+            main(
+                [
+                    "experiments", "run", "--only", "fig13",
+                    "--out", str(tmp_path / "out"), "--faults", plan,
+                ]
+            )
+
+    def test_experiments_run_missing_plan_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="faults"):
+            main(
+                [
+                    "experiments", "run", "--only", "fault_sweep",
+                    "--out", str(tmp_path / "out"),
+                    "--faults", str(tmp_path / "nope.json"),
+                ]
+            )
+
+    def test_experiments_run_retries_flag_parses(self, tmp_path):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["experiments", "run", "--all", "--retries", "2"]
+        )
+        assert args.retries == 2
+        assert args.faults is None

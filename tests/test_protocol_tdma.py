@@ -90,13 +90,29 @@ class TestInventoryAll:
         # Everyone got assigned something from the plan.
         assert all(b in (10, 14, 18, 22) for b in blfs)
 
-    def test_impossible_population_raises(self):
-        # Q capped at 0 with several nodes guarantees collisions forever.
+    def test_impossible_population_degrades(self):
+        # Q capped at 0 with several nodes guarantees collisions forever;
+        # the inventory reports the unheard nodes instead of raising.
         nodes = make_nodes(5, seed=50)
         inventory = TdmaInventory(nodes=nodes, initial_q=0, seed=9)
         inventory._q_float = 0.0
-        with pytest.raises(ProtocolError):
-            inventory.inventory_all(max_rounds=1)
+        result = inventory.inventory_all(max_rounds=1)
+        assert result.degraded
+        assert result.rounds_used == 1
+        assert set(result.unheard_nodes) | set(result.reports) == {
+            n.node_id for n in nodes
+        }
+
+    def test_complete_inventory_not_degraded(self):
+        nodes = make_nodes(3, seed=55)
+        inventory = TdmaInventory(nodes=nodes, initial_q=2, seed=12)
+        result = inventory.inventory_all()
+        assert not result.degraded
+        assert result.unheard_nodes == []
+        assert result.retries == 0
+        assert result.fault_counts == {}
+        assert result.rounds_used >= 1
+        assert result.slots_used >= len(nodes)
 
 
 class TestQAdaptation:

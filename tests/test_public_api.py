@@ -12,6 +12,7 @@ SUBPACKAGES = [
     "repro.baselines",
     "repro.circuits",
     "repro.experiments",
+    "repro.faults",
     "repro.link",
     "repro.materials",
     "repro.node",

@@ -174,3 +174,70 @@ class TestManifestValidation:
         manifest = report.manifest
         manifest["experiments"][0]["status"] = "exploded"
         assert any("status" in p for p in validate_manifest(manifest))
+
+
+#: Fails on the first attempt, succeeds once its flag file exists --
+#: the shape of a transient crash the retry pass should absorb.
+_FLAKY_BODY = '''
+from pathlib import Path
+
+
+def run(seed: int = 0, flag: str = ""):
+    """Synthetic experiment that fails until its flag file exists."""
+    marker = Path(flag)
+    if not marker.exists():
+        marker.write_text("tried")
+        raise RuntimeError("transient failure")
+    return {"recovered": True}
+'''
+
+
+class TestRetries:
+    def test_transient_failure_recovers_with_retries(
+        self, tmp_path, monkeypatch
+    ):
+        flag = tmp_path / "flaky.flag"
+        spec = _make_spec(
+            tmp_path, monkeypatch, "synth_flaky", _FLAKY_BODY,
+            params={"flag": str(flag)},
+        )
+        report = run_experiments(
+            specs=[spec], jobs=0, out_dir=tmp_path / "out",
+            retries=2, retry_backoff_s=0.01,
+        )
+        assert report.ok
+        outcome = report.outcomes[0]
+        assert outcome.attempts == 2
+        assert outcome.result == {"recovered": True}
+        entry = report.manifest["experiments"][0]
+        assert entry["attempts"] == 2
+        assert load_manifest(report.run_dir)  # manifest still validates
+
+    def test_no_retries_leaves_transient_failure(self, tmp_path, monkeypatch):
+        flag = tmp_path / "flaky2.flag"
+        spec = _make_spec(
+            tmp_path, monkeypatch, "synth_flaky2", _FLAKY_BODY,
+            params={"flag": str(flag)},
+        )
+        report = run_experiments(specs=[spec], jobs=0, out_dir=tmp_path / "out")
+        assert not report.ok
+        assert report.outcomes[0].attempts == 1
+        assert "attempts" not in report.manifest["experiments"][0]
+
+    def test_deterministic_failure_exhausts_retries(
+        self, tmp_path, monkeypatch
+    ):
+        spec = _make_spec(tmp_path, monkeypatch, "synth_fail_retry", _FAIL_BODY)
+        report = run_experiments(
+            specs=[spec], jobs=0, out_dir=tmp_path / "out",
+            retries=2, retry_backoff_s=0.01,
+        )
+        assert not report.ok
+        outcome = report.outcomes[0]
+        assert outcome.status == "failed"
+        assert outcome.attempts == 3  # first try + 2 retries
+        assert "intentional failure" in outcome.error
+
+    def test_negative_retries_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            run_experiments(names=["fig13"], out_dir=tmp_path, retries=-1)
