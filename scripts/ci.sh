@@ -13,6 +13,9 @@
 #          same --faults plan at a fixed seed, asserting the degraded
 #          sessions still produce valid manifests and that the two
 #          runs' result payloads are byte-identical (determinism).
+# Stage 5: crash-safety smoke -- a short campaign is SIGKILLed
+#          mid-epoch, `campaign resume` finishes it, and the resumed
+#          result's sha256 must equal an uninterrupted reference run's.
 #
 # Usage:  scripts/ci.sh [extra pytest args...]
 
@@ -119,5 +122,63 @@ print(
     "two runs byte-identical"
 )
 PY
+
+echo "== stage 5: campaign crash-safety smoke (SIGKILL + resume) =="
+# Reference: the same short campaign, uninterrupted, in memory.
+REF_HASH="$(python - <<'PY'
+from repro.campaign import CampaignConfig, result_hash, run_campaign
+
+config = CampaignConfig(
+    epochs=5, nodes=3, hours_per_epoch=24, seed=11,
+    storm_period_epochs=2, storm_duration_epochs=1, epoch_timeout_s=0.0,
+)
+print(result_hash(run_campaign(config).result))
+PY
+)"
+
+STATE_DIR="${OUT_DIR}/campaign"
+python -m repro.cli campaign run --state-dir "${STATE_DIR}" \
+    --epochs 5 --nodes 3 --hours-per-epoch 24 --seed 11 \
+    --storm-period 2 --storm-duration 1 --epoch-sleep-s 0.4 \
+    > /dev/null 2>&1 &
+CAMPAIGN_PID=$!
+
+# Let it checkpoint a couple of epochs, then kill -9 mid-epoch (the
+# sleep seam guarantees it dies inside an epoch, not between runs).
+KILL_MARKER="${STATE_DIR}/checkpoints/epoch-000002.json"
+for _ in $(seq 1 600); do
+    [ -f "${KILL_MARKER}" ] && break
+    if ! kill -0 "${CAMPAIGN_PID}" 2>/dev/null; then
+        echo "campaign exited before it could be killed" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+[ -f "${KILL_MARKER}" ] || { echo "no checkpoint appeared in time" >&2; exit 1; }
+kill -9 "${CAMPAIGN_PID}" 2>/dev/null || true
+wait "${CAMPAIGN_PID}" 2>/dev/null || true
+
+if [ -f "${STATE_DIR}/result.json" ]; then
+    echo "campaign finished before the kill; nothing was tested" >&2
+    exit 1
+fi
+
+python -m repro.cli campaign status --state-dir "${STATE_DIR}"
+python -m repro.cli campaign resume --state-dir "${STATE_DIR}"
+
+RESUMED_HASH="$(python - "${STATE_DIR}/result.json" <<'PY'
+import json
+import sys
+
+print(json.load(open(sys.argv[1]))["sha256"])
+PY
+)"
+if [ "${RESUMED_HASH}" != "${REF_HASH}" ]; then
+    echo "resumed campaign diverged from the uninterrupted reference:" >&2
+    echo "  resumed:   ${RESUMED_HASH}" >&2
+    echo "  reference: ${REF_HASH}" >&2
+    exit 1
+fi
+echo "campaign smoke OK: SIGKILL mid-epoch + resume == uninterrupted (${RESUMED_HASH})"
 
 echo "== CI OK =="

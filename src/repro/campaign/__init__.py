@@ -1,0 +1,79 @@
+"""Crash-safe campaign runtime: the checkpointed multi-month pilot.
+
+Simulates the paper's 17-month footbridge pilot as a long-running,
+epoch-stepped process -- one wall charging session + TDMA inventory +
+SHM accumulation per weekly visit -- that survives being killed at any
+point: state lives in versioned, hash-verified checkpoints
+(``repro/campaign-checkpoint/v1``) plus an append-only CRC'd epoch log,
+and ``campaign resume`` continues to a final result byte-identical to
+an uninterrupted run.  See ``docs/CAMPAIGN.md`` for the checkpoint
+format, resume semantics and the corruption-recovery matrix.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_SCHEMA,
+    QUARANTINE_DIRNAME,
+    CheckpointStore,
+    checkpoint_digest,
+)
+from .config import (
+    CAMPAIGN_CONFIG_SCHEMA,
+    DEFAULT_CAMPAIGN_FAULTS,
+    EPOCHS_PER_MONTH,
+    PILOT_MONTHS,
+    CampaignConfig,
+    pilot_epochs,
+)
+from .driver import (
+    CAMPAIGN_RESULT_SCHEMA,
+    CHECKPOINT_DIRNAME,
+    EPOCH_LOG_FILENAME,
+    RESULT_FILENAME,
+    Campaign,
+    CampaignOutcome,
+    CampaignResult,
+    campaign_status,
+    result_hash,
+    resume_campaign,
+    run_campaign,
+)
+from .log import EPOCH_LOG_SCHEMA, EpochLog
+from .state import CAMPAIGN_STATE_SCHEMA, CampaignState
+from .watchdog import (
+    EpochTimeout,
+    ShutdownGuard,
+    epoch_deadline,
+    watchdog_available,
+)
+
+__all__ = [
+    "CAMPAIGN_CONFIG_SCHEMA",
+    "CAMPAIGN_RESULT_SCHEMA",
+    "CAMPAIGN_STATE_SCHEMA",
+    "CHECKPOINT_DIRNAME",
+    "CHECKPOINT_SCHEMA",
+    "Campaign",
+    "CampaignConfig",
+    "CampaignOutcome",
+    "CampaignResult",
+    "CampaignState",
+    "CheckpointStore",
+    "DEFAULT_CAMPAIGN_FAULTS",
+    "EPOCHS_PER_MONTH",
+    "EPOCH_LOG_FILENAME",
+    "EPOCH_LOG_SCHEMA",
+    "EpochLog",
+    "EpochTimeout",
+    "PILOT_MONTHS",
+    "QUARANTINE_DIRNAME",
+    "RESULT_FILENAME",
+    "ShutdownGuard",
+    "campaign_status",
+    "checkpoint_digest",
+    "epoch_deadline",
+    "pilot_epochs",
+    "result_hash",
+    "resume_campaign",
+    "run_campaign",
+    "watchdog_available",
+]

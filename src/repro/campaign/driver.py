@@ -1,0 +1,675 @@
+"""The campaign driver: a resumable, supervised multi-month pilot run.
+
+One *epoch* simulates one monitoring visit to the instrumented
+footbridge: a wall charging session over a (possibly hostile) channel,
+TDMA inventory and sensor reads, then the epoch's SHM samples --
+acceleration and stress series whose variance tracks pedestrian load
+and the storm schedule -- appended to the campaign's accumulated
+record.  Running ``config.epochs`` epochs and analysing the accumulated
+series reproduces the paper's Fig. 21 capstone (anomaly windows in both
+channels during storms, mutual sensor verification, compliance,
+PAO health grades) at any horizon up to and beyond the 17-month pilot.
+
+The robustness contract (see ``docs/CAMPAIGN.md``):
+
+* every epoch is a pure function of (config, state-at-epoch-start), so
+  a campaign killed at *any* point and resumed from its last checkpoint
+  produces a final result **byte-identical** to an uninterrupted run;
+* checkpoints are verified on load, quarantined when corrupt, and
+  rolled back past (the replayed epochs are simply recomputed);
+* a hung epoch is interrupted by the watchdog and recorded as an
+  ``epoch_timeout`` degradation -- with the master RNG and injector
+  state restored to the epoch boundary so later epochs are unaffected;
+* SIGINT/SIGTERM flush a final checkpoint before the process exits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..acoustics import StructureGeometry
+from ..errors import CampaignError, CheckpointError
+from ..faults import FaultInjector, FaultPlan
+from ..link import PlacedNode, PowerUpLink, WallSession
+from ..materials import get_concrete
+from ..node import EcoCapsule, Environment
+from ..obs import obs_counter, obs_event, obs_gauge, obs_histogram, obs_span
+from ..runtime.serialize import canonical_json, write_json_atomic
+from ..shm import (
+    AnomalyWindow,
+    ComplianceReport,
+    Footbridge,
+    JulyTimeSeriesGenerator,
+    SECTION_NAMES,
+    check_compliance,
+    cross_validate,
+    detect_anomalies,
+    grade_sections,
+    worst_grade,
+)
+from .checkpoint import CheckpointStore
+from .config import CampaignConfig
+from .log import EpochLog
+from .state import CampaignState
+from .watchdog import EpochTimeout, ShutdownGuard, epoch_deadline
+
+#: Schema tag for the final-result file written into the state dir.
+CAMPAIGN_RESULT_SCHEMA = "repro/campaign-result/v1"
+
+#: Filenames inside a campaign state directory.
+CHECKPOINT_DIRNAME = "checkpoints"
+EPOCH_LOG_FILENAME = "epochs.jsonl"
+RESULT_FILENAME = "result.json"
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """The deterministic final artifact of a completed campaign.
+
+    Contains nothing wall-clock-dependent: two runs of the same config
+    -- interrupted, killed, resumed, or neither -- serialize to
+    identical bytes (see :func:`result_hash`).
+    """
+
+    epochs: int
+    epochs_run: int
+    storm_epochs: Tuple[int, ...]
+    epoch_records: List[Dict[str, Any]]
+    hours: np.ndarray
+    acceleration: np.ndarray
+    stress_mpa: np.ndarray
+    acceleration_anomalies: List[AnomalyWindow]
+    stress_anomalies: List[AnomalyWindow]
+    sensors_mutually_verified: bool
+    storms_detected: int
+    compliance: ComplianceReport
+    grade_fractions: Dict[str, float]
+    fault_totals: Dict[str, int]
+    timeouts: List[int]
+
+    @property
+    def storm_detected_in_both(self) -> bool:
+        """Fig. 21's headline: every scheduled storm seen by both channels."""
+        return len(self.storm_epochs) > 0 and self.storms_detected == len(
+            self.storm_epochs
+        )
+
+    @property
+    def health_at_or_above_b(self) -> bool:
+        """The paper's PAO result: health stayed at B or above throughout."""
+        return all(g in ("A", "B") for g in self.grade_fractions)
+
+    @property
+    def degraded_epochs(self) -> int:
+        return sum(1 for r in self.epoch_records if r.get("degraded"))
+
+    @property
+    def mean_coverage(self) -> float:
+        covered = [
+            r["coverage"] for r in self.epoch_records if "coverage" in r
+        ]
+        if not covered:
+            raise CampaignError("campaign completed no successful epochs")
+        return float(sum(covered) / len(covered))
+
+
+def result_hash(result: CampaignResult) -> str:
+    """SHA-256 over the canonical JSON of a result -- the identity the
+    kill-and-resume test (and CI stage 5) compares."""
+    return hashlib.sha256(
+        canonical_json(result).encode("utf-8")
+    ).hexdigest()
+
+
+@dataclass
+class CampaignOutcome:
+    """What one ``run()``/``resume()`` call actually did."""
+
+    result: Optional[CampaignResult]  # None when interrupted before the end
+    state: CampaignState
+    interrupted: bool = False
+    signal_name: Optional[str] = None
+    resumed_from_epoch: Optional[int] = None
+    result_file: Optional[Path] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.result is not None
+
+
+def _epoch_rng(seed: int, epoch: int, channel: str) -> np.random.Generator:
+    """A per-(epoch, channel) numpy stream, PYTHONHASHSEED-stable."""
+    digest = hashlib.sha256(f"{seed}:{epoch}:{channel}".encode()).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "big"))
+
+
+class Campaign:
+    """A long-running, checkpointed pilot simulation.
+
+    Args:
+        config: What to simulate (see :class:`CampaignConfig`).
+        state_dir: Where checkpoints, the epoch log and the final
+            result live.  None runs fully in memory -- no persistence,
+            no resume, but identical results (the experiment-registry
+            entry uses this mode).
+        epoch_hook: Test/CI seam called once per epoch *inside* the
+            watchdog deadline, before the epoch body; may sleep (to
+            give a kill window or trip the watchdog) but must not
+            perturb any RNG.
+    """
+
+    def __init__(
+        self,
+        config: CampaignConfig,
+        state_dir: Optional[Union[str, Path]] = None,
+        epoch_hook: Optional[Callable[[int], None]] = None,
+    ):
+        self.config = config
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        self.epoch_hook = epoch_hook
+        self.store: Optional[CheckpointStore] = None
+        self.log: Optional[EpochLog] = None
+        if self.state_dir is not None:
+            self.store = CheckpointStore(
+                self.state_dir / CHECKPOINT_DIRNAME, keep=config.checkpoint_keep
+            )
+            self.log = EpochLog(self.state_dir / EPOCH_LOG_FILENAME)
+
+    # ------------------------------------------------------------------
+    # Construction / resume
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def resume(
+        cls,
+        state_dir: Union[str, Path],
+        epoch_hook: Optional[Callable[[int], None]] = None,
+    ) -> Tuple["Campaign", CampaignState]:
+        """Reload a campaign from its newest good checkpoint.
+
+        Corrupt checkpoints are quarantined and rolled past; raises
+        :class:`~repro.errors.CheckpointError` when no usable
+        checkpoint survives and :class:`~repro.errors.CampaignError`
+        when the directory has never hosted a campaign.
+        """
+        store = CheckpointStore(Path(state_dir) / CHECKPOINT_DIRNAME)
+        payload = store.load_latest()
+        if payload is None:
+            raise CampaignError(
+                f"nothing to resume: no checkpoints under {state_dir}"
+            )
+        config = CampaignConfig.from_dict(payload["config"])
+        state = CampaignState.from_dict(payload["state"])
+        campaign = cls(config, state_dir=state_dir, epoch_hook=epoch_hook)
+        campaign._sync_log(state)
+        obs_counter("campaign.resumes").inc()
+        obs_event(
+            "info", "campaign.resumed",
+            epoch=state.epoch, state_dir=str(state_dir),
+        )
+        return campaign, state
+
+    def _sync_log(self, state: CampaignState) -> None:
+        """Heal the epoch log: truncate torn tails and stale records.
+
+        The log may end mid-line (SIGKILL during append) or run ahead
+        of the checkpoint (checkpoint_interval > 1); both are cut back
+        so the replayed epochs re-append cleanly.
+        """
+        if self.log is None:
+            return
+        records = self.log.recover()
+        fresh = [r for r in records if r.get("epoch", 0) < state.epoch]
+        if len(fresh) != len(records):
+            self.log.rewrite(fresh)
+
+    # ------------------------------------------------------------------
+    # The epoch body
+    # ------------------------------------------------------------------
+
+    def _build_wall(
+        self, state: CampaignState
+    ) -> Tuple[PowerUpLink, List[PlacedNode]]:
+        """This epoch's deployment, drawn from the master RNG stream.
+
+        Environmental drift (temperature, humidity, strain) comes from
+        ``state.rng`` -- the serialized master stream -- so deployments
+        evolve continuously across epochs *and* across resumes.
+        """
+        config = self.config
+        concrete = get_concrete("UHPC")
+        wall = StructureGeometry(
+            "campaign wall",
+            length=config.wall_length,
+            thickness=0.20,
+            medium=concrete.medium,
+        )
+        budget = PowerUpLink(wall)
+        reach = min(
+            config.wall_length / 2.0,
+            0.85 * budget.max_range(config.tx_voltage),
+        )
+        if reach <= 0.3:
+            raise CampaignError(
+                f"tx voltage {config.tx_voltage} V cannot charge past 0.3 m"
+            )
+        rng = state.rng
+        placed: List[PlacedNode] = []
+        for node_id in range(1, config.nodes + 1):
+            env = Environment(
+                temperature=rng.uniform(18.0, 32.0),
+                humidity=rng.uniform(55.0, 90.0),
+                strain=rng.uniform(-200.0, 300.0),
+            )
+            placed.append(
+                PlacedNode(
+                    capsule=EcoCapsule(
+                        node_id=node_id,
+                        environment=env,
+                        seed=self.config.seed + node_id,
+                    ),
+                    distance=rng.uniform(0.3, reach),
+                )
+            )
+        return budget, placed
+
+    def _epoch_series(
+        self, epoch: int, storm: bool
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """One epoch of SHM samples: (hours, acceleration, stress, counts)."""
+        config = self.config
+        n = config.hours_per_epoch * config.samples_per_hour
+        start_hour = float(epoch * config.hours_per_epoch)
+        hours = start_hour + np.arange(n) / config.samples_per_hour
+        load = JulyTimeSeriesGenerator._pedestrian_load(hours)
+        diurnal = JulyTimeSeriesGenerator._diurnal(hours)
+
+        accel_rng = _epoch_rng(config.seed, epoch, "acceleration")
+        envelope = 0.012 * (0.3 + load) * (2.5 if storm else 1.0)
+        acceleration = accel_rng.normal(0.0, 1.0, size=n) * envelope
+
+        stress_rng = _epoch_rng(config.seed, epoch, "stress")
+        swing = 10.0
+        stress = (
+            -60.0
+            + swing * diurnal
+            - 0.35 * swing * load
+            + stress_rng.normal(0.0, swing * 0.08, size=n)
+        )
+        if storm:
+            stress = stress + (
+                -1.4 * swing
+                + 0.8 * swing * np.sin(2.0 * np.pi * hours / 18.0)
+            )
+
+        count_rng = _epoch_rng(config.seed, epoch, "pedestrians")
+        lam = 60 * 0.22 * load * (0.25 if storm else 1.0)
+        counts = count_rng.poisson(np.maximum(lam, 0.0))
+        return hours, acceleration, stress, counts
+
+    def _epoch_grade(self, epoch: int, counts: np.ndarray) -> str:
+        """The bridge-level PAO grade for this epoch's busiest hour."""
+        bridge = Footbridge()
+        total = int(np.max(counts)) if counts.size else 0
+        weight_rng = _epoch_rng(self.config.seed, epoch, "sections")
+        weights = weight_rng.dirichlet(np.ones(len(SECTION_NAMES)))
+        section_counts = {
+            s: int(round(total * w)) for s, w in zip(SECTION_NAMES, weights)
+        }
+        speeds = {}
+        for section, count in section_counts.items():
+            area = bridge.section_area(section)
+            density = count / area
+            speeds[section] = (
+                max(0.0, 1.4 * (1.0 - density / 0.9)) if count else 0.0
+            )
+        areas = {s: bridge.section_area(s) for s in SECTION_NAMES}
+        healths = grade_sections(areas, section_counts, speeds, "hong_kong")
+        return worst_grade(healths)
+
+    def _stuck_injector(
+        self, state: CampaignState, rate: float
+    ) -> Optional[FaultInjector]:
+        """The cross-epoch stuck-sensor injector, rehydrated from state.
+
+        Built fresh every epoch from the checkpointed latches, so its
+        behaviour is a pure function of (config, boundary state) -- the
+        property the resume-determinism contract rests on.  Keys not yet
+        in ``state.stuck_latches`` get their one-shot healthy/stuck
+        decision here (at this epoch's -- possibly storm-scaled --
+        rate); keys already decided pass straight to the latch logic.
+        """
+        if rate <= 0.0 and not state.stuck_latches:
+            return None
+        injector = FaultInjector(
+            FaultPlan(seed=self.config.seed, stuck_sensor_rate=max(rate, 1e-12))
+        )
+        injector.restore_state(
+            {
+                "streams": {},
+                "stuck": [
+                    [int(key.split(":", 1)[0]), key.split(":", 1)[1], latched]
+                    for key, latched in sorted(state.stuck_latches.items())
+                ],
+                "counts": {},
+            }
+        )
+        return injector
+
+    def _run_epoch(self, state: CampaignState) -> Dict[str, Any]:
+        """Advance ``state`` by one epoch; returns the epoch record."""
+        config = self.config
+        epoch = state.epoch
+        storm = config.is_storm_epoch(epoch)
+        if self.epoch_hook is not None:
+            self.epoch_hook(epoch)
+
+        plan = config.epoch_fault_plan(epoch)
+        stuck_rate = plan.stuck_sensor_rate if plan is not None else 0.0
+        if plan is not None:
+            # Stuck sensors are campaign-scoped (a latched sensor stays
+            # latched for the rest of the pilot), handled by the
+            # cross-epoch injector below -- not re-drawn per session.
+            plan = dataclasses.replace(plan, stuck_sensor_rate=0.0)
+            if not plan.active:
+                plan = None
+
+        budget, placed = self._build_wall(state)
+        session = WallSession(
+            budget=budget,
+            nodes=placed,
+            tx_voltage=config.tx_voltage,
+            initial_q=3,
+            seed=config.seed * 7_919 + epoch,
+            faults=plan,
+        )
+        session_result = session.run(max_rounds=12)
+
+        stuck = self._stuck_injector(state, stuck_rate)
+        stuck_reads = 0
+        if stuck is not None:
+            for node_id in sorted(session_result.reports):
+                session_result.reports[node_id] = [
+                    stuck.latch_stuck(report)
+                    for report in session_result.reports[node_id]
+                ]
+            stuck_reads = stuck.counts.get("stuck_reads", 0)
+            exported = stuck.export_state()
+            state.stuck_latches = {
+                f"{node_id}:{channel}": latched
+                for node_id, channel, latched in exported["stuck"]
+            }
+
+        hours, acceleration, stress, counts = self._epoch_series(epoch, storm)
+        state.hours.extend(float(v) for v in hours)
+        state.acceleration.extend(float(v) for v in acceleration)
+        state.stress_mpa.extend(float(v) for v in stress)
+
+        grade = self._epoch_grade(epoch, counts)
+        state.grade_counts[grade] = state.grade_counts.get(grade, 0) + 1
+
+        fault_counts = dict(session_result.fault_counts)
+        if stuck_reads:
+            fault_counts["stuck_reads"] = (
+                fault_counts.get("stuck_reads", 0) + stuck_reads
+            )
+        state.absorb_faults(fault_counts)
+
+        return {
+            "epoch": epoch,
+            "status": "ok",
+            "storm": storm,
+            "coverage": session_result.coverage,
+            "read_fraction": len(session_result.reports) / config.nodes,
+            "reports": sum(
+                len(r) for r in session_result.reports.values()
+            ),
+            "retries": session_result.retries,
+            "rounds_used": session_result.rounds_used,
+            "charge_attempts": session_result.charge_attempts,
+            "degraded": session_result.degraded,
+            "grade": grade,
+            "fault_counts": fault_counts,
+        }
+
+    # ------------------------------------------------------------------
+    # The supervised loop
+    # ------------------------------------------------------------------
+
+    def _checkpoint(self, state: CampaignState) -> None:
+        if self.store is not None:
+            self.store.save(
+                state.epoch, self.config.to_dict(), state.to_dict()
+            )
+
+    def run(self, state: Optional[CampaignState] = None) -> CampaignOutcome:
+        """Drive the campaign from ``state`` (or epoch zero) to the end.
+
+        Returns a :class:`CampaignOutcome`; when a SIGINT/SIGTERM
+        arrived the outcome is ``interrupted`` with a final checkpoint
+        already flushed, and a later :meth:`resume` continues it.
+        """
+        config = self.config
+        if state is None:
+            state = CampaignState.fresh(config.seed)
+            self._checkpoint(state)  # epoch-0 anchor for early kills
+        resumed_from = state.epoch if state.epoch else None
+        interrupted = False
+        signal_name: Optional[str] = None
+
+        with ShutdownGuard() as guard:
+            while state.epoch < config.epochs:
+                if guard.stop_requested:
+                    interrupted, signal_name = True, guard.signal_name
+                    break
+                epoch = state.epoch
+                boundary_rng = state.rng.getstate()
+                boundary_latches = dict(state.stuck_latches)
+                started = time.perf_counter()
+                try:
+                    with obs_span(
+                        "campaign.epoch", epoch=epoch,
+                        storm=config.is_storm_epoch(epoch),
+                    ):
+                        with epoch_deadline(config.epoch_timeout_s):
+                            record = self._run_epoch(state)
+                except EpochTimeout:
+                    # Roll the mutable streams back to the epoch
+                    # boundary so the *next* epoch sees exactly the
+                    # state it would have seen had this epoch never
+                    # drawn anything.
+                    state.rng.setstate(boundary_rng)
+                    state.stuck_latches = boundary_latches
+                    record = {
+                        "epoch": epoch,
+                        "status": "epoch_timeout",
+                        "storm": config.is_storm_epoch(epoch),
+                        "degraded": True,
+                    }
+                    state.timeouts.append(epoch)
+                    obs_counter("campaign.epoch_timeouts").inc()
+                    obs_event(
+                        "warning", "campaign.epoch_timeout",
+                        epoch=epoch, budget_s=config.epoch_timeout_s,
+                    )
+                state.epoch_records.append(record)
+                state.epoch = epoch + 1
+                obs_counter("campaign.epochs_run").inc()
+                obs_gauge("campaign.epoch").set(state.epoch)
+                obs_histogram("campaign.epoch_s").observe(
+                    time.perf_counter() - started
+                )
+                if self.log is not None:
+                    self.log.append(record)
+                if (
+                    state.epoch % config.checkpoint_interval == 0
+                    or state.epoch == config.epochs
+                ):
+                    self._checkpoint(state)
+        if interrupted:
+            self._checkpoint(state)
+            obs_counter("campaign.interrupts").inc()
+            obs_event(
+                "warning", "campaign.interrupted",
+                epoch=state.epoch, signal=signal_name or "?",
+            )
+            return CampaignOutcome(
+                result=None,
+                state=state,
+                interrupted=True,
+                signal_name=signal_name,
+                resumed_from_epoch=resumed_from,
+            )
+
+        result = self._finalize(state)
+        result_file = None
+        if self.state_dir is not None:
+            result_file = write_json_atomic(
+                self.state_dir / RESULT_FILENAME,
+                {
+                    "schema": CAMPAIGN_RESULT_SCHEMA,
+                    "sha256": result_hash(result),
+                    "result": result,
+                },
+            )
+        return CampaignOutcome(
+            result=result,
+            state=state,
+            resumed_from_epoch=resumed_from,
+            result_file=result_file,
+        )
+
+    # ------------------------------------------------------------------
+    # Analytics
+    # ------------------------------------------------------------------
+
+    def _finalize(self, state: CampaignState) -> CampaignResult:
+        """Run the Fig. 21 analytics over the accumulated campaign."""
+        config = self.config
+        hours = np.asarray(state.hours, dtype=float)
+        acceleration = np.asarray(state.acceleration, dtype=float)
+        stress = np.asarray(state.stress_mpa, dtype=float)
+        if hours.size == 0:
+            raise CampaignError(
+                "campaign accumulated no samples (every epoch timed out?)"
+            )
+
+        accel_windows = detect_anomalies(hours, acceleration)
+        stress_dev = stress - float(np.median(stress))
+        stress_windows = detect_anomalies(hours, stress_dev)
+
+        storm_epochs = tuple(
+            e for e in config.storm_epochs() if e < state.epoch
+        )
+        storms_detected = 0
+        for epoch in storm_epochs:
+            window = AnomalyWindow(
+                epoch * float(config.hours_per_epoch),
+                (epoch + 1) * float(config.hours_per_epoch),
+            )
+            if any(w.overlaps(window) for w in accel_windows) and any(
+                w.overlaps(window) for w in stress_windows
+            ):
+                storms_detected += 1
+
+        compliance = check_compliance(
+            Footbridge().limits, acceleration, stress
+        )
+        total_graded = sum(state.grade_counts.values())
+        grade_fractions = {
+            g: c / total_graded
+            for g, c in sorted(state.grade_counts.items())
+        }
+
+        return CampaignResult(
+            epochs=config.epochs,
+            epochs_run=state.epoch,
+            storm_epochs=storm_epochs,
+            epoch_records=list(state.epoch_records),
+            hours=hours,
+            acceleration=acceleration,
+            stress_mpa=stress,
+            acceleration_anomalies=accel_windows,
+            stress_anomalies=stress_windows,
+            sensors_mutually_verified=cross_validate(
+                accel_windows, stress_windows
+            ),
+            storms_detected=storms_detected,
+            compliance=compliance,
+            grade_fractions=grade_fractions,
+            fault_totals=dict(sorted(state.fault_totals.items())),
+            timeouts=list(state.timeouts),
+        )
+
+
+# ----------------------------------------------------------------------
+# Module-level conveniences (the CLI's verbs)
+# ----------------------------------------------------------------------
+
+def run_campaign(
+    config: CampaignConfig,
+    state_dir: Optional[Union[str, Path]] = None,
+    epoch_hook: Optional[Callable[[int], None]] = None,
+) -> CampaignOutcome:
+    """Start a fresh campaign (``campaign run``)."""
+    return Campaign(config, state_dir=state_dir, epoch_hook=epoch_hook).run()
+
+
+def resume_campaign(
+    state_dir: Union[str, Path],
+    epoch_hook: Optional[Callable[[int], None]] = None,
+) -> CampaignOutcome:
+    """Continue a campaign from its last good checkpoint
+    (``campaign resume``)."""
+    campaign, state = Campaign.resume(state_dir, epoch_hook=epoch_hook)
+    return campaign.run(state)
+
+
+def campaign_status(state_dir: Union[str, Path]) -> Dict[str, Any]:
+    """A non-mutating snapshot of a campaign directory's health."""
+    state_dir = Path(state_dir)
+    store = CheckpointStore(state_dir / CHECKPOINT_DIRNAME)
+    log = EpochLog(state_dir / EPOCH_LOG_FILENAME)
+    records = log.records()
+    quarantined = (
+        sorted(p.name for p in store.quarantine_dir.iterdir())
+        if store.quarantine_dir.is_dir()
+        else []
+    )
+    status: Dict[str, Any] = {
+        "state_dir": str(state_dir),
+        "latest_checkpoint_epoch": store.latest_epoch(),
+        "log_records": len(records),
+        "log_last_epoch": records[-1]["epoch"] if records else None,
+        "quarantined": quarantined,
+        "complete": (state_dir / RESULT_FILENAME).exists(),
+    }
+    # Verify without quarantining: status must never mutate the store
+    # (resume is the verb that acts on what it finds).
+    payload = None
+    corrupt: List[str] = []
+    for path, _epoch in store._candidates():
+        try:
+            payload = store.verify(path)
+            break
+        except CheckpointError as exc:
+            corrupt.append(str(exc))
+    if corrupt:
+        status["corrupt_checkpoints"] = corrupt
+    if payload is not None:
+        status["verified_epoch"] = payload["epoch"]
+        status["epochs_total"] = payload["config"].get("epochs")
+        status["timeouts"] = list(payload["state"].get("timeouts", []))
+    elif store.latest_epoch() is not None:
+        status["checkpoint_error"] = (
+            "every checkpoint on disk fails verification; "
+            "resume would quarantine them all and fail"
+        )
+    return status

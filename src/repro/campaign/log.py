@@ -1,0 +1,144 @@
+"""Append-only JSONL epoch log with torn-tail truncation recovery.
+
+Checkpoints are the campaign's *recovery* artifact; the epoch log is
+its *audit* artifact: one JSON line per completed epoch, appended and
+fsynced as the campaign runs, so an operator (or the ``status`` verb)
+can see what a dead campaign was doing without deserializing state.
+
+Appends are not atomic -- a SIGKILL or power cut mid-append leaves a
+torn final line.  Recovery is deliberately simple and loss-bounded:
+each line carries its own CRC32 over its record payload; on open,
+:meth:`EpochLog.recover` scans for the longest valid prefix and
+truncates the file to it.  A torn tail costs at most the one record
+that was being written (which the next checkpoint replay regenerates);
+an *interior* invalid line marks everything after it suspect and is
+truncated too, counted separately, because a log that lies in the
+middle is worse than a short one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Union
+
+from ..obs import obs_counter, obs_event
+
+#: Schema tag stamped into every log line.
+EPOCH_LOG_SCHEMA = "repro/campaign-epoch-log/v1"
+
+
+def _line_crc(record_json: str) -> int:
+    return zlib.crc32(record_json.encode("utf-8")) & 0xFFFFFFFF
+
+
+def encode_line(record: Mapping[str, Any]) -> str:
+    """One log line: ``{"schema":..., "crc":..., "record":...}``."""
+    record_json = json.dumps(
+        dict(record), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    envelope = {
+        "schema": EPOCH_LOG_SCHEMA,
+        "crc": _line_crc(record_json),
+        "record": json.loads(record_json),
+    }
+    return json.dumps(envelope, sort_keys=True, separators=(",", ":"))
+
+
+def decode_line(line: str) -> Dict[str, Any]:
+    """The record inside one log line; raises ``ValueError`` when torn."""
+    envelope = json.loads(line)
+    if not isinstance(envelope, dict) or envelope.get("schema") != EPOCH_LOG_SCHEMA:
+        raise ValueError("wrong epoch-log schema tag")
+    record = envelope.get("record")
+    if not isinstance(record, dict):
+        raise ValueError("epoch-log line has no record object")
+    record_json = json.dumps(
+        record, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    if envelope.get("crc") != _line_crc(record_json):
+        raise ValueError("epoch-log line failed its CRC")
+    return record
+
+
+class EpochLog:
+    """The append-only per-epoch audit log of one campaign."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+
+    def append(self, record: Mapping[str, Any]) -> None:
+        """Append one epoch record, flushed and fsynced."""
+        line = encode_line(record)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def recover(self) -> List[Dict[str, Any]]:
+        """Validate the log, truncate any torn/corrupt tail, return records.
+
+        Returns the longest valid record prefix.  When truncation was
+        needed the event is counted (``campaign.log_truncations``) and
+        logged with the byte offset, so silent data loss never happens.
+        """
+        if not self.path.exists():
+            return []
+        raw = self.path.read_bytes()
+        records: List[Dict[str, Any]] = []
+        good_bytes = 0
+        cursor = 0
+        while cursor < len(raw):
+            newline = raw.find(b"\n", cursor)
+            if newline < 0:
+                break  # torn tail: final line never got its newline
+            line = raw[cursor:newline]
+            try:
+                records.append(decode_line(line.decode("utf-8")))
+            except (ValueError, UnicodeDecodeError):
+                break  # this line and everything after it is suspect
+            cursor = newline + 1
+            good_bytes = cursor
+        if good_bytes < len(raw):
+            with self.path.open("r+b") as handle:
+                handle.truncate(good_bytes)
+                handle.flush()
+                os.fsync(handle.fileno())
+            obs_counter("campaign.log_truncations").inc()
+            obs_event(
+                "warning", "campaign.log_truncated",
+                path=str(self.path), kept_records=len(records),
+                kept_bytes=good_bytes, dropped_bytes=len(raw) - good_bytes,
+            )
+        return records
+
+    def rewrite(self, records: List[Mapping[str, Any]]) -> None:
+        """Replace the log's contents atomically (resume log-sync path).
+
+        Used when a checkpoint is older than the log tail: replayed
+        epochs will re-append their records, so the stale tail is cut
+        back to the checkpoint's epoch first.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(".jsonl.tmp")
+        with tmp.open("w") as handle:
+            for record in records:
+                handle.write(encode_line(record) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        tmp.replace(self.path)
+
+    def records(self) -> List[Dict[str, Any]]:
+        """All currently-valid records (without truncating the file)."""
+        if not self.path.exists():
+            return []
+        records: List[Dict[str, Any]] = []
+        for line in self.path.read_text().splitlines():
+            try:
+                records.append(decode_line(line))
+            except ValueError:
+                break
+        return records

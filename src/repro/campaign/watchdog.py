@@ -1,0 +1,126 @@
+"""Watchdog + signal supervision for the campaign epoch loop.
+
+Two distinct hazards, two mechanisms:
+
+* **A hung epoch** (infinite loop, pathological parameters) would stall
+  an unattended campaign forever.  :func:`epoch_deadline` bounds one
+  epoch's wall time with a ``SIGALRM`` interval timer; on expiry the
+  epoch body is interrupted with :class:`EpochTimeout`, which the
+  driver converts into a recorded ``epoch_timeout`` degradation and
+  moves on.  Off the main thread (or on platforms without ``SIGALRM``)
+  the deadline degrades to unenforced -- the driver still measures and
+  reports elapsed time, it just cannot interrupt.
+
+* **An operator (or orchestrator) stopping the run**: SIGINT/SIGTERM
+  must not kill the process mid-write.  :class:`ShutdownGuard` converts
+  the first signal into a flag the driver polls at epoch boundaries,
+  so the campaign flushes a final checkpoint and exits cleanly; a
+  second signal restores default handling (an insistent operator wins).
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+from types import FrameType
+from typing import Iterator, List, Optional
+
+
+class EpochTimeout(Exception):
+    """Raised inside an epoch body when its wall-clock budget expires."""
+
+
+def _on_main_thread() -> bool:
+    return threading.current_thread() is threading.main_thread()
+
+
+def watchdog_available() -> bool:
+    """Whether the hard (interrupting) watchdog can be armed here."""
+    return _on_main_thread() and hasattr(signal, "SIGALRM")
+
+
+@contextmanager
+def epoch_deadline(seconds: float) -> Iterator[None]:
+    """Bound the body's wall time; raises :class:`EpochTimeout` on expiry.
+
+    ``seconds <= 0`` disables the deadline.  Nested use is not needed by
+    the driver and not supported (the inner deadline would clobber the
+    outer timer).
+    """
+    if seconds <= 0.0 or not watchdog_available():
+        yield
+        return
+
+    def _alarm(signum: int, frame: Optional[FrameType]) -> None:
+        raise EpochTimeout(f"epoch exceeded its {seconds:.1f} s wall budget")
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+class ShutdownGuard:
+    """Deferred SIGINT/SIGTERM handling for checkpoint-safe shutdown.
+
+    Used as a context manager around the epoch loop::
+
+        with ShutdownGuard() as guard:
+            for epoch in ...:
+                if guard.stop_requested:
+                    break  # driver flushes a final checkpoint
+                ...
+
+    Outside the main thread, signal handlers cannot be installed; the
+    guard then never reports a stop request and the surrounding process
+    keeps its own handling (e.g. a pool worker's).
+    """
+
+    _SIGNALS = ("SIGINT", "SIGTERM")
+
+    def __init__(self) -> None:
+        self.stop_requested = False
+        self.signal_name: Optional[str] = None
+        self._previous: List = []
+        self._installed = False
+
+    def _handle(self, signum: int, frame: Optional[FrameType]) -> None:
+        if self.stop_requested:
+            # Second signal: the operator really means it -- restore
+            # default behaviour and let python raise KeyboardInterrupt
+            # (SIGINT) or die (SIGTERM) on the spot.
+            self._restore()
+            signal.raise_signal(signum)
+            return
+        self.stop_requested = True
+        self.signal_name = signal.Signals(signum).name
+
+    def __enter__(self) -> "ShutdownGuard":
+        if _on_main_thread():
+            for name in self._SIGNALS:
+                signum = getattr(signal, name, None)
+                if signum is None:  # pragma: no cover - non-posix
+                    continue
+                self._previous.append(
+                    (signum, signal.signal(signum, self._handle))
+                )
+            self._installed = True
+        return self
+
+    def _restore(self) -> None:
+        if not self._installed:
+            return
+        for signum, handler in self._previous:
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        self._previous = []
+        self._installed = False
+
+    def __exit__(self, *exc_info) -> None:
+        self._restore()

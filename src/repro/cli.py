@@ -18,6 +18,12 @@ plus the experiment runtime (registry + parallel runner + cache)::
     python -m repro.cli experiments validate results/<run_id>
     python -m repro.cli experiments stats results/<run_id>
     python -m repro.cli experiments trace results/<run_id> --out trace.json
+
+and the crash-safe campaign runtime (checkpoint + resume + status)::
+
+    python -m repro.cli campaign run --state-dir pilot --epochs 74
+    python -m repro.cli campaign resume --state-dir pilot
+    python -m repro.cli campaign status --state-dir pilot
 """
 
 from __future__ import annotations
@@ -278,6 +284,9 @@ def _cmd_experiments_run(args: argparse.Namespace) -> int:
     if args.obs:
         print(f"metrics:  {report.run_dir / 'metrics.json'}")
         print(f"trace:    {report.run_dir / 'trace.json'}")
+    if report.interrupted:
+        print("sweep interrupted (SIGINT/SIGTERM); partial manifest written")
+        return 3
     return 0 if report.ok else 1
 
 
@@ -409,6 +418,170 @@ def _cmd_experiments_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_hook(args: argparse.Namespace):
+    """The (hidden) per-epoch delay used by CI to stage mid-epoch kills."""
+    sleep_s = getattr(args, "epoch_sleep_s", 0.0)
+    if sleep_s <= 0.0:
+        return None
+    import time
+
+    def hook(epoch: int) -> None:
+        time.sleep(sleep_s)
+
+    return hook
+
+
+def _print_campaign_outcome(args: argparse.Namespace, outcome) -> int:
+    if outcome.interrupted:
+        print(
+            f"interrupted by {outcome.signal_name or 'signal'} at epoch "
+            f"{outcome.state.epoch}; checkpoint flushed"
+        )
+        print(
+            f"continue with: python -m repro.cli campaign resume "
+            f"--state-dir {args.state_dir}"
+        )
+        return 3
+    result = outcome.result
+    from .campaign import result_hash
+
+    resumed = (
+        f" (resumed from epoch {outcome.resumed_from_epoch})"
+        if outcome.resumed_from_epoch
+        else ""
+    )
+    print(f"campaign complete: {result.epochs_run} epoch(s){resumed}")
+    print(
+        f"storms: {result.storms_detected}/{len(result.storm_epochs)} "
+        f"detected in both channels; mutual verification: "
+        f"{'yes' if result.sensors_mutually_verified else 'NO'}"
+    )
+    grades = ", ".join(
+        f"{g}={frac:.0%}" for g, frac in result.grade_fractions.items()
+    )
+    print(f"health grades: {grades}; compliant: "
+          f"{'yes' if result.compliance.compliant else 'NO'}")
+    if result.fault_totals:
+        worst = sorted(
+            result.fault_totals.items(), key=lambda kv: -kv[1]
+        )[:4]
+        print("top faults: " + ", ".join(f"{k}={v}" for k, v in worst))
+    if result.timeouts:
+        print(f"watchdog timeouts at epoch(s): {result.timeouts}")
+    print(f"result sha256: {result_hash(result)}")
+    if outcome.result_file is not None:
+        print(f"result file:   {outcome.result_file}")
+    return 0
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from .campaign import (
+        CHECKPOINT_DIRNAME,
+        CampaignConfig,
+        CheckpointStore,
+        run_campaign,
+    )
+
+    if args.state_dir:
+        store = CheckpointStore(Path(args.state_dir) / CHECKPOINT_DIRNAME)
+        if store.latest_epoch() is not None:
+            raise SystemExit(
+                f"{args.state_dir} already holds a campaign (checkpoint at "
+                f"epoch {store.latest_epoch()}); use `campaign resume`, or "
+                "point --state-dir at a fresh directory"
+            )
+    config = CampaignConfig(
+        epochs=args.epochs,
+        nodes=args.nodes,
+        wall_length=args.wall_length,
+        tx_voltage=args.tx_voltage,
+        hours_per_epoch=args.hours_per_epoch,
+        samples_per_hour=args.samples_per_hour,
+        seed=args.seed,
+        fault_rates=None if args.no_faults else dict(_default_faults()),
+        fault_intensity=args.fault_intensity,
+        storm_period_epochs=args.storm_period,
+        storm_duration_epochs=args.storm_duration,
+        storm_fault_intensity=args.storm_intensity,
+        checkpoint_interval=args.checkpoint_interval,
+        checkpoint_keep=args.checkpoint_keep,
+        epoch_timeout_s=args.epoch_timeout_s,
+    )
+    outcome = _run_supervised(
+        args, lambda hook: run_campaign(
+            config, state_dir=args.state_dir or None, epoch_hook=hook
+        )
+    )
+    return _print_campaign_outcome(args, outcome)
+
+
+def _default_faults():
+    from .campaign import DEFAULT_CAMPAIGN_FAULTS
+
+    return DEFAULT_CAMPAIGN_FAULTS
+
+
+def _run_supervised(args: argparse.Namespace, runner):
+    """Run a campaign callable under optional --obs instrumentation."""
+    from .obs import activate_obs, obs_registry, render_snapshot_text, restore_obs
+
+    scope = activate_obs(process_label="campaign") if args.obs else None
+    try:
+        return runner(_campaign_hook(args))
+    finally:
+        if scope is not None:
+            print("campaign metrics:")
+            print(render_snapshot_text(obs_registry().snapshot()), end="")
+            restore_obs(scope)
+
+
+def _cmd_campaign_resume(args: argparse.Namespace) -> int:
+    from .campaign import resume_campaign
+    from .errors import CampaignError
+
+    try:
+        outcome = _run_supervised(
+            args, lambda hook: resume_campaign(args.state_dir, epoch_hook=hook)
+        )
+    except CampaignError as exc:
+        raise SystemExit(f"campaign resume: {exc}")
+    return _print_campaign_outcome(args, outcome)
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .campaign import campaign_status
+
+    status = campaign_status(args.state_dir)
+    if args.json:
+        print(json_module.dumps(status, indent=2, sort_keys=True))
+        return 0
+    print(f"campaign state in {status['state_dir']}:")
+    if status["latest_checkpoint_epoch"] is None:
+        print("  no checkpoints (nothing to resume)")
+    else:
+        print(f"  latest checkpoint epoch: {status['latest_checkpoint_epoch']}")
+    if "verified_epoch" in status:
+        total = status.get("epochs_total")
+        print(
+            f"  verified resume point:   epoch {status['verified_epoch']}"
+            + (f" of {total}" if total else "")
+        )
+        if status.get("timeouts"):
+            print(f"  watchdog timeouts:       {status['timeouts']}")
+    if "checkpoint_error" in status:
+        print(f"  CHECKPOINT ERROR: {status['checkpoint_error']}")
+    print(f"  epoch log records:       {status['log_records']}")
+    if status["quarantined"]:
+        print(
+            f"  quarantined checkpoints: {len(status['quarantined'])} "
+            f"({', '.join(status['quarantined'])})"
+        )
+    print(f"  complete: {'yes' if status['complete'] else 'no'}")
+    return 1 if "checkpoint_error" in status else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="EcoCapsule reproduction toolkit"
@@ -535,6 +708,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the trace JSON to stdout"
     )
     exp_trace.set_defaults(func=_cmd_experiments_trace)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run the checkpointed multi-month pilot (crash-safe, resumable)",
+    )
+    camp_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    camp_run = camp_sub.add_parser(
+        "run", help="start a campaign (checkpointed when --state-dir is set)"
+    )
+    camp_run.add_argument(
+        "--state-dir", default="",
+        help="directory for checkpoints/log/result (empty = in-memory)",
+    )
+    camp_run.add_argument("--epochs", type=int, default=74,
+                          help="weekly visits to simulate (74 = 17 months)")
+    camp_run.add_argument("--nodes", type=int, default=8)
+    camp_run.add_argument("--wall-length", type=float, default=8.0)
+    camp_run.add_argument("--tx-voltage", type=float, default=250.0)
+    camp_run.add_argument("--hours-per-epoch", type=int, default=168)
+    camp_run.add_argument("--samples-per-hour", type=int, default=1)
+    camp_run.add_argument("--seed", type=int, default=2021)
+    camp_run.add_argument("--no-faults", action="store_true",
+                          help="disable fault injection entirely")
+    camp_run.add_argument("--fault-intensity", type=float, default=1.0)
+    camp_run.add_argument("--storm-period", type=int, default=26,
+                          help="epochs between storm windows")
+    camp_run.add_argument("--storm-duration", type=int, default=2)
+    camp_run.add_argument("--storm-intensity", type=float, default=3.0,
+                          help="fault multiplier during storm epochs")
+    camp_run.add_argument("--checkpoint-interval", type=int, default=1)
+    camp_run.add_argument("--checkpoint-keep", type=int, default=5)
+    camp_run.add_argument("--epoch-timeout-s", type=float, default=120.0,
+                          help="watchdog bound per epoch (<=0 disables)")
+    camp_run.add_argument("--obs", action="store_true",
+                          help="collect campaign.* metrics and print them")
+    camp_run.add_argument("--epoch-sleep-s", type=float, default=0.0,
+                          help=argparse.SUPPRESS)  # CI kill-timing seam
+    camp_run.set_defaults(func=_cmd_campaign_run)
+
+    camp_resume = camp_sub.add_parser(
+        "resume", help="continue a killed campaign from its last checkpoint"
+    )
+    camp_resume.add_argument("--state-dir", required=True)
+    camp_resume.add_argument("--obs", action="store_true")
+    camp_resume.add_argument("--epoch-sleep-s", type=float, default=0.0,
+                             help=argparse.SUPPRESS)
+    camp_resume.set_defaults(func=_cmd_campaign_resume)
+
+    camp_status = camp_sub.add_parser(
+        "status", help="inspect a campaign directory without mutating it"
+    )
+    camp_status.add_argument("--state-dir", required=True)
+    camp_status.add_argument("--json", action="store_true")
+    camp_status.set_defaults(func=_cmd_campaign_status)
 
     return parser
 

@@ -77,3 +77,20 @@ class ObsError(ReproError):
 
 class FaultConfigError(ReproError):
     """A fault plan is malformed (bad rate, unknown field, broken file)."""
+
+
+class FaultPlanError(FaultConfigError):
+    """A fault-plan rate or scaling factor is out of the [0, 1] domain.
+
+    Subclasses :class:`FaultConfigError` so existing handlers keep
+    working; raised for NaN, negative, infinite or >1 rate values and
+    for invalid ``scaled()`` intensities.
+    """
+
+
+class CampaignError(ReproError):
+    """The campaign runtime hit an unrecoverable configuration/state error."""
+
+
+class CheckpointError(CampaignError):
+    """No usable campaign checkpoint (all corrupt/quarantined or absent)."""

@@ -7,6 +7,7 @@ per-experiment index for the figure-to-module map.
 
 from . import (
     appendix_sensors,
+    campaign_pilot,
     downlink_reliability,
     fault_sweep,
     fig04_mode_amplitudes,
@@ -29,6 +30,7 @@ from . import (
 
 __all__ = [
     "appendix_sensors",
+    "campaign_pilot",
     "downlink_reliability",
     "fault_sweep",
     "fig04_mode_amplitudes",

@@ -13,6 +13,7 @@ See ``docs/ROBUSTNESS.md`` for the fault taxonomy, the plan schema and
 the retry/degradation policies layered on top.
 """
 
+from ..errors import FaultPlanError
 from .injector import FaultInjector
 from .plan import (
     FAULT_PLAN_SCHEMA,
@@ -26,6 +27,7 @@ __all__ = [
     "FAULT_PLAN_SCHEMA",
     "FaultInjector",
     "FaultPlan",
+    "FaultPlanError",
     "RATE_FIELDS",
     "ber_from_snr_db",
     "plan_from_link_budget",

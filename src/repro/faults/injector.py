@@ -17,8 +17,9 @@ counters (visible in ``experiments stats`` when --obs is on).
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..errors import FaultConfigError
 from ..obs import obs_counter, obs_enabled
 from .plan import FaultPlan
 
@@ -70,6 +71,51 @@ class FaultInjector:
     def _hit(self, stream: str, rate: float) -> bool:
         """One Bernoulli draw from ``stream``; zero rates never draw."""
         return rate > 0.0 and self._stream(stream).random() < rate
+
+    # ------------------------------------------------------------------
+    # State serialization (campaign checkpoints)
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> Dict[str, Any]:
+        """JSON-able snapshot: RNG streams, stuck latches, fault counts.
+
+        The campaign runtime checkpoints this so a resumed run
+        continues every fault stream mid-sequence and keeps sensors
+        that latched months ago latched.
+        """
+        return {
+            "streams": {
+                name: [state[0], list(state[1]), state[2]]
+                for name, state in sorted(
+                    (n, s.getstate()) for n, s in self._streams.items()
+                )
+            },
+            "stuck": [
+                [node_id, channel, latched]
+                for (node_id, channel), latched in sorted(self._stuck.items())
+            ],
+            "counts": dict(self.counts),
+        }
+
+    def restore_state(self, payload: Mapping[str, Any]) -> None:
+        """Rebuild :meth:`export_state` output into this injector."""
+        try:
+            self._streams = {}
+            for name, state in payload["streams"].items():
+                stream = random.Random()
+                stream.setstate(
+                    (state[0], tuple(int(v) for v in state[1]), state[2])
+                )
+                self._streams[name] = stream
+            self._stuck = {
+                (int(node_id), str(channel)): latched
+                for node_id, channel, latched in payload["stuck"]
+            }
+            self.counts = {
+                str(k): int(v) for k, v in payload["counts"].items()
+            }
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FaultConfigError(f"malformed injector state: {exc!r}")
 
     # ------------------------------------------------------------------
     # Channel faults

@@ -38,7 +38,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Mapping, Union
 
-from ..errors import FaultConfigError
+from ..errors import FaultConfigError, FaultPlanError
 
 #: Field names that hold probabilities (everything except the seed).
 RATE_FIELDS = (
@@ -90,9 +90,9 @@ class FaultPlan:
         for name in RATE_FIELDS:
             value = getattr(self, name)
             if not isinstance(value, (int, float)) or isinstance(value, bool):
-                raise FaultConfigError(f"{name} must be a number, got {value!r}")
+                raise FaultPlanError(f"{name} must be a number, got {value!r}")
             if math.isnan(value) or not 0.0 <= value <= 1.0:
-                raise FaultConfigError(
+                raise FaultPlanError(
                     f"{name} must be a probability in [0, 1], got {value}"
                 )
 
@@ -115,9 +115,21 @@ class FaultPlan:
 
         Rates clamp at 1.0; ``intensity=0`` yields an inactive plan, so
         a fault sweep's zero point runs the exact clean code path.
+
+        ``intensity`` must be a finite non-negative real number --
+        NaN/inf would silently saturate every rate through the clamp
+        (``min(1.0, nan)`` is 1.0), turning a bad input into a
+        plausible-looking catastrophic plan, so both are rejected with
+        :class:`~repro.errors.FaultPlanError` instead.
         """
+        if not isinstance(intensity, (int, float)) or isinstance(intensity, bool):
+            raise FaultPlanError(
+                f"intensity must be a number, got {intensity!r}"
+            )
+        if math.isnan(intensity) or math.isinf(intensity):
+            raise FaultPlanError(f"intensity must be finite, got {intensity}")
         if intensity < 0.0:
-            raise FaultConfigError(f"intensity cannot be negative: {intensity}")
+            raise FaultPlanError(f"intensity cannot be negative: {intensity}")
         rates = {
             name: min(1.0, getattr(self, name) * intensity)
             for name in RATE_FIELDS

@@ -107,10 +107,31 @@ class ResultCache:
         return entry
 
     def store(self, key: str, payload: Mapping[str, Any]) -> Path:
-        """Persist ``payload`` (must contain 'result') under ``key``."""
+        """Persist ``payload`` (must contain 'result') under ``key``.
+
+        Safe against a concurrent writer on the same key: both writers
+        go through an atomic same-directory rename, so the entry is
+        always one writer's complete file (last writer wins -- both
+        computed the same deterministic result, so which one lands is
+        irrelevant).  If the race still surfaces as an ``OSError`` (some
+        filesystems refuse cross-writer renames) and the other writer's
+        entry is in place, that entry is accepted instead of erroring,
+        counted as ``cache.write_race``.
+        """
         entry = {"schema": CACHE_ENTRY_SCHEMA, "key": key, **payload}
         obs_counter("cache.stores").inc()
-        return write_json_atomic(self.path_for(key), entry)
+        path = self.path_for(key)
+        try:
+            return write_json_atomic(path, entry)
+        except OSError as exc:
+            if not path.exists():
+                raise  # not a race -- the directory itself is unwritable
+            obs_counter("cache.write_race").inc()
+            obs_event(
+                "warning", "cache.write_race",
+                key=key, path=str(path), error=str(exc),
+            )
+            return path
 
     def _discard_corrupt(self, key: str, path: Path, reason: str) -> None:
         """Delete a poisoned entry, leaving a visible telemetry trail."""

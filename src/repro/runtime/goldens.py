@@ -90,6 +90,19 @@ def _fig20_extras(result: Any) -> Dict[str, Scalar]:
     return {"gain_low": low, "gain_high": high}
 
 
+def _campaign_extras(result: Any) -> Dict[str, Scalar]:
+    from ..campaign import result_hash
+
+    return {
+        "result_sha256": result_hash(result),
+        "storm_detected_in_both": result.storm_detected_in_both,
+        "sensors_mutually_verified": result.sensors_mutually_verified,
+        "health_at_or_above_b": result.health_at_or_above_b,
+        "degraded_epochs": result.degraded_epochs,
+        "mean_coverage": result.mean_coverage,
+    }
+
+
 def _fig21_extras(result: Any) -> Dict[str, Scalar]:
     return {
         "storm_detected_in_both": result.storm_detected_in_both,
@@ -116,6 +129,7 @@ def _fig07_extras(result: Any) -> Dict[str, Scalar]:
 
 #: Named headline metrics per experiment (all optional).
 EXTRA_METRICS: Dict[str, Callable[[Any], Dict[str, Scalar]]] = {
+    "campaign_pilot": _campaign_extras,
     "fig07": _fig07_extras,
     "fig15": _fig15_extras,
     "fig17": _fig17_extras,

@@ -34,8 +34,10 @@ SUPPORTED_MANIFEST_SCHEMAS = ("repro/run-manifest/v1", MANIFEST_SCHEMA)
 #: Per-experiment result file schema identifier.
 RESULT_SCHEMA = "repro/experiment-result/v1"
 
-#: Allowed per-experiment terminal states.
-EXPERIMENT_STATUSES = ("ok", "failed", "timeout")
+#: Allowed per-experiment terminal states.  ``interrupted`` marks
+#: experiments a SIGINT/SIGTERM stopped before they produced a record;
+#: the manifest then also carries a top-level ``interrupted: true``.
+EXPERIMENT_STATUSES = ("ok", "failed", "timeout", "interrupted")
 
 #: Allowed cache dispositions.
 CACHE_STATES = ("hit", "miss", "bypass")
@@ -108,6 +110,9 @@ def validate_manifest(manifest: Mapping[str, Any]) -> List[str]:
     obs_block = manifest.get("obs")
     if obs_block is not None and not isinstance(obs_block, Mapping):
         problems.append("field 'obs' should be an object when present")
+    interrupted = manifest.get("interrupted")
+    if interrupted is not None and not isinstance(interrupted, bool):
+        problems.append("field 'interrupted' should be a bool when present")
     entries = manifest.get("experiments")
     if isinstance(entries, list):
         seen = set()
@@ -138,6 +143,14 @@ def validate_manifest(manifest: Mapping[str, Any]) -> List[str]:
             if entry.get("name") in seen:
                 problems.append(f"{label}: duplicate experiment entry")
             seen.add(entry.get("name"))
+        if not manifest.get("interrupted") and any(
+            isinstance(e, Mapping) and e.get("status") == "interrupted"
+            for e in entries
+        ):
+            problems.append(
+                "entries marked interrupted but the manifest lacks a "
+                "top-level 'interrupted: true'"
+            )
     totals = manifest.get("totals")
     if isinstance(totals, Mapping):
         for name, kind in _TOTALS_FIELDS.items():

@@ -30,6 +30,13 @@ from ..errors import RegistryError
 #: Monte-Carlo-heavy experiments need trimming; everything else runs in
 #: milliseconds at its paper defaults.
 QUICK_PARAMS: Dict[str, Dict[str, Any]] = {
+    "campaign_pilot": {
+        "epochs": 6,
+        "nodes": 4,
+        "hours_per_epoch": 48,
+        "storm_period_epochs": 3,
+        "storm_duration_epochs": 1,
+    },
     "fig15": {"total_bits": 4_000},
     "fig17": {"measure_bits": 1_000},
     "downlink_reliability": {"packets_per_point": 12},

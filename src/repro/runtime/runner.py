@@ -22,7 +22,10 @@ on scheduling.
 from __future__ import annotations
 
 import concurrent.futures
+import contextlib
 import os
+import signal
+import threading
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -35,6 +38,7 @@ from ..obs import (
     activate_obs,
     obs_counter,
     obs_enabled,
+    obs_event,
     obs_events,
     obs_histogram,
     obs_registry,
@@ -69,7 +73,7 @@ class ExperimentOutcome:
     module: str
     params: Dict[str, Any]
     seed: int
-    status: str  # 'ok' | 'failed' | 'timeout'
+    status: str  # 'ok' | 'failed' | 'timeout' | 'interrupted'
     cache: str  # 'hit' | 'miss' | 'bypass'
     cache_key: str
     elapsed_s: float
@@ -92,6 +96,11 @@ class RunReport:
     @property
     def ok(self) -> bool:
         return all(outcome.status == "ok" for outcome in self.outcomes)
+
+    @property
+    def interrupted(self) -> bool:
+        """True when a SIGINT/SIGTERM cut the sweep short."""
+        return bool(self.manifest.get("interrupted"))
 
     @property
     def cache_hits(self) -> int:
@@ -151,6 +160,10 @@ def execute_serialized(
                 "result": to_jsonable(result),
                 "error": None,
             }
+        except (KeyboardInterrupt, SystemExit):
+            # An interrupt is the *sweep* being stopped, not this
+            # experiment failing -- let the runner handle it.
+            raise
         except BaseException:
             record = {
                 "name": name,
@@ -231,24 +244,41 @@ def _collect_parallel(
         }
         recycle = False
         still_waiting: List[ExperimentOutcome] = []
-        for outcome in remaining:
-            if recycle:
-                still_waiting.append(outcome)
-                continue
-            try:
-                record = futures[outcome.name].result(timeout=timeout_s)
-            except concurrent.futures.TimeoutError:
-                outcome.status = "timeout"
-                outcome.elapsed_s = timeout_s
-                outcome.error = f"timed out after {timeout_s:.1f} s"
-                recycle = True
-                continue
-            except concurrent.futures.process.BrokenProcessPool:
-                outcome.status = "failed"
-                outcome.error = "worker process died (broken pool)"
-                recycle = True
-                continue
-            _absorb_record(outcome, record)
+        try:
+            for outcome in remaining:
+                if recycle:
+                    still_waiting.append(outcome)
+                    continue
+                try:
+                    record = futures[outcome.name].result(timeout=timeout_s)
+                except concurrent.futures.TimeoutError:
+                    outcome.status = "timeout"
+                    outcome.elapsed_s = timeout_s
+                    outcome.error = f"timed out after {timeout_s:.1f} s"
+                    recycle = True
+                    continue
+                except concurrent.futures.process.BrokenProcessPool:
+                    outcome.status = "failed"
+                    outcome.error = "worker process died (broken pool)"
+                    recycle = True
+                    continue
+                _absorb_record(outcome, record)
+        except KeyboardInterrupt:
+            # Graceful shutdown: salvage every record that already
+            # finished, then reap the pool so no orphan worker keeps
+            # burning CPU after the operator asked us to stop.
+            for outcome in remaining:
+                if outcome.status == "ok" or outcome.error is not None:
+                    continue  # already collected (or already diagnosed)
+                future = futures[outcome.name]
+                if future.done() and not future.cancelled():
+                    with contextlib.suppress(Exception):
+                        _absorb_record(outcome, future.result(timeout=0))
+            for process in getattr(executor, "_processes", {}).values():
+                with contextlib.suppress(OSError):
+                    process.terminate()
+            executor.shutdown(wait=False, cancel_futures=True)
+            raise
         if recycle:
             # A stuck or dead worker: reap the whole pool so the retry
             # pool starts from clean slots (terminate is best-effort --
@@ -324,6 +354,29 @@ def run_experiments(
             restore_obs(scope)
 
 
+@contextlib.contextmanager
+def _sigterm_as_interrupt():
+    """Convert SIGTERM into ``KeyboardInterrupt`` for the sweep's scope.
+
+    Orchestrators (and CI) stop runs with SIGTERM; without this, a
+    TERM kills the process mid-manifest and the run directory is left
+    with no audit record at all.  Off the main thread, handlers cannot
+    be installed and the platform default stays in force.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _raise(signum, frame):
+        raise KeyboardInterrupt("SIGTERM")
+
+    previous = signal.signal(signal.SIGTERM, _raise)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
 def _execute_pending(
     pending: List[ExperimentOutcome],
     jobs: int,
@@ -397,26 +450,50 @@ def _run_experiments_body(
                 obs_counter("runner.cache.misses").inc()
                 pending.append(outcome)
 
+    interrupted = False
     if pending:
-        with obs_span("runner.execute", pending=len(pending), jobs=jobs):
-            _execute_pending(pending, jobs, timeout_s, obs)
-        # Retry pass: anything that failed or timed out gets up to
-        # ``retries`` fresh attempts with doubling backoff in between.
-        for attempt in range(1, retries + 1):
-            unlucky = [o for o in pending if o.status != "ok"]
-            if not unlucky:
-                break
-            time.sleep(min(retry_backoff_s * 2 ** (attempt - 1), 30.0))
-            obs_counter("runner.retries").inc(len(unlucky))
-            for outcome in unlucky:
-                outcome.attempts += 1
-                outcome.status = "failed"
-                outcome.error = None
-                outcome.result = None
-            with obs_span(
-                "runner.retry", attempt=attempt, experiments=len(unlucky)
-            ):
-                _execute_pending(unlucky, jobs, timeout_s, obs)
+        try:
+            with _sigterm_as_interrupt():
+                with obs_span("runner.execute", pending=len(pending), jobs=jobs):
+                    _execute_pending(pending, jobs, timeout_s, obs)
+                # Retry pass: anything that failed or timed out gets up
+                # to ``retries`` fresh attempts with doubling backoff.
+                for attempt in range(1, retries + 1):
+                    unlucky = [o for o in pending if o.status != "ok"]
+                    if not unlucky:
+                        break
+                    time.sleep(min(retry_backoff_s * 2 ** (attempt - 1), 30.0))
+                    obs_counter("runner.retries").inc(len(unlucky))
+                    for outcome in unlucky:
+                        outcome.attempts += 1
+                        outcome.status = "failed"
+                        outcome.error = None
+                        outcome.result = None
+                    with obs_span(
+                        "runner.retry", attempt=attempt, experiments=len(unlucky)
+                    ):
+                        _execute_pending(unlucky, jobs, timeout_s, obs)
+        except KeyboardInterrupt:
+            # Stopped by SIGINT/SIGTERM: keep everything that finished,
+            # mark the rest interrupted, and still write a valid
+            # (partial) manifest -- a stopped sweep must leave an audit
+            # record, not a half-written directory.
+            interrupted = True
+            for outcome in pending:
+                if outcome.status == "ok" or outcome.error is not None:
+                    continue
+                outcome.status = "interrupted"
+                outcome.error = (
+                    "sweep interrupted (SIGINT/SIGTERM) before this "
+                    "experiment completed"
+                )
+            obs_counter("runner.interrupted").inc()
+            obs_event(
+                "warning", "runner.interrupted",
+                unfinished=sum(
+                    1 for o in pending if o.status == "interrupted"
+                ),
+            )
 
     if obs_enabled():
         elapsed_hist = obs_histogram("runner.experiment.elapsed_s")
@@ -492,6 +569,8 @@ def _run_experiments_body(
             "elapsed_s": time.perf_counter() - sweep_start,
         },
     }
+    if interrupted:
+        manifest["interrupted"] = True
 
     if scope is not None:
         # Export the collected telemetry next to the results; the

@@ -96,8 +96,10 @@ def canonical_json(obj: Any) -> str:
 def write_json_atomic(path: Union[str, Path], payload: Any) -> Path:
     """Write ``payload`` as indented JSON via a same-directory temp file.
 
-    The rename-into-place keeps readers (and the result cache) from ever
-    observing a half-written file.
+    The fsync-then-rename keeps readers (and the result cache) from
+    ever observing a half-written file, and -- because the data hits
+    the platters before the rename -- a power cut leaves either the old
+    file or the complete new one, never a truncated hybrid.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -108,6 +110,8 @@ def write_json_atomic(path: Union[str, Path], payload: Any) -> Path:
     try:
         with os.fdopen(handle, "w") as tmp:
             tmp.write(text + "\n")
+            tmp.flush()
+            os.fsync(tmp.fileno())
         os.replace(tmp_name, path)
     except BaseException:
         if os.path.exists(tmp_name):

@@ -61,7 +61,7 @@ def test_goldens_cover_every_registered_experiment():
 
 
 def test_golden_count_matches_the_paper_scope():
-    assert len(REGISTRY) == 19  # 18 paper modules + the fault sweep
+    assert len(REGISTRY) == 20  # 18 paper modules + fault sweep + campaign
 
 
 @pytest.mark.parametrize("name", list(REGISTRY))

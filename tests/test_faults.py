@@ -12,7 +12,7 @@ import math
 import pytest
 
 from repro.acoustics import StructureGeometry
-from repro.errors import FaultConfigError
+from repro.errors import FaultConfigError, FaultPlanError
 from repro.faults import (
     FAULT_PLAN_SCHEMA,
     FaultInjector,
@@ -118,6 +118,61 @@ class TestFaultPlan:
         bad.write_text("{not json")
         with pytest.raises(FaultConfigError):
             FaultPlan.from_json_file(bad)
+
+
+class TestFaultPlanDomainErrors:
+    """``scaled()``/rate validation raises the dedicated FaultPlanError.
+
+    ``min(1.0, nan)`` is 1.0 in Python: an unvalidated NaN intensity
+    would silently saturate every rate into a plausible-looking
+    catastrophic plan.  These inputs must fail loudly instead.
+    """
+
+    @pytest.mark.parametrize(
+        "bad",
+        [float("nan"), float("inf"), float("-inf"), -0.5, -1e-9],
+        ids=["nan", "inf", "-inf", "negative", "tiny-negative"],
+    )
+    def test_scaled_rejects_bad_intensities(self, bad):
+        plan = FaultPlan(uplink_ber=0.2)
+        with pytest.raises(FaultPlanError):
+            plan.scaled(bad)
+
+    @pytest.mark.parametrize(
+        "bad", ["2.0", None, True, [2.0]],
+        ids=["str", "none", "bool", "list"],
+    )
+    def test_scaled_rejects_non_numbers(self, bad):
+        plan = FaultPlan(uplink_ber=0.2)
+        with pytest.raises(FaultPlanError):
+            plan.scaled(bad)
+
+    def test_nan_never_saturates_into_a_plausible_plan(self):
+        # The failure mode the validation exists for: without it, a NaN
+        # intensity would clamp every rate to exactly 1.0.
+        plan = FaultPlan(uplink_ber=0.2, brownout_rate=0.1)
+        try:
+            scaled = plan.scaled(float("nan"))
+        except FaultPlanError:
+            return  # the required outcome
+        pytest.fail(f"NaN intensity produced a plan: {scaled}")
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.0000001, float("nan")])
+    def test_rate_validation_uses_the_plan_error_too(self, bad):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(stuck_sensor_rate=bad)
+
+    def test_plan_error_is_a_config_error(self):
+        # Existing except-FaultConfigError handlers must keep catching.
+        assert issubclass(FaultPlanError, FaultConfigError)
+        with pytest.raises(FaultConfigError):
+            FaultPlan(uplink_ber=0.5).scaled(float("inf"))
+
+    def test_valid_intensities_still_work(self):
+        plan = FaultPlan(uplink_ber=0.25)
+        assert plan.scaled(2).uplink_ber == pytest.approx(0.5)  # int is fine
+        assert plan.scaled(0.0).uplink_ber == 0.0
+        assert plan.scaled(1e9).uplink_ber == 1.0  # huge-but-finite clamps
 
 
 class TestLinkDerivedPlans:

@@ -1,6 +1,12 @@
 """Tests for the content-addressed result cache (runtime.cache)."""
 
+import json
+
+import pytest
+
+from repro.obs import observed
 from repro.runtime import ResultCache, cache_key, library_versions, run_experiments
+from repro.runtime import cache as cache_module
 
 
 VERSIONS = {"python": "3", "numpy": "2", "scipy": "1", "repro": "1"}
@@ -71,6 +77,67 @@ class TestResultCache:
         cache.path_for(key).parent.mkdir(parents=True, exist_ok=True)
         cache.path_for(key).write_text('{"schema": "other/v9", "result": 1}')
         assert cache.load(key) is None
+
+
+class TestWriteRace:
+    """Inter-process store collisions tolerate the other writer's entry.
+
+    Results are deterministic, so two processes racing on the same key
+    computed the same bytes; last-writer-wins is correct and the loser
+    must not crash the sweep.
+    """
+
+    def _racing_write(self, cache, key, winner_payload):
+        """A write_json_atomic stand-in: the rename fails, but only
+        after 'the other process' has landed its (identical) entry."""
+
+        def fake_write(path, payload):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(winner_payload))
+            raise OSError("rename refused: entry already exists")
+
+        return fake_write
+
+    def test_losing_writer_accepts_the_winners_entry(
+        self, tmp_path, monkeypatch
+    ):
+        cache = ResultCache(tmp_path)
+        key = _key()
+        winner = {
+            "schema": "repro/cache-entry/v1", "key": key, "result": {"v": 3}
+        }
+        monkeypatch.setattr(
+            cache_module, "write_json_atomic",
+            self._racing_write(cache, key, winner),
+        )
+        with observed() as scope:
+            path = cache.store(key, {"result": {"v": 3}})
+            assert scope.registry.counter("cache.write_race").value == 1.0
+        assert path == cache.path_for(key)
+        assert cache.load(key)["result"] == {"v": 3}
+
+    def test_oserror_without_an_entry_is_not_a_race(
+        self, tmp_path, monkeypatch
+    ):
+        cache = ResultCache(tmp_path)
+
+        def unwritable(path, payload):
+            raise OSError("read-only filesystem")
+
+        monkeypatch.setattr(cache_module, "write_json_atomic", unwritable)
+        with observed() as scope:
+            with pytest.raises(OSError, match="read-only"):
+                cache.store(_key(), {"result": 1})
+            assert scope.registry.counter("cache.write_race").value == 0.0
+
+    def test_real_concurrent_stores_both_succeed(self, tmp_path):
+        # No monkeypatching: two stores on the same key through the real
+        # atomic-rename path; the entry is always one complete file.
+        cache = ResultCache(tmp_path)
+        key = _key()
+        cache.store(key, {"result": {"v": 3}})
+        cache.store(key, {"result": {"v": 3}})
+        assert cache.load(key)["result"] == {"v": 3}
 
 
 class TestRunnerCacheBehaviour:

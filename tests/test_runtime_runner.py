@@ -241,3 +241,120 @@ class TestRetries:
     def test_negative_retries_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             run_experiments(names=["fig13"], out_dir=tmp_path, retries=-1)
+
+
+_INTERRUPT_BODY = '''
+def run(seed: int = 0):
+    """Synthetic experiment standing in for ctrl-c mid-sweep."""
+    raise KeyboardInterrupt("operator pressed ctrl-c")
+'''
+
+_SIGTERM_BODY = '''
+import os
+import signal
+
+
+def run(seed: int = 0):
+    """Synthetic experiment standing in for an orchestrator's TERM."""
+    os.kill(os.getpid(), signal.SIGTERM)
+    return {}
+'''
+
+
+class TestInterrupt:
+    """SIGINT/SIGTERM stop the sweep but still leave a valid manifest."""
+
+    def test_interrupt_keeps_finished_work_and_marks_the_rest(
+        self, tmp_path, monkeypatch
+    ):
+        specs = [
+            _make_spec(tmp_path, monkeypatch, "synth_done", _OK_BODY),
+            _make_spec(tmp_path, monkeypatch, "synth_ctrlc", _INTERRUPT_BODY),
+            _make_spec(tmp_path, monkeypatch, "synth_never", _OK_BODY),
+        ]
+        report = run_experiments(specs=specs, jobs=0, out_dir=tmp_path / "out")
+        assert report.interrupted and not report.ok
+        by_name = {o.name: o for o in report.outcomes}
+        assert by_name["synth_done"].status == "ok"
+        assert by_name["synth_ctrlc"].status == "interrupted"
+        assert by_name["synth_never"].status == "interrupted"
+        assert "sweep interrupted" in by_name["synth_never"].error
+
+        # The completed experiment's result file survived the interrupt.
+        payload = load_result(
+            report.run_dir / by_name["synth_done"].result_file
+        )
+        assert payload["result"] == {"seed": 0, "value": 1.5}
+
+        # The partial manifest is a *valid* manifest.
+        manifest = load_manifest(report.run_dir)
+        assert manifest["interrupted"] is True
+        assert manifest["totals"]["ok"] == 1
+
+    def test_sigterm_is_converted_and_handled_the_same_way(
+        self, tmp_path, monkeypatch
+    ):
+        specs = [
+            _make_spec(tmp_path, monkeypatch, "synth_term", _SIGTERM_BODY),
+            _make_spec(tmp_path, monkeypatch, "synth_after", _OK_BODY),
+        ]
+        report = run_experiments(specs=specs, jobs=0, out_dir=tmp_path / "out")
+        assert report.interrupted
+        by_name = {o.name: o for o in report.outcomes}
+        assert by_name["synth_term"].status == "interrupted"
+        assert by_name["synth_after"].status == "interrupted"
+        assert load_manifest(report.run_dir)["interrupted"] is True
+        # The handler was uninstalled on the way out.
+        import signal as signal_module
+
+        assert (
+            signal_module.getsignal(signal_module.SIGTERM)
+            is signal_module.SIG_DFL
+        )
+
+    def test_interrupt_is_counted_in_obs(self, tmp_path, monkeypatch):
+        from repro.obs import observed
+
+        spec = _make_spec(
+            tmp_path, monkeypatch, "synth_ctrlc2", _INTERRUPT_BODY
+        )
+        with observed() as scope:
+            report = run_experiments(
+                specs=[spec], jobs=0, out_dir=tmp_path / "out"
+            )
+            assert (
+                scope.registry.counter("runner.interrupted").value == 1.0
+            )
+        assert report.interrupted
+
+    def test_parallel_interrupt_reaps_the_pool_and_writes_a_manifest(
+        self, tmp_path, monkeypatch
+    ):
+        specs = [
+            _make_spec(tmp_path, monkeypatch, "synth_par_a", _OK_BODY),
+            _make_spec(tmp_path, monkeypatch, "synth_par_boom", _INTERRUPT_BODY),
+            _make_spec(tmp_path, monkeypatch, "synth_par_b", _OK_BODY),
+        ]
+        report = run_experiments(specs=specs, jobs=2, out_dir=tmp_path / "out")
+        assert report.interrupted
+        # Completion of the neighbours is scheduling-dependent; what is
+        # guaranteed: every outcome is terminal, the interrupt itself is
+        # marked, and the manifest validates.
+        assert all(
+            o.status in ("ok", "interrupted") for o in report.outcomes
+        )
+        by_name = {o.name: o for o in report.outcomes}
+        assert by_name["synth_par_boom"].status == "interrupted"
+        assert load_manifest(report.run_dir)["interrupted"] is True
+
+    def test_validator_demands_the_top_level_interrupted_flag(
+        self, tmp_path, monkeypatch
+    ):
+        spec = _make_spec(tmp_path, monkeypatch, "synth_ctrlc3", _INTERRUPT_BODY)
+        report = run_experiments(specs=[spec], jobs=0, out_dir=tmp_path / "out")
+        manifest = json.loads(
+            (report.run_dir / "manifest.json").read_text()
+        )
+        assert validate_manifest(manifest) == []
+        del manifest["interrupted"]
+        assert any("interrupted" in p for p in validate_manifest(manifest))
