@@ -16,6 +16,11 @@
 # Stage 5: crash-safety smoke -- a short campaign is SIGKILLed
 #          mid-epoch, `campaign resume` finishes it, and the resumed
 #          result's sha256 must equal an uninterrupted reference run's.
+# Stage 6: telemetry-store smoke -- a short campaign exports into a
+#          store (--store), the store is compacted and queried through
+#          both the CLI and the HTTP API on an ephemeral port, and both
+#          answers must match an in-memory reference computed straight
+#          from the store.
 #
 # Usage:  scripts/ci.sh [extra pytest args...]
 
@@ -180,5 +185,68 @@ if [ "${RESUMED_HASH}" != "${REF_HASH}" ]; then
     exit 1
 fi
 echo "campaign smoke OK: SIGKILL mid-epoch + resume == uninterrupted (${RESUMED_HASH})"
+
+echo "== stage 6: telemetry-store smoke (CLI + HTTP vs reference) =="
+STORE_DIR="${OUT_DIR}/store"
+python -m repro.cli campaign run --state-dir "${OUT_DIR}/store-campaign" \
+    --store "${STORE_DIR}" \
+    --epochs 4 --nodes 3 --hours-per-epoch 24 --seed 11 \
+    --epoch-timeout-s 0 > /dev/null
+python -m repro.cli store compact --store "${STORE_DIR}" > /dev/null
+
+CLI_ANSWER="$(python -m repro.cli store query --store "${STORE_DIR}" \
+    --metric strain --agg mean --resolution daily --json)"
+
+SERVE_LOG="${OUT_DIR}/store-serve.log"
+python -m repro.cli store serve --store "${STORE_DIR}" --port 0 \
+    > "${SERVE_LOG}" 2>&1 &
+SERVE_PID=$!
+trap 'kill "${SERVE_PID}" 2>/dev/null || true; rm -rf "${OUT_DIR}"' EXIT
+
+BASE_URL=""
+for _ in $(seq 1 100); do
+    BASE_URL="$(sed -n 's/^serving .* on \(http:\/\/[^ ]*\)$/\1/p' "${SERVE_LOG}" | head -n 1)"
+    [ -n "${BASE_URL}" ] && break
+    sleep 0.1
+done
+[ -n "${BASE_URL}" ] || { echo "store serve never announced its port" >&2; exit 1; }
+
+python - "${STORE_DIR}" "${BASE_URL}" <<PY
+import json
+import sys
+import urllib.request
+
+from repro.store import QueryEngine, TelemetryStore
+
+store_dir, base_url = sys.argv[1], sys.argv[2]
+engine = QueryEngine(TelemetryStore(store_dir, create=False))
+reference = engine.aggregate("strain", "mean", resolution="daily")
+assert reference["series"] > 0, "store smoke exported no strain series"
+
+cli = json.loads('''${CLI_ANSWER}''')
+assert cli == json.loads(json.dumps(reference)), (
+    f"CLI query diverged from in-memory reference: {cli} != {reference}"
+)
+
+url = base_url + "/aggregate?metric=strain&agg=mean&resolution=daily"
+with urllib.request.urlopen(url, timeout=10.0) as response:
+    http = json.load(response)
+assert http == json.loads(json.dumps(reference)), (
+    f"HTTP query diverged from in-memory reference: {http} != {reference}"
+)
+
+with urllib.request.urlopen(base_url + "/stats", timeout=10.0) as response:
+    stats = json.load(response)
+assert stats == json.loads(json.dumps(engine.store.stats())), (
+    "HTTP /stats diverged from the in-memory store stats"
+)
+print(
+    f"store smoke OK: {reference['series']} strain series, "
+    f"CLI == HTTP == reference ({reference['value']:.3f})"
+)
+PY
+kill "${SERVE_PID}" 2>/dev/null || true
+wait "${SERVE_PID}" 2>/dev/null || true
+trap 'rm -rf "${OUT_DIR}"' EXIT
 
 echo "== CI OK =="

@@ -37,6 +37,7 @@ from . import (
     reader,
     runtime,
     shm,
+    store,
     transducer,
     units,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "reader",
     "runtime",
     "shm",
+    "store",
     "transducer",
     "units",
     "ReproError",

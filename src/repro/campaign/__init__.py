@@ -29,9 +29,12 @@ from .driver import (
     CHECKPOINT_DIRNAME,
     EPOCH_LOG_FILENAME,
     RESULT_FILENAME,
+    STORE_BUILDING,
+    STORE_WALL,
     Campaign,
     CampaignOutcome,
     CampaignResult,
+    EpochSamples,
     campaign_status,
     result_hash,
     resume_campaign,
@@ -63,10 +66,13 @@ __all__ = [
     "EPOCH_LOG_FILENAME",
     "EPOCH_LOG_SCHEMA",
     "EpochLog",
+    "EpochSamples",
     "EpochTimeout",
     "PILOT_MONTHS",
     "QUARANTINE_DIRNAME",
     "RESULT_FILENAME",
+    "STORE_BUILDING",
+    "STORE_WALL",
     "ShutdownGuard",
     "campaign_status",
     "checkpoint_digest",

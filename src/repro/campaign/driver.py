@@ -54,6 +54,7 @@ from ..shm import (
     grade_sections,
     worst_grade,
 )
+from ..store import TelemetryStore, ingest_series, ingest_session
 from .checkpoint import CheckpointStore
 from .config import CampaignConfig
 from .log import EpochLog
@@ -67,6 +68,10 @@ CAMPAIGN_RESULT_SCHEMA = "repro/campaign-result/v1"
 CHECKPOINT_DIRNAME = "checkpoints"
 EPOCH_LOG_FILENAME = "epochs.jsonl"
 RESULT_FILENAME = "result.json"
+
+#: Series naming for telemetry exported by a campaign (``--store``).
+STORE_BUILDING = "campaign"
+STORE_WALL = "pilot"
 
 
 @dataclass(frozen=True)
@@ -150,6 +155,29 @@ def _epoch_rng(seed: int, epoch: int, channel: str) -> np.random.Generator:
     return np.random.default_rng(int.from_bytes(digest[:8], "big"))
 
 
+@dataclass(frozen=True)
+class EpochSamples:
+    """One epoch's SHM sample block, assembled exactly once.
+
+    Both consumers -- the checkpointed state accumulation and the
+    telemetry-store export -- read from this object, so they can never
+    disagree about what an epoch produced.
+    """
+
+    epoch: int
+    storm: bool
+    hours: np.ndarray
+    acceleration: np.ndarray
+    stress_mpa: np.ndarray
+    counts: np.ndarray
+
+    def accumulate(self, state: CampaignState) -> None:
+        """Fold this epoch's series into the checkpointed state."""
+        state.hours.extend(float(v) for v in self.hours)
+        state.acceleration.extend(float(v) for v in self.acceleration)
+        state.stress_mpa.extend(float(v) for v in self.stress_mpa)
+
+
 class Campaign:
     """A long-running, checkpointed pilot simulation.
 
@@ -163,6 +191,11 @@ class Campaign:
             watchdog deadline, before the epoch body; may sleep (to
             give a kill window or trip the watchdog) but must not
             perturb any RNG.
+        store_dir: When set, every epoch's telemetry (structure-level
+            series plus the survey's sensor reports) is exported to the
+            :class:`~repro.store.TelemetryStore` at this path.  Purely
+            additive: the campaign result is byte-identical with or
+            without a store attached.
     """
 
     def __init__(
@@ -170,17 +203,21 @@ class Campaign:
         config: CampaignConfig,
         state_dir: Optional[Union[str, Path]] = None,
         epoch_hook: Optional[Callable[[int], None]] = None,
+        store_dir: Optional[Union[str, Path]] = None,
     ):
         self.config = config
         self.state_dir = Path(state_dir) if state_dir is not None else None
         self.epoch_hook = epoch_hook
         self.store: Optional[CheckpointStore] = None
         self.log: Optional[EpochLog] = None
+        self.telemetry: Optional[TelemetryStore] = None
         if self.state_dir is not None:
             self.store = CheckpointStore(
                 self.state_dir / CHECKPOINT_DIRNAME, keep=config.checkpoint_keep
             )
             self.log = EpochLog(self.state_dir / EPOCH_LOG_FILENAME)
+        if store_dir is not None:
+            self.telemetry = TelemetryStore(store_dir)
 
     # ------------------------------------------------------------------
     # Construction / resume
@@ -191,6 +228,7 @@ class Campaign:
         cls,
         state_dir: Union[str, Path],
         epoch_hook: Optional[Callable[[int], None]] = None,
+        store_dir: Optional[Union[str, Path]] = None,
     ) -> Tuple["Campaign", CampaignState]:
         """Reload a campaign from its newest good checkpoint.
 
@@ -198,6 +236,11 @@ class Campaign:
         :class:`~repro.errors.CheckpointError` when no usable
         checkpoint survives and :class:`~repro.errors.CampaignError`
         when the directory has never hosted a campaign.
+
+        An attached telemetry store is healed the same way the epoch
+        log is: exports from epochs past the checkpoint boundary (they
+        will be replayed and re-exported) are truncated, and stale
+        rollups are cleared for the next ``compact``.
         """
         store = CheckpointStore(Path(state_dir) / CHECKPOINT_DIRNAME)
         payload = store.load_latest()
@@ -207,8 +250,15 @@ class Campaign:
             )
         config = CampaignConfig.from_dict(payload["config"])
         state = CampaignState.from_dict(payload["state"])
-        campaign = cls(config, state_dir=state_dir, epoch_hook=epoch_hook)
+        campaign = cls(
+            config, state_dir=state_dir, epoch_hook=epoch_hook,
+            store_dir=store_dir,
+        )
         campaign._sync_log(state)
+        if campaign.telemetry is not None:
+            campaign.telemetry.truncate_from(
+                state.epoch * float(config.hours_per_epoch)
+            )
         obs_counter("campaign.resumes").inc()
         obs_event(
             "info", "campaign.resumed",
@@ -314,6 +364,49 @@ class Campaign:
         counts = count_rng.poisson(np.maximum(lam, 0.0))
         return hours, acceleration, stress, counts
 
+    def _epoch_samples(self, epoch: int, storm: bool) -> EpochSamples:
+        """The single source of one epoch's SHM samples.
+
+        Both the checkpoint path (:meth:`EpochSamples.accumulate`) and
+        the store-export path (:meth:`_export_epoch`) consume this one
+        object -- the series are assembled exactly once per epoch.
+        """
+        hours, acceleration, stress, counts = self._epoch_series(epoch, storm)
+        return EpochSamples(
+            epoch=epoch,
+            storm=storm,
+            hours=hours,
+            acceleration=acceleration,
+            stress_mpa=stress,
+            counts=counts,
+        )
+
+    def _export_epoch(self, samples: EpochSamples, session_result: Any) -> None:
+        """Export one completed epoch's telemetry to the attached store.
+
+        One flush per epoch: each touched series gains exactly one
+        block spanning this epoch's hours, so a resume can cut replayed
+        epochs on an exact boundary.  Survey reports are stamped at the
+        epoch's first hour (the monitoring visit's time).
+        """
+        if self.telemetry is None:
+            return
+        visit_hour = float(samples.epoch * self.config.hours_per_epoch)
+        with self.telemetry.writer() as writer:
+            ingest_series(
+                writer, STORE_BUILDING, STORE_WALL, "acceleration",
+                samples.hours, samples.acceleration,
+            )
+            ingest_series(
+                writer, STORE_BUILDING, STORE_WALL, "stress_mpa",
+                samples.hours, samples.stress_mpa,
+            )
+            ingest_session(
+                writer, session_result, STORE_BUILDING, STORE_WALL,
+                visit_hour,
+            )
+        obs_counter("campaign.store_epochs").inc()
+
     def _epoch_grade(self, epoch: int, counts: np.ndarray) -> str:
         """The bridge-level PAO grade for this epoch's busiest hour."""
         bridge = Footbridge()
@@ -407,12 +500,11 @@ class Campaign:
                 for node_id, channel, latched in exported["stuck"]
             }
 
-        hours, acceleration, stress, counts = self._epoch_series(epoch, storm)
-        state.hours.extend(float(v) for v in hours)
-        state.acceleration.extend(float(v) for v in acceleration)
-        state.stress_mpa.extend(float(v) for v in stress)
+        samples = self._epoch_samples(epoch, storm)
+        samples.accumulate(state)
+        self._export_epoch(samples, session_result)
 
-        grade = self._epoch_grade(epoch, counts)
+        grade = self._epoch_grade(epoch, samples.counts)
         state.grade_counts[grade] = state.grade_counts.get(grade, 0) + 1
 
         fault_counts = dict(session_result.fault_counts)
@@ -617,18 +709,25 @@ def run_campaign(
     config: CampaignConfig,
     state_dir: Optional[Union[str, Path]] = None,
     epoch_hook: Optional[Callable[[int], None]] = None,
+    store_dir: Optional[Union[str, Path]] = None,
 ) -> CampaignOutcome:
     """Start a fresh campaign (``campaign run``)."""
-    return Campaign(config, state_dir=state_dir, epoch_hook=epoch_hook).run()
+    return Campaign(
+        config, state_dir=state_dir, epoch_hook=epoch_hook,
+        store_dir=store_dir,
+    ).run()
 
 
 def resume_campaign(
     state_dir: Union[str, Path],
     epoch_hook: Optional[Callable[[int], None]] = None,
+    store_dir: Optional[Union[str, Path]] = None,
 ) -> CampaignOutcome:
     """Continue a campaign from its last good checkpoint
     (``campaign resume``)."""
-    campaign, state = Campaign.resume(state_dir, epoch_hook=epoch_hook)
+    campaign, state = Campaign.resume(
+        state_dir, epoch_hook=epoch_hook, store_dir=store_dir
+    )
     return campaign.run(state)
 
 

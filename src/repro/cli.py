@@ -24,6 +24,17 @@ and the crash-safe campaign runtime (checkpoint + resume + status)::
     python -m repro.cli campaign run --state-dir pilot --epochs 74
     python -m repro.cli campaign resume --state-dir pilot
     python -m repro.cli campaign status --state-dir pilot
+
+and the embedded telemetry store (ingest + rollups + query + HTTP)::
+
+    python -m repro.cli campaign run --state-dir pilot --store telemetry
+    python -m repro.cli store ingest --store telemetry pilot/result.json
+    python -m repro.cli store compact --store telemetry
+    python -m repro.cli store query --store telemetry --metric strain \
+        --agg mean --resolution hourly --group-by wall
+    python -m repro.cli store health --store telemetry --building campaign
+    python -m repro.cli store stats --store telemetry
+    python -m repro.cli store serve --store telemetry --port 8080
 """
 
 from __future__ import annotations
@@ -509,7 +520,8 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     )
     outcome = _run_supervised(
         args, lambda hook: run_campaign(
-            config, state_dir=args.state_dir or None, epoch_hook=hook
+            config, state_dir=args.state_dir or None, epoch_hook=hook,
+            store_dir=args.store or None,
         )
     )
     return _print_campaign_outcome(args, outcome)
@@ -541,7 +553,10 @@ def _cmd_campaign_resume(args: argparse.Namespace) -> int:
 
     try:
         outcome = _run_supervised(
-            args, lambda hook: resume_campaign(args.state_dir, epoch_hook=hook)
+            args, lambda hook: resume_campaign(
+                args.state_dir, epoch_hook=hook,
+                store_dir=args.store or None,
+            )
         )
     except CampaignError as exc:
         raise SystemExit(f"campaign resume: {exc}")
@@ -580,6 +595,172 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
         )
     print(f"  complete: {'yes' if status['complete'] else 'no'}")
     return 1 if "checkpoint_error" in status else 0
+
+
+def _open_store(args: argparse.Namespace, create: bool = False):
+    """Open the --store directory, exiting cleanly on store errors."""
+    from .errors import StoreError
+    from .store import TelemetryStore
+
+    try:
+        return TelemetryStore(args.store, create=create)
+    except StoreError as exc:
+        raise SystemExit(f"store: {exc}")
+
+
+def _cmd_store_ingest(args: argparse.Namespace) -> int:
+    from .errors import StoreError
+    from .store import ingest_campaign_result
+
+    store = _open_store(args, create=True)
+    try:
+        with store.writer() as writer:
+            rows = ingest_campaign_result(
+                writer, args.result, building=args.building, wall=args.wall
+            )
+    except StoreError as exc:
+        raise SystemExit(f"store ingest: {exc}")
+    print(f"ingested {rows} sample(s) from {args.result} into {args.store}")
+    return 0
+
+
+def _cmd_store_compact(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    summary = store.compact()
+    rollups = ", ".join(
+        f"{res}={rows}" for res, rows in summary["rollup_rows"].items()
+    )
+    print(
+        f"compacted {summary['series']} series: {summary['raw_rows']} raw "
+        f"row(s) -> {rollups}"
+    )
+    return 0
+
+
+def _cmd_store_query(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .errors import StoreError
+    from .store import QueryEngine
+
+    engine = QueryEngine(_open_store(args))
+    try:
+        payload = engine.aggregate(
+            metric=args.metric,
+            agg=args.agg,
+            building=args.building,
+            wall=args.wall,
+            node_id=args.node,
+            t0=args.t0,
+            t1=args.t1,
+            resolution=args.resolution,
+            group_by=args.group_by,
+        )
+    except StoreError as exc:
+        raise SystemExit(f"store query: {exc}")
+    if args.json:
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    header = (
+        f"{payload['agg']}({payload['metric']}) over {payload['series']} "
+        f"series at {payload['resolution']} resolution"
+    )
+    print(header)
+    if "groups" in payload:
+        for label, value in payload["groups"].items():
+            rendered = "no data" if value is None else f"{value:.6g}"
+            print(f"  {label}: {rendered}")
+    else:
+        value = payload["value"]
+        print(f"  {'no data' if value is None else f'{value:.6g}'}")
+    return 0
+
+
+def _cmd_store_health(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .errors import ReproError
+    from .store import QueryEngine
+
+    engine = QueryEngine(_open_store(args))
+    try:
+        report = engine.degradation_report(
+            args.building,
+            t0=args.t0,
+            t1=args.t1,
+            stale_hours=args.stale_hours,
+        )
+    except ReproError as exc:
+        raise SystemExit(f"store health: {exc}")
+    if args.json:
+        print(json_module.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(f"building {report['name']}: grade {report['grade']}")
+    for wall in report["walls"]:
+        print(
+            f"  wall {wall['wall']}: {wall['grade']} "
+            f"({wall['reachability']:.0%} reachable, "
+            f"{len(wall['capsules'])} capsule(s))"
+        )
+    if report["degraded_walls"]:
+        print(f"  DEGRADED: {', '.join(report['degraded_walls'])}")
+    for status in report["attention"]:
+        drift = (
+            f", drift {status['alarm']['drift_estimate']:.2f} ue/day"
+            if status["alarm"]
+            else ""
+        )
+        print(
+            f"  attention: node {status['node_id']} on {status['wall']} "
+            f"({status['grade']}{drift})"
+        )
+    return 0
+
+
+def _cmd_store_stats(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    stats = _open_store(args).stats()
+    if args.json:
+        print(json_module.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    totals = stats["totals"]
+    print(f"store {stats['root']}: {stats['series_count']} series")
+    for res, info in totals.items():
+        print(
+            f"  {res:7s} {info['rows']:>10d} row(s) in {info['blocks']} "
+            f"block(s), {info['bytes']} bytes"
+        )
+    if stats["quarantined"]:
+        print(f"  QUARANTINED segments: {', '.join(stats['quarantined'])}")
+    for entry in stats["series"]:
+        key = entry["key"]
+        label = (
+            f"{key['building']}/{key['wall']}/n{key['node_id']}/"
+            f"{key['metric']}"
+        )
+        print(
+            f"  {label}: {entry['raw']['rows']} raw, "
+            f"{entry['hourly']['rows']} hourly, {entry['daily']['rows']} daily"
+        )
+    return 0
+
+
+def _cmd_store_serve(args: argparse.Namespace) -> int:
+    from .store import StoreServer
+
+    server = StoreServer(_open_store(args), host=args.host, port=args.port)
+    # The port line is machine-read by CI (ephemeral --port 0); keep it
+    # first and flush before blocking.
+    print(f"serving {args.store} on http://{args.host}:{server.port}", flush=True)
+    print("endpoints: /series /aggregate /health /stats  (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -744,6 +925,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="watchdog bound per epoch (<=0 disables)")
     camp_run.add_argument("--obs", action="store_true",
                           help="collect campaign.* metrics and print them")
+    camp_run.add_argument(
+        "--store", default="", metavar="DIR",
+        help="export every epoch's telemetry into this store directory",
+    )
     camp_run.add_argument("--epoch-sleep-s", type=float, default=0.0,
                           help=argparse.SUPPRESS)  # CI kill-timing seam
     camp_run.set_defaults(func=_cmd_campaign_run)
@@ -753,6 +938,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     camp_resume.add_argument("--state-dir", required=True)
     camp_resume.add_argument("--obs", action="store_true")
+    camp_resume.add_argument(
+        "--store", default="", metavar="DIR",
+        help="telemetry store to continue exporting into (replayed "
+        "epochs' earlier exports are truncated first)",
+    )
     camp_resume.add_argument("--epoch-sleep-s", type=float, default=0.0,
                              help=argparse.SUPPRESS)
     camp_resume.set_defaults(func=_cmd_campaign_resume)
@@ -763,6 +953,83 @@ def build_parser() -> argparse.ArgumentParser:
     camp_status.add_argument("--state-dir", required=True)
     camp_status.add_argument("--json", action="store_true")
     camp_status.set_defaults(func=_cmd_campaign_status)
+
+    store = sub.add_parser(
+        "store",
+        help="the embedded telemetry store (ingest, rollups, query, HTTP)",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    def _store_dir(p):
+        p.add_argument("--store", required=True, metavar="DIR",
+                       help="telemetry store directory")
+
+    st_ingest = store_sub.add_parser(
+        "ingest", help="ingest a campaign result.json into a store"
+    )
+    _store_dir(st_ingest)
+    st_ingest.add_argument("result", help="path to a campaign result.json")
+    st_ingest.add_argument("--building", default="campaign")
+    st_ingest.add_argument("--wall", default="pilot")
+    st_ingest.set_defaults(func=_cmd_store_ingest)
+
+    st_compact = store_sub.add_parser(
+        "compact", help="regenerate hourly/daily rollups from raw samples"
+    )
+    _store_dir(st_compact)
+    st_compact.set_defaults(func=_cmd_store_compact)
+
+    st_query = store_sub.add_parser(
+        "query", help="aggregate one metric over matching series"
+    )
+    _store_dir(st_query)
+    st_query.add_argument("--metric", required=True)
+    st_query.add_argument(
+        "--agg", default="mean",
+        choices=("count", "min", "max", "mean", "sum"),
+    )
+    st_query.add_argument("--building", default=None)
+    st_query.add_argument("--wall", default=None)
+    st_query.add_argument("--node", type=int, default=None)
+    st_query.add_argument("--t0", type=float, default=None, help="hours")
+    st_query.add_argument("--t1", type=float, default=None, help="hours")
+    st_query.add_argument(
+        "--resolution", default="raw", choices=("raw", "hourly", "daily")
+    )
+    st_query.add_argument("--group-by", default=None, choices=("node", "wall"))
+    st_query.add_argument("--json", action="store_true")
+    st_query.set_defaults(func=_cmd_store_query)
+
+    st_health = store_sub.add_parser(
+        "health", help="building health / degraded walls from stored strain"
+    )
+    _store_dir(st_health)
+    st_health.add_argument("--building", required=True)
+    st_health.add_argument("--t0", type=float, default=None, help="hours")
+    st_health.add_argument("--t1", type=float, default=None, help="hours")
+    st_health.add_argument(
+        "--stale-hours", type=float, default=None,
+        help="capsules lagging the newest sample by more are unreachable",
+    )
+    st_health.add_argument("--json", action="store_true")
+    st_health.set_defaults(func=_cmd_store_health)
+
+    st_stats = store_sub.add_parser(
+        "stats", help="rows/bytes/blocks per series and resolution"
+    )
+    _store_dir(st_stats)
+    st_stats.add_argument("--json", action="store_true")
+    st_stats.set_defaults(func=_cmd_store_stats)
+
+    st_serve = store_sub.add_parser(
+        "serve", help="serve the store over JSON/HTTP (stdlib server)"
+    )
+    _store_dir(st_serve)
+    st_serve.add_argument("--host", default="127.0.0.1")
+    st_serve.add_argument(
+        "--port", type=int, default=8080, help="0 picks an ephemeral port"
+    )
+    st_serve.set_defaults(func=_cmd_store_serve)
 
     return parser
 

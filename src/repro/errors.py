@@ -94,3 +94,17 @@ class CampaignError(ReproError):
 
 class CheckpointError(CampaignError):
     """No usable campaign checkpoint (all corrupt/quarantined or absent)."""
+
+
+class StoreError(ReproError):
+    """The telemetry store hit invalid data, a bad key or a broken layout."""
+
+
+class SegmentError(StoreError):
+    """A store segment failed integrity verification (CRC/manifest/frame).
+
+    Subclasses :class:`StoreError` so callers can treat "this segment is
+    corrupt" and "this store request is invalid" uniformly; raised when
+    a block's CRC32 does not match, a frame is malformed, or a segment
+    file disagrees with its manifest.
+    """

@@ -9,7 +9,7 @@ whose strain trends demand attention, and an overall building grade.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .bridge import ShmError
 from .damage import DamageAlarm
@@ -35,6 +35,36 @@ class CapsuleStatus:
         if self.alarm is None:
             return "healthy"
         return self.alarm.severity
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A stable JSON-ready form (checkpoint/store/HTTP payloads)."""
+        return {
+            "node_id": self.node_id,
+            "wall": self.wall,
+            "reachable": self.reachable,
+            "last_strain": (
+                None if self.last_strain is None else float(self.last_strain)
+            ),
+            "alarm": None if self.alarm is None else self.alarm.to_dict(),
+            "grade": self.grade,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CapsuleStatus":
+        if not isinstance(payload, Mapping):
+            raise ShmError("capsule status must be an object")
+        try:
+            strain = payload.get("last_strain")
+            alarm = payload.get("alarm")
+            return cls(
+                node_id=int(payload["node_id"]),
+                wall=str(payload["wall"]),
+                reachable=bool(payload["reachable"]),
+                last_strain=None if strain is None else float(strain),
+                alarm=None if alarm is None else DamageAlarm.from_dict(alarm),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ShmError(f"malformed capsule status: {exc!r}")
 
 
 @dataclass(frozen=True)
@@ -62,6 +92,29 @@ class WallHealth:
             (c.grade for c in reachable), key=WALL_GRADES.index
         )
         return worst
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A stable JSON-ready form (checkpoint/store/HTTP payloads)."""
+        return {
+            "wall": self.wall,
+            "grade": self.grade,
+            "reachability": self.reachability,
+            "capsules": [c.to_dict() for c in self.capsules],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "WallHealth":
+        if not isinstance(payload, Mapping):
+            raise ShmError("wall health must be an object")
+        try:
+            return cls(
+                wall=str(payload["wall"]),
+                capsules=tuple(
+                    CapsuleStatus.from_dict(c) for c in payload["capsules"]
+                ),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ShmError(f"malformed wall health: {exc!r}")
 
 
 @dataclass
@@ -139,3 +192,26 @@ class BuildingMonitor:
         for status in self._statuses.values():
             counts[status.grade] += 1
         return counts
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A stable JSON-ready snapshot of the whole building view."""
+        return {
+            "name": self.name,
+            "grade": self.building_grade(),
+            "summary": self.summary(),
+            "walls": [w.to_dict() for w in self.walls()],
+            "attention": [s.to_dict() for s in self.attention_list()],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "BuildingMonitor":
+        if not isinstance(payload, Mapping):
+            raise ShmError("building snapshot must be an object")
+        try:
+            monitor = cls(name=str(payload["name"]))
+            for wall in payload["walls"]:
+                for capsule in wall["capsules"]:
+                    monitor.record(CapsuleStatus.from_dict(capsule))
+            return monitor
+        except (KeyError, TypeError) as exc:
+            raise ShmError(f"malformed building snapshot: {exc!r}")

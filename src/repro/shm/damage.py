@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -82,6 +82,29 @@ class DamageAlarm:
     cusum: float
     drift_estimate: float  # ue/day since the detected onset
     severity: str  # 'watch', 'warning', 'critical'
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A stable JSON-ready form (checkpoint/store/HTTP payloads)."""
+        return {
+            "day": float(self.day),
+            "cusum": float(self.cusum),
+            "drift_estimate": float(self.drift_estimate),
+            "severity": self.severity,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DamageAlarm":
+        if not isinstance(payload, Mapping):
+            raise DamageError("damage alarm must be an object")
+        try:
+            return cls(
+                day=float(payload["day"]),
+                cusum=float(payload["cusum"]),
+                drift_estimate=float(payload["drift_estimate"]),
+                severity=str(payload["severity"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DamageError(f"malformed damage alarm: {exc!r}")
 
 
 @dataclass

@@ -1,0 +1,62 @@
+"""repro.store: embedded telemetry time-series store.
+
+The persistence layer under the smart-building vision: surveys and
+campaign epochs are ingested into durable columnar segments, compacted
+into multi-resolution rollups, and served back through a vectorized
+query engine plus a small JSON/HTTP API.
+
+Durability follows the campaign subsystem's rules: a sample is either
+acknowledged by a manifest (fsynced before the manifest was), or it
+does not exist; torn tails truncate loss-bounded; corruption is
+quarantined and raised as :class:`~repro.errors.SegmentError` -- never
+silently wrong data.
+"""
+
+from .compact import ROLLUP_WIDTHS, compact_store, rollup
+from .ingest import (
+    ingest_campaign_result,
+    ingest_inventory,
+    ingest_reports,
+    ingest_series,
+    ingest_session,
+)
+from .keys import MAX_NODE_ID, STRUCTURE_NODE_ID, SeriesKey
+from .query import AGGREGATIONS, QueryEngine
+from .segment import (
+    DAILY,
+    HOURLY,
+    RAW,
+    RESOLUTIONS,
+    SEGMENT_SCHEMA,
+    SegmentDir,
+)
+from .serve import StoreRequestHandler, StoreServer, serve_background
+from .store import STORE_SCHEMA, StoreWriter, TelemetryStore
+
+__all__ = [
+    "AGGREGATIONS",
+    "DAILY",
+    "HOURLY",
+    "MAX_NODE_ID",
+    "QueryEngine",
+    "RAW",
+    "RESOLUTIONS",
+    "ROLLUP_WIDTHS",
+    "SEGMENT_SCHEMA",
+    "STORE_SCHEMA",
+    "STRUCTURE_NODE_ID",
+    "SegmentDir",
+    "SeriesKey",
+    "StoreRequestHandler",
+    "StoreServer",
+    "StoreWriter",
+    "TelemetryStore",
+    "compact_store",
+    "ingest_campaign_result",
+    "ingest_inventory",
+    "ingest_reports",
+    "ingest_series",
+    "ingest_session",
+    "rollup",
+    "serve_background",
+]

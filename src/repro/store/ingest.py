@@ -1,0 +1,154 @@
+"""Adapters: protocol/link/campaign outputs into store samples.
+
+The stack already produces telemetry in three shapes -- per-wall
+:class:`~repro.link.session.SessionResult` surveys, raw TDMA
+:class:`~repro.protocol.tdma.InventoryResult` inventories, and the
+campaign's structure-level epoch series.  Each adapter here flattens
+one of those into ``writer.add(key, t, values)`` calls, so ingestion
+is a thin mapping layer and everything durable lives in the segment
+code.
+
+All adapters take an explicit timestamp (hours): the protocol layers
+deliberately have no wall clock, so time is owned by whoever ran the
+survey (the campaign's epoch clock, or an operator's choice).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping, Sequence, Union
+
+import numpy as np
+
+from ..errors import StoreError
+from ..obs import obs_counter
+from .keys import STRUCTURE_NODE_ID, SeriesKey
+from .store import StoreWriter
+
+#: Metric names for the campaign's structure-level epoch series.
+CAMPAIGN_SERIES_METRICS = ("acceleration", "stress_mpa")
+
+
+def ingest_reports(
+    writer: StoreWriter,
+    reports: Mapping[int, Sequence[Any]],
+    building: str,
+    wall: str,
+    t: float,
+) -> int:
+    """Ingest a ``node_id -> [SensorReport]`` mapping at hour ``t``.
+
+    Each report becomes one sample on the
+    ``(building, wall, node_id, channel)`` series.  Multiple reports of
+    the same channel by the same node land as multiple samples at the
+    same timestamp (the store permits ties).
+    """
+    rows = 0
+    for node_id in sorted(reports):
+        for report in reports[node_id]:
+            writer.add_sample(
+                SeriesKey(
+                    building=building,
+                    wall=wall,
+                    node_id=int(node_id),
+                    metric=report.channel,
+                ),
+                t,
+                report.value,
+            )
+            rows += 1
+    obs_counter("store.ingested_reports").inc(rows)
+    return rows
+
+
+def ingest_session(
+    writer: StoreWriter,
+    result: Any,
+    building: str,
+    wall: str,
+    t: float,
+) -> int:
+    """Ingest one :class:`~repro.link.session.SessionResult` survey."""
+    return ingest_reports(writer, result.reports, building, wall, t)
+
+
+def ingest_inventory(
+    writer: StoreWriter,
+    result: Mapping[int, Sequence[Any]],
+    building: str,
+    wall: str,
+    t: float,
+) -> int:
+    """Ingest one TDMA :class:`~repro.protocol.tdma.InventoryResult`.
+
+    ``InventoryResult`` behaves as a mapping of ``node_id -> reports``,
+    which is exactly what :func:`ingest_reports` eats.
+    """
+    return ingest_reports(writer, result, building, wall, t)
+
+
+def ingest_series(
+    writer: StoreWriter,
+    building: str,
+    wall: str,
+    metric: str,
+    timestamps: Sequence[float],
+    values: Sequence[float],
+    node_id: int = STRUCTURE_NODE_ID,
+) -> int:
+    """Ingest a dense structure-level series (one vectorized add)."""
+    writer.add(
+        SeriesKey(
+            building=building, wall=wall, node_id=node_id, metric=metric
+        ),
+        timestamps,
+        values,
+    )
+    return len(timestamps)
+
+
+def ingest_campaign_result(
+    writer: StoreWriter,
+    payload: Union[Mapping[str, Any], str, Path],
+    building: str = "campaign",
+    wall: str = "pilot",
+) -> int:
+    """Ingest a campaign ``result.json`` (path or parsed payload).
+
+    The campaign result carries the structure-level ``hours`` /
+    ``acceleration`` / ``stress_mpa`` vectors; they become two
+    ``node_id`` 0 series.  This is the offline path (``store ingest``)
+    for campaigns that ran without ``--store``.
+    """
+    if isinstance(payload, (str, Path)):
+        path = Path(payload)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise StoreError(f"unreadable campaign result {path}: {exc}")
+    if not isinstance(payload, Mapping):
+        raise StoreError("campaign result must be an object")
+    body = payload.get("result", payload)
+    if not isinstance(body, Mapping) or "hours" not in body:
+        raise StoreError(
+            "campaign result carries no 'hours' series; is this a "
+            "campaign result.json?"
+        )
+    hours = np.asarray(body["hours"], dtype=np.float64)
+    rows = 0
+    for metric in CAMPAIGN_SERIES_METRICS:
+        if metric not in body:
+            continue
+        values = np.asarray(body[metric], dtype=np.float64)
+        if values.shape != hours.shape:
+            raise StoreError(
+                f"campaign series {metric!r} has {values.size} samples "
+                f"but 'hours' has {hours.size}"
+            )
+        rows += ingest_series(writer, building, wall, metric, hours, values)
+    if rows == 0:
+        raise StoreError(
+            f"campaign result carries none of {CAMPAIGN_SERIES_METRICS}"
+        )
+    return rows

@@ -1,0 +1,527 @@
+"""Append-only columnar segments with per-block CRC32 and a manifest.
+
+One *segment directory* holds everything the store knows about one
+series: an append-only binary file per resolution (``raw.seg``,
+``hourly.seg``, ``daily.seg``) plus one canonical-JSON ``manifest.json``
+(schema ``repro/store-segment/v1``) describing every block in every
+file -- offset, length, row count, time range and CRC32.
+
+The durability idioms mirror the campaign runtime's
+(:mod:`repro.campaign.checkpoint` / :mod:`repro.campaign.log`):
+
+* data blocks are appended + fsynced *before* the manifest is rewritten
+  through fsync-then-rename, so the manifest only ever acknowledges
+  bytes that are already on the platters;
+* on open-for-append, bytes past the manifest's acknowledged length
+  (a torn append, a crash between data-fsync and manifest-rename) are
+  truncated away -- loss bounded to the one unacknowledged batch;
+* a file *shorter* than its manifest, a block whose CRC32 does not
+  match, or an unparseable manifest is real corruption: the segment is
+  quarantined to ``.quarantine/`` (forensic evidence, never deleted)
+  and the access raises a loud :class:`~repro.errors.SegmentError` --
+  the failure mode is always "recovered" or "loud error", never a
+  silently wrong query result.
+
+Block frame (all integers little-endian)::
+
+    MAGIC "RSEG" | header_len u32 | header JSON | payload | crc32 u32
+
+where the header is compact sorted-key JSON ``{"columns": [...], "n":
+rows}``, the payload is each column's ``n`` float64 values in column
+order, and the CRC32 covers header + payload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import SegmentError, StoreError
+from ..obs import obs_counter, obs_event
+from ..runtime.serialize import write_json_atomic
+
+#: Schema tag stamped into every segment manifest.
+SEGMENT_SCHEMA = "repro/store-segment/v1"
+
+#: Resolutions a segment directory may hold, coarsest last.
+RAW, HOURLY, DAILY = "raw", "hourly", "daily"
+RESOLUTIONS = (RAW, HOURLY, DAILY)
+
+#: Column layouts.  The first column is always the time base (hours).
+RAW_COLUMNS = ("t", "value")
+ROLLUP_COLUMNS = ("t", "min", "mean", "max", "count")
+
+#: Frame constants.
+MAGIC = b"RSEG"
+_U32 = struct.Struct("<I")
+_FLOAT_BYTES = 8
+
+MANIFEST_FILENAME = "manifest.json"
+
+
+def _crc(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def columns_for(resolution: str) -> Tuple[str, ...]:
+    """The column layout a resolution's blocks carry."""
+    if resolution == RAW:
+        return RAW_COLUMNS
+    if resolution in (HOURLY, DAILY):
+        return ROLLUP_COLUMNS
+    raise StoreError(
+        f"unknown resolution {resolution!r}; options: {RESOLUTIONS}"
+    )
+
+
+def encode_block(
+    columns: Sequence[str], arrays: Sequence[np.ndarray]
+) -> Tuple[bytes, Dict[str, Any]]:
+    """Frame one block; returns ``(frame_bytes, block_meta)``.
+
+    ``block_meta`` is the manifest entry *without* the offset (the
+    appender fills that in): ``{"length", "n", "t0", "t1", "crc32"}``.
+    """
+    if len(columns) != len(arrays) or not columns:
+        raise StoreError("need one array per column")
+    casted = [np.ascontiguousarray(a, dtype="<f8") for a in arrays]
+    n = casted[0].shape[0]
+    if n < 1:
+        raise StoreError("cannot encode an empty block")
+    for name, arr in zip(columns, casted):
+        if arr.ndim != 1 or arr.shape[0] != n:
+            raise StoreError(f"column {name!r} is not a length-{n} vector")
+        if not np.isfinite(arr).all():
+            raise StoreError(f"column {name!r} contains non-finite values")
+    t = casted[0]
+    if n > 1 and bool(np.any(np.diff(t) < 0.0)):
+        raise StoreError("block timestamps must be non-decreasing")
+    header = json.dumps(
+        {"columns": list(columns), "n": n},
+        sort_keys=True, separators=(",", ":"),
+    ).encode("utf-8")
+    payload = b"".join(arr.tobytes() for arr in casted)
+    crc = _crc(header + payload)
+    frame = MAGIC + _U32.pack(len(header)) + header + payload + _U32.pack(crc)
+    meta = {
+        "length": len(frame),
+        "n": n,
+        "t0": float(t[0]),
+        "t1": float(t[-1]),
+        "crc32": crc,
+    }
+    return frame, meta
+
+
+def decode_block(
+    frame: bytes, expected_columns: Sequence[str]
+) -> Dict[str, np.ndarray]:
+    """Verify + decode one framed block into ``{column: float64 array}``.
+
+    Raises :class:`SegmentError` on any integrity violation: bad magic,
+    torn frame, CRC mismatch, or a column layout that disagrees with
+    the manifest's resolution.
+    """
+    if len(frame) < len(MAGIC) + 2 * _U32.size:
+        raise SegmentError(f"block frame torn: only {len(frame)} bytes")
+    if frame[:4] != MAGIC:
+        raise SegmentError(f"bad block magic {frame[:4]!r}")
+    (header_len,) = _U32.unpack_from(frame, 4)
+    header_end = 8 + header_len
+    if header_end + _U32.size > len(frame):
+        raise SegmentError("block header overruns the frame")
+    try:
+        header = json.loads(frame[8:header_end].decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise SegmentError(f"block header is not valid JSON: {exc}")
+    if (
+        not isinstance(header, dict)
+        or list(header.get("columns", [])) != list(expected_columns)
+        or not isinstance(header.get("n"), int)
+        or header["n"] < 1
+    ):
+        raise SegmentError(f"block header malformed: {header!r}")
+    n = header["n"]
+    payload_end = header_end + n * _FLOAT_BYTES * len(expected_columns)
+    if payload_end + _U32.size != len(frame):
+        raise SegmentError(
+            f"block length mismatch: frame {len(frame)} bytes, "
+            f"expected {payload_end + _U32.size}"
+        )
+    (stored_crc,) = _U32.unpack_from(frame, payload_end)
+    if _crc(frame[8:payload_end]) != stored_crc:
+        raise SegmentError("block failed its CRC32")
+    out: Dict[str, np.ndarray] = {}
+    offset = header_end
+    for name in expected_columns:
+        out[name] = np.frombuffer(
+            frame, dtype="<f8", count=n, offset=offset
+        ).astype(np.float64)
+        offset += n * _FLOAT_BYTES
+    return out
+
+
+def _empty_file_entry(resolution: str) -> Dict[str, Any]:
+    return {
+        "columns": list(columns_for(resolution)),
+        "bytes": 0,
+        "rows": 0,
+        "blocks": [],
+    }
+
+
+class SegmentDir:
+    """One series' on-disk segment directory.
+
+    Args:
+        directory: The segment directory (created on first append).
+        key_dict: The owning series key as a plain dict, stamped into
+            the manifest so a directory is self-describing.
+        quarantine_root: Where corrupt segments are moved; usually the
+            store's ``.quarantine/`` directory.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        key_dict: Mapping[str, Any],
+        quarantine_root: Union[str, Path],
+    ):
+        self.directory = Path(directory)
+        self.key_dict = dict(key_dict)
+        self.quarantine_root = Path(quarantine_root)
+        self._manifest: Optional[Dict[str, Any]] = None
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+
+    def seg_path(self, resolution: str) -> Path:
+        columns_for(resolution)  # validates the name
+        return self.directory / f"{resolution}.seg"
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / MANIFEST_FILENAME
+
+    def exists(self) -> bool:
+        return self.manifest_path.exists()
+
+    def _fresh_manifest(self) -> Dict[str, Any]:
+        return {
+            "schema": SEGMENT_SCHEMA,
+            "key": dict(self.key_dict),
+            "files": {res: _empty_file_entry(res) for res in RESOLUTIONS},
+        }
+
+    def _load_manifest(self) -> Dict[str, Any]:
+        """Read + shape-check the manifest (quarantine + raise if bad)."""
+        if self._manifest is not None:
+            return self._manifest
+        if not self.manifest_path.exists():
+            if any(self.seg_path(res).exists() for res in RESOLUTIONS):
+                # Data without a manifest: nothing acknowledges those
+                # bytes, so nothing can vouch for them.
+                self._quarantine("segment files present without a manifest")
+            self._manifest = self._fresh_manifest()
+            return self._manifest
+        try:
+            payload = json.loads(self.manifest_path.read_text())
+        except (OSError, ValueError) as exc:
+            self._quarantine(f"unreadable manifest: {exc}")
+            raise SegmentError(
+                f"segment manifest {self.manifest_path} is corrupt "
+                f"(quarantined): {exc}"
+            )
+        problems = self._manifest_problems(payload)
+        if problems:
+            self._quarantine(f"malformed manifest: {problems[0]}")
+            raise SegmentError(
+                f"segment manifest {self.manifest_path} is malformed "
+                f"(quarantined): {problems[0]}"
+            )
+        self._manifest = payload
+        return payload
+
+    @staticmethod
+    def _manifest_problems(payload: Any) -> List[str]:
+        if not isinstance(payload, dict):
+            return ["manifest is not an object"]
+        if payload.get("schema") != SEGMENT_SCHEMA:
+            return [f"wrong schema {payload.get('schema')!r}"]
+        files = payload.get("files")
+        if not isinstance(files, dict):
+            return ["manifest has no files object"]
+        for res, entry in files.items():
+            if res not in RESOLUTIONS:
+                return [f"unknown resolution {res!r}"]
+            if not isinstance(entry, dict):
+                return [f"{res}: entry is not an object"]
+            if list(entry.get("columns", [])) != list(columns_for(res)):
+                return [f"{res}: wrong column layout"]
+            blocks = entry.get("blocks")
+            if not isinstance(blocks, list):
+                return [f"{res}: blocks is not a list"]
+            offset = 0
+            rows = 0
+            for block in blocks:
+                if not isinstance(block, dict):
+                    return [f"{res}: block entry is not an object"]
+                for field in ("offset", "length", "n", "t0", "t1", "crc32"):
+                    if field not in block:
+                        return [f"{res}: block missing {field!r}"]
+                if block["offset"] != offset:
+                    return [f"{res}: block offsets are not contiguous"]
+                offset += block["length"]
+                rows += block["n"]
+            if entry.get("bytes") != offset:
+                return [f"{res}: bytes field disagrees with blocks"]
+            if entry.get("rows") != rows:
+                return [f"{res}: rows field disagrees with blocks"]
+        return []
+
+    def _write_manifest(self, manifest: Dict[str, Any]) -> None:
+        write_json_atomic(self.manifest_path, manifest)
+        self._manifest = manifest
+
+    def file_entry(self, resolution: str) -> Dict[str, Any]:
+        manifest = self._load_manifest()
+        return manifest["files"].setdefault(
+            resolution, _empty_file_entry(resolution)
+        )
+
+    # ------------------------------------------------------------------
+    # Quarantine + recovery
+    # ------------------------------------------------------------------
+
+    def _quarantine(self, reason: str) -> Optional[Path]:
+        """Move the whole segment directory aside for forensics."""
+        if not self.directory.exists():
+            return None
+        self.quarantine_root.mkdir(parents=True, exist_ok=True)
+        stem = "__".join(str(v) for v in self.key_dict.values()) or "segment"
+        target = self.quarantine_root / stem
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = self.quarantine_root / f"{stem}.{suffix}"
+        self.directory.replace(target)
+        self._manifest = None
+        obs_counter("store.quarantines").inc()
+        obs_event(
+            "warning", "store.segment_quarantined",
+            segment=str(self.directory), quarantined_to=str(target),
+            reason=reason,
+        )
+        return target
+
+    def recover(self) -> int:
+        """Cut each segment file back to its manifest-acknowledged length.
+
+        Called before appending.  Returns the number of files that had
+        torn (unacknowledged) tails truncated.  A file *shorter* than
+        its manifest is corruption, not a torn append: the segment is
+        quarantined and a :class:`SegmentError` raised.
+        """
+        manifest = self._load_manifest()
+        truncated = 0
+        for resolution, entry in manifest["files"].items():
+            path = self.seg_path(resolution)
+            size = path.stat().st_size if path.exists() else 0
+            acknowledged = entry["bytes"]
+            if size < acknowledged:
+                self._quarantine(
+                    f"{resolution}.seg is {size} bytes but the manifest "
+                    f"acknowledges {acknowledged}"
+                )
+                raise SegmentError(
+                    f"segment {self.directory} lost data: {resolution}.seg "
+                    f"shorter than its manifest (quarantined)"
+                )
+            if size > acknowledged:
+                with path.open("r+b") as handle:
+                    handle.truncate(acknowledged)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                truncated += 1
+                obs_counter("store.truncations").inc()
+                obs_event(
+                    "warning", "store.segment_truncated",
+                    segment=str(path), kept_bytes=acknowledged,
+                    dropped_bytes=size - acknowledged,
+                )
+        return truncated
+
+    # ------------------------------------------------------------------
+    # Append / replace
+    # ------------------------------------------------------------------
+
+    def append_block(
+        self, resolution: str, arrays: Sequence[np.ndarray]
+    ) -> Dict[str, Any]:
+        """Append one block and acknowledge it in the manifest.
+
+        ``arrays`` follow the resolution's column order.  Appends must
+        advance time: the new block's ``t0`` may not precede the last
+        acknowledged ``t1``.
+        """
+        self.recover()
+        entry = self.file_entry(resolution)
+        frame, meta = encode_block(columns_for(resolution), arrays)
+        if entry["blocks"] and meta["t0"] < entry["blocks"][-1]["t1"]:
+            raise StoreError(
+                f"out-of-order append to {self.directory.name}/{resolution}: "
+                f"block starts at t={meta['t0']} before the segment's "
+                f"last t={entry['blocks'][-1]['t1']}"
+            )
+        path = self.seg_path(resolution)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with path.open("ab") as handle:
+            handle.write(frame)
+            handle.flush()
+            os.fsync(handle.fileno())
+        block = {"offset": entry["bytes"], **meta}
+        entry["blocks"].append(block)
+        entry["bytes"] += meta["length"]
+        entry["rows"] += meta["n"]
+        self._write_manifest(self._load_manifest())
+        obs_counter("store.blocks_written").inc()
+        obs_counter("store.bytes_written").inc(meta["length"])
+        return block
+
+    def replace(
+        self, resolution: str, arrays: Optional[Sequence[np.ndarray]]
+    ) -> None:
+        """Atomically rewrite a whole resolution file (compaction path).
+
+        ``None`` (or empty first column) clears the file.  The new file
+        is written beside the old one and renamed into place, then the
+        manifest is updated -- a crash between the two leaves extra
+        acknowledged-or-not bytes that :meth:`recover` reconciles.
+        """
+        entry = self.file_entry(resolution)
+        path = self.seg_path(resolution)
+        if arrays is None or len(arrays[0]) == 0:
+            if path.exists():
+                path.unlink()
+            entry.update(_empty_file_entry(resolution))
+            self._write_manifest(self._load_manifest())
+            return
+        frame, meta = encode_block(columns_for(resolution), arrays)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".seg.tmp")
+        with tmp.open("wb") as handle:
+            handle.write(frame)
+            handle.flush()
+            os.fsync(handle.fileno())
+        tmp.replace(path)
+        entry.update(
+            {
+                "columns": list(columns_for(resolution)),
+                "bytes": meta["length"],
+                "rows": meta["n"],
+                "blocks": [{"offset": 0, **meta}],
+            }
+        )
+        self._write_manifest(self._load_manifest())
+        obs_counter("store.blocks_written").inc()
+        obs_counter("store.bytes_written").inc(meta["length"])
+
+    # ------------------------------------------------------------------
+    # Read
+    # ------------------------------------------------------------------
+
+    def rows(self, resolution: str) -> int:
+        return self.file_entry(resolution)["rows"]
+
+    def time_range(self, resolution: str) -> Optional[Tuple[float, float]]:
+        blocks = self.file_entry(resolution)["blocks"]
+        if not blocks:
+            return None
+        return blocks[0]["t0"], blocks[-1]["t1"]
+
+    def read(
+        self,
+        resolution: str,
+        t0: Optional[float] = None,
+        t1: Optional[float] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Read ``[t0, t1]`` (inclusive, None = open) at ``resolution``.
+
+        Every block touched is CRC-verified; blocks wholly outside the
+        range are skipped via the manifest index without touching their
+        bytes.  Raises :class:`SegmentError` on any integrity failure.
+        """
+        entry = self.file_entry(resolution)
+        columns = columns_for(resolution)
+        wanted = [
+            b for b in entry["blocks"]
+            if (t1 is None or b["t0"] <= t1) and (t0 is None or b["t1"] >= t0)
+        ]
+        if not wanted:
+            return {name: np.empty(0, dtype=np.float64) for name in columns}
+        path = self.seg_path(resolution)
+        parts: List[Dict[str, np.ndarray]] = []
+        try:
+            with path.open("rb") as handle:
+                for block in wanted:
+                    handle.seek(block["offset"])
+                    frame = handle.read(block["length"])
+                    if len(frame) != block["length"]:
+                        raise SegmentError(
+                            f"{path} torn at offset {block['offset']}"
+                        )
+                    if _crc(frame[8:-4]) != block["crc32"]:
+                        raise SegmentError(
+                            f"{path} block at offset {block['offset']} "
+                            "disagrees with its manifest CRC32"
+                        )
+                    parts.append(decode_block(frame, columns))
+        except OSError as exc:
+            raise SegmentError(f"cannot read {path}: {exc}")
+        out = {
+            name: np.concatenate([p[name] for p in parts])
+            for name in columns
+        }
+        if t0 is not None or t1 is not None:
+            t = out["t"]
+            mask = np.ones(t.shape, dtype=bool)
+            if t0 is not None:
+                mask &= t >= t0
+            if t1 is not None:
+                mask &= t <= t1
+            out = {name: arr[mask] for name, arr in out.items()}
+        return out
+
+    # ------------------------------------------------------------------
+    # Truncation (campaign resume path)
+    # ------------------------------------------------------------------
+
+    def truncate_from(self, t: float) -> int:
+        """Drop every raw sample at ``t`` or later; returns rows dropped.
+
+        Used when a resumed campaign replays epochs that were already
+        exported: the replay re-appends them, so the stale suffix is
+        cut first.  Rollup files are cleared outright (a bucket
+        straddling the cut would otherwise keep stale statistics) and
+        regenerated by the next ``compact()``.
+        """
+        entry = self.file_entry(RAW)
+        before = entry["rows"]
+        if before == 0 or entry["blocks"][-1]["t1"] < t:
+            return 0  # nothing at or after t; existing rollups stay valid
+        data = self.read(RAW)
+        mask = data["t"] < t
+        dropped = before - int(mask.sum())
+        if dropped == 0:
+            return 0
+        self.replace(RAW, [data[name][mask] for name in RAW_COLUMNS])
+        self.replace(HOURLY, None)
+        self.replace(DAILY, None)
+        return dropped

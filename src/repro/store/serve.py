@@ -1,0 +1,173 @@
+"""A minimal JSON/HTTP serving layer over one telemetry store.
+
+Stdlib-only (``http.server.ThreadingHTTPServer``) -- the point is the
+smart-building integration surface from the paper's Fig. 1f (facility
+dashboards polling wall health), not a production web stack.
+
+Endpoints (all GET, all JSON):
+
+* ``/health``              -- building health view (``?building=...``
+  required; optional ``stale_hours``, ``t0``, ``t1``); the
+  :meth:`QueryEngine.degradation_report` payload.
+* ``/series``              -- one series' samples (``building``,
+  ``wall``, ``node``, ``metric`` required; optional ``t0``, ``t1``,
+  ``resolution``).
+* ``/aggregate``           -- :meth:`QueryEngine.aggregate`
+  (``metric`` + ``agg`` required; optional filters, window,
+  ``resolution``, ``group_by``).
+* ``/stats``               -- :meth:`TelemetryStore.stats`.
+
+Bad queries return 400 with ``{"error": ...}``; unknown paths 404;
+anything else 500.  Every response carries ``Content-Type:
+application/json``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from ..errors import ReproError, StoreError
+from ..obs import obs_counter
+from .keys import SeriesKey
+from .query import QueryEngine
+from .segment import RAW
+from .store import TelemetryStore
+
+
+def _opt_float(params: Dict[str, str], name: str) -> Optional[float]:
+    if name not in params:
+        return None
+    try:
+        return float(params[name])
+    except ValueError:
+        raise StoreError(f"query parameter {name!r} must be a number")
+
+
+def _require(params: Dict[str, str], name: str) -> str:
+    try:
+        return params[name]
+    except KeyError:
+        raise StoreError(f"missing required query parameter {name!r}")
+
+
+class StoreServer(ThreadingHTTPServer):
+    """HTTP server bound to one store; port 0 picks an ephemeral port."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        store: TelemetryStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        super().__init__((host, port), StoreRequestHandler)
+        self.store = store
+        self.engine = QueryEngine(store)
+
+    @property
+    def port(self) -> int:
+        return int(self.server_address[1])
+
+    # ------------------------------------------------------------------
+    # Routing (shared by every handler thread; queries are read-only)
+    # ------------------------------------------------------------------
+
+    def route(self, path: str, params: Dict[str, str]) -> Dict[str, Any]:
+        if path == "/stats":
+            return self.store.stats()
+        if path == "/health":
+            return self.engine.degradation_report(
+                _require(params, "building"),
+                t0=_opt_float(params, "t0"),
+                t1=_opt_float(params, "t1"),
+                strain_metric=params.get("metric", "strain"),
+                stale_hours=_opt_float(params, "stale_hours"),
+            )
+        if path == "/series":
+            key = SeriesKey(
+                building=_require(params, "building"),
+                wall=_require(params, "wall"),
+                node_id=self._int(params, "node"),
+                metric=_require(params, "metric"),
+            )
+            data = self.engine.series(
+                key,
+                t0=_opt_float(params, "t0"),
+                t1=_opt_float(params, "t1"),
+                resolution=params.get("resolution", RAW),
+            )
+            return {
+                "key": key.to_dict(),
+                "resolution": params.get("resolution", RAW),
+                "rows": int(data["t"].size),
+                "columns": {
+                    name: column.tolist() for name, column in data.items()
+                },
+            }
+        if path == "/aggregate":
+            node = params.get("node")
+            return self.engine.aggregate(
+                metric=_require(params, "metric"),
+                agg=params.get("agg", "mean"),
+                building=params.get("building"),
+                wall=params.get("wall"),
+                node_id=None if node is None else self._int(params, "node"),
+                t0=_opt_float(params, "t0"),
+                t1=_opt_float(params, "t1"),
+                resolution=params.get("resolution", RAW),
+                group_by=params.get("group_by"),
+            )
+        raise LookupError(path)
+
+    @staticmethod
+    def _int(params: Dict[str, str], name: str) -> int:
+        raw = _require(params, name)
+        try:
+            return int(raw)
+        except ValueError:
+            raise StoreError(f"query parameter {name!r} must be an integer")
+
+
+class StoreRequestHandler(BaseHTTPRequestHandler):
+    server: StoreServer
+
+    def do_GET(self) -> None:  # noqa: N802  (http.server's casing)
+        obs_counter("store.http_requests").inc()
+        parsed = urlsplit(self.path)
+        params = dict(parse_qsl(parsed.query))
+        try:
+            payload, status = self.server.route(parsed.path, params), 200
+        except LookupError:
+            payload, status = {"error": f"no such endpoint {parsed.path!r}"}, 404
+        except (StoreError, ReproError) as exc:
+            payload, status = {"error": str(exc)}, 400
+        except Exception as exc:  # pragma: no cover - defensive
+            payload, status = {"error": f"internal error: {exc!r}"}, 500
+        if status != 200:
+            obs_counter("store.http_errors").inc()
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silenced: request logging goes through obs counters instead."""
+
+
+def serve_background(
+    store: TelemetryStore, host: str = "127.0.0.1", port: int = 0
+) -> Tuple[StoreServer, threading.Thread]:
+    """Start a server on a daemon thread; caller owns ``.shutdown()``."""
+    server = StoreServer(store, host=host, port=port)
+    thread = threading.Thread(
+        target=server.serve_forever, name="store-serve", daemon=True
+    )
+    thread.start()
+    return server, thread

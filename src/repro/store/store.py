@@ -1,0 +1,283 @@
+"""The embedded telemetry store: a directory of durable series segments.
+
+:class:`TelemetryStore` is the subsystem's root object -- open (or
+create) a store directory, obtain a batched :class:`StoreWriter`, and
+every flushed batch becomes one CRC'd columnar block acknowledged by
+the owning segment's manifest.  Reads go through
+:meth:`TelemetryStore.read` (or the higher-level query engine in
+:mod:`repro.store.query`); neither ever returns silently wrong data --
+corruption surfaces as a :class:`~repro.errors.SegmentError`.
+
+Layout::
+
+    <root>/store.json                  # repro/store/v1 marker
+    <root>/segments/<building>/<wall>/n<id>/<metric>/
+        manifest.json                  # repro/store-segment/v1
+        raw.seg  hourly.seg  daily.seg
+    <root>/.quarantine/                # corrupt segments, moved aside
+
+The time base is *hours* as float64 -- the campaign's native clock --
+but nothing in the store interprets it beyond ordering and the rollup
+bucket widths (1 h, 24 h).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import StoreError
+from ..obs import obs_counter, obs_event
+from ..runtime.serialize import write_json_atomic
+from .keys import SeriesKey
+from .segment import RAW, RESOLUTIONS, SegmentDir
+
+#: Schema tag for the store-level marker file.
+STORE_SCHEMA = "repro/store/v1"
+
+STORE_MARKER_FILENAME = "store.json"
+SEGMENTS_DIRNAME = "segments"
+QUARANTINE_DIRNAME = ".quarantine"
+
+
+class TelemetryStore:
+    """One on-disk telemetry store.
+
+    Args:
+        root: The store directory.  Created (with its ``store.json``
+            marker) when absent and ``create`` is True.
+        create: Refuse to create a missing store when False -- the
+            read-only verbs (query, serve, stats) use this so a typo'd
+            path fails loudly instead of materialising an empty store.
+    """
+
+    def __init__(self, root: Union[str, Path], create: bool = True):
+        self.root = Path(root)
+        marker = self.root / STORE_MARKER_FILENAME
+        if marker.exists():
+            try:
+                payload = json.loads(marker.read_text())
+            except (OSError, ValueError) as exc:
+                raise StoreError(f"unreadable store marker {marker}: {exc}")
+            if not isinstance(payload, dict) or payload.get("schema") != STORE_SCHEMA:
+                raise StoreError(
+                    f"{self.root} is not a telemetry store "
+                    f"(marker schema {payload.get('schema') if isinstance(payload, dict) else None!r}, "
+                    f"expected {STORE_SCHEMA!r})"
+                )
+        elif create:
+            write_json_atomic(
+                marker, {"schema": STORE_SCHEMA, "time_unit": "hours"}
+            )
+        else:
+            raise StoreError(
+                f"no telemetry store at {self.root} (missing {marker.name})"
+            )
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+
+    @property
+    def segments_dir(self) -> Path:
+        return self.root / SEGMENTS_DIRNAME
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / QUARANTINE_DIRNAME
+
+    def segment(self, key: SeriesKey) -> SegmentDir:
+        return SegmentDir(
+            self.segments_dir / key.relpath,
+            key.to_dict(),
+            self.quarantine_dir,
+        )
+
+    def keys(self) -> List[SeriesKey]:
+        """Every series in the store, sorted."""
+        found: List[SeriesKey] = []
+        base = self.segments_dir
+        if not base.is_dir():
+            return found
+        for manifest in sorted(base.glob("*/*/*/*/manifest.json")):
+            parts = manifest.parent.relative_to(base).parts
+            try:
+                found.append(SeriesKey.from_path_parts(parts))
+            except StoreError:
+                # Not a segment directory we recognise; skip loudly.
+                obs_event(
+                    "warning", "store.unrecognised_segment",
+                    path=str(manifest.parent),
+                )
+        return sorted(found)
+
+    # ------------------------------------------------------------------
+    # Write / read
+    # ------------------------------------------------------------------
+
+    def writer(self, flush_rows: int = 200_000) -> "StoreWriter":
+        """A batched writer (use as a context manager to auto-flush)."""
+        return StoreWriter(self, flush_rows=flush_rows)
+
+    def append(
+        self,
+        key: SeriesKey,
+        timestamps: Sequence[float],
+        values: Sequence[float],
+    ) -> int:
+        """One-shot append of a (timestamps, values) batch to a series."""
+        with self.writer() as writer:
+            writer.add(key, timestamps, values)
+        return len(timestamps)
+
+    def read(
+        self,
+        key: SeriesKey,
+        resolution: str = RAW,
+        t0: Optional[float] = None,
+        t1: Optional[float] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Column arrays for ``key`` over ``[t0, t1]`` at ``resolution``."""
+        return self.segment(key).read(resolution, t0=t0, t1=t1)
+
+    def truncate_from(
+        self, t: float, keys: Optional[Iterable[SeriesKey]] = None
+    ) -> int:
+        """Drop every sample at hour ``t`` or later; returns rows dropped.
+
+        The campaign resume path: epochs past the checkpoint boundary
+        will be replayed and re-exported, so their earlier exports are
+        cut first (rollups are cleared and left to the next compact).
+        """
+        dropped = 0
+        for key in (self.keys() if keys is None else keys):
+            dropped += self.segment(key).truncate_from(t)
+        if dropped:
+            obs_counter("store.rows_truncated").inc(dropped)
+            obs_event(
+                "info", "store.truncated_from", t=t, rows_dropped=dropped,
+            )
+        return dropped
+
+    def compact(self) -> Dict[str, Any]:
+        """Deterministic multi-resolution rollups; see :mod:`.compact`."""
+        from .compact import compact_store
+
+        return compact_store(self)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """A JSON-ready snapshot of what the store holds."""
+        series = []
+        totals = {res: {"rows": 0, "bytes": 0, "blocks": 0} for res in RESOLUTIONS}
+        for key in self.keys():
+            segment = self.segment(key)
+            entry: Dict[str, Any] = {"key": key.to_dict()}
+            for res in RESOLUTIONS:
+                info = segment.file_entry(res)
+                entry[res] = {
+                    "rows": info["rows"],
+                    "bytes": info["bytes"],
+                    "blocks": len(info["blocks"]),
+                }
+                totals[res]["rows"] += info["rows"]
+                totals[res]["bytes"] += info["bytes"]
+                totals[res]["blocks"] += len(info["blocks"])
+            span = segment.time_range(RAW)
+            entry["t0"], entry["t1"] = (span if span else (None, None))
+            series.append(entry)
+        quarantined = (
+            sorted(p.name for p in self.quarantine_dir.iterdir())
+            if self.quarantine_dir.is_dir()
+            else []
+        )
+        return {
+            "schema": STORE_SCHEMA,
+            "root": str(self.root),
+            "series": series,
+            "series_count": len(series),
+            "totals": totals,
+            "quarantined": quarantined,
+        }
+
+
+class StoreWriter:
+    """Batched, vectorized ingestion into a :class:`TelemetryStore`.
+
+    Samples accumulate in per-series numpy buffers; :meth:`flush` turns
+    each touched series' buffer into *one* appended block (sorted key
+    order, so two identical ingest sequences produce identical stores).
+    Crossing ``flush_rows`` buffered rows triggers an automatic flush.
+
+    Not thread-safe: one writer per ingesting thread.
+    """
+
+    def __init__(self, store: TelemetryStore, flush_rows: int = 200_000):
+        if flush_rows < 1:
+            raise StoreError(f"flush_rows must be >= 1, got {flush_rows}")
+        self.store = store
+        self.flush_rows = flush_rows
+        self._buffers: Dict[SeriesKey, List[Tuple[np.ndarray, np.ndarray]]] = {}
+        self._buffered_rows = 0
+        self.rows_written = 0
+
+    def __enter__(self) -> "StoreWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.flush()
+
+    # ------------------------------------------------------------------
+
+    def add(
+        self,
+        key: SeriesKey,
+        timestamps: Sequence[float],
+        values: Sequence[float],
+    ) -> None:
+        """Buffer a batch of ``(timestamp, value)`` samples for ``key``."""
+        t = np.ascontiguousarray(timestamps, dtype=np.float64)
+        v = np.ascontiguousarray(values, dtype=np.float64)
+        if t.ndim != 1 or t.shape != v.shape:
+            raise StoreError(
+                f"timestamps/values must be equal-length vectors, got "
+                f"{t.shape} and {v.shape}"
+            )
+        if t.size == 0:
+            return
+        self._buffers.setdefault(key, []).append((t, v))
+        self._buffered_rows += t.size
+        if self._buffered_rows >= self.flush_rows:
+            self.flush()
+
+    def add_sample(self, key: SeriesKey, t: float, value: float) -> None:
+        """Buffer one sample."""
+        self.add(key, np.array([t]), np.array([value]))
+
+    def flush(self) -> int:
+        """Write every buffered series as one block each; returns rows."""
+        if not self._buffers:
+            return 0
+        flushed = 0
+        for key in sorted(self._buffers):
+            chunks = self._buffers[key]
+            t = np.concatenate([c[0] for c in chunks])
+            v = np.concatenate([c[1] for c in chunks])
+            if t.size > 1 and bool(np.any(np.diff(t) < 0.0)):
+                order = np.argsort(t, kind="stable")
+                t, v = t[order], v[order]
+            self.store.segment(key).append_block(RAW, [t, v])
+            flushed += t.size
+        self._buffers.clear()
+        self._buffered_rows = 0
+        self.rows_written += flushed
+        obs_counter("store.rows_ingested").inc(flushed)
+        obs_counter("store.flushes").inc()
+        return flushed

@@ -21,6 +21,7 @@ SUBPACKAGES = [
     "repro.reader",
     "repro.runtime",
     "repro.shm",
+    "repro.store",
     "repro.transducer",
 ]
 

@@ -125,3 +125,60 @@ class TestBuildingMonitor:
     def test_empty_monitor_raises(self):
         with pytest.raises(ShmError):
             BuildingMonitor().walls()
+
+
+class TestSerialization:
+    def test_alarm_round_trip(self):
+        original = alarm("critical", day=123.5, drift=2.25)
+        clone = DamageAlarm.from_dict(original.to_dict())
+        assert clone == original
+
+    def test_alarm_rejects_garbage(self):
+        from repro.shm.damage import DamageError
+
+        with pytest.raises(DamageError):
+            DamageAlarm.from_dict({"day": 1.0})
+        with pytest.raises(DamageError):
+            DamageAlarm.from_dict(
+                {"day": 1.0, "cusum": 1.0, "drift_estimate": "soon",
+                 "severity": "warning"}
+            )
+
+    def test_capsule_status_round_trip(self):
+        for status in (
+            CapsuleStatus(1, "W1", reachable=False),
+            CapsuleStatus(2, "W1", reachable=True, alarm=alarm("warning")),
+        ):
+            payload = status.to_dict()
+            assert payload["grade"] == status.grade
+            assert CapsuleStatus.from_dict(payload) == status
+
+    def test_wall_health_round_trip(self):
+        wall = WallHealth(
+            wall="W1",
+            capsules=(
+                CapsuleStatus(1, "W1", reachable=True),
+                CapsuleStatus(2, "W1", reachable=True, alarm=alarm("watch")),
+            ),
+        )
+        payload = wall.to_dict()
+        assert payload["grade"] == wall.grade
+        assert payload["reachability"] == pytest.approx(wall.reachability)
+        clone = WallHealth.from_dict(payload)
+        assert clone.wall == wall.wall
+        assert clone.capsules == wall.capsules
+
+    def test_monitor_round_trip_preserves_views(self):
+        monitor = TestBuildingMonitor.make_monitor(None)
+        payload = monitor.to_dict()
+        clone = BuildingMonitor.from_dict(payload)
+        assert clone.to_dict() == payload
+        assert clone.building_grade() == monitor.building_grade()
+        assert clone.summary() == monitor.summary()
+
+    def test_monitor_payload_is_json_safe(self):
+        import json
+
+        monitor = TestBuildingMonitor.make_monitor(None)
+        payload = json.loads(json.dumps(monitor.to_dict()))
+        assert BuildingMonitor.from_dict(payload).summary() == monitor.summary()

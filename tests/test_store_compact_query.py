@@ -1,0 +1,231 @@
+"""Compaction correctness/determinism and the query engine's answers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreError
+from repro.shm.damage import DamageAlarm
+from repro.store import (
+    DAILY,
+    HOURLY,
+    RAW,
+    QueryEngine,
+    SeriesKey,
+    TelemetryStore,
+    rollup,
+)
+
+rng = np.random.default_rng(42)
+
+
+def _reference_rollup(t, v, width):
+    """Straight-line python reference for the vectorized rollup."""
+    buckets = {}
+    for ti, vi in zip(t, v):
+        buckets.setdefault(np.floor(ti / width) * width, []).append(vi)
+    out = []
+    for bucket in sorted(buckets):
+        values = buckets[bucket]
+        out.append(
+            (bucket, min(values), sum(values) / len(values), max(values),
+             float(len(values)))
+        )
+    return out
+
+
+class TestRollup:
+    def test_matches_reference(self):
+        t = np.sort(rng.uniform(0.0, 100.0, size=500))
+        v = rng.normal(0.0, 10.0, size=500)
+        got = rollup(t, v, 1.0)
+        want = _reference_rollup(t, v, 1.0)
+        assert got[0].size == len(want)
+        for i, (bucket, lo, mean, hi, count) in enumerate(want):
+            assert got[0][i] == pytest.approx(bucket)
+            assert got[1][i] == pytest.approx(lo)
+            assert got[2][i] == pytest.approx(mean)
+            assert got[3][i] == pytest.approx(hi)
+            assert got[4][i] == count
+
+    def test_empty_input(self):
+        out = rollup(np.empty(0), np.empty(0), 1.0)
+        assert all(col.size == 0 for col in out)
+
+    def test_bad_width(self):
+        with pytest.raises(StoreError):
+            rollup(np.array([1.0]), np.array([1.0]), 0.0)
+
+    def test_buckets_epoch_aligned(self):
+        # Appending later samples must not shift earlier buckets.
+        t1, v1 = np.array([5.5, 5.7]), np.array([1.0, 3.0])
+        full_t = np.array([5.5, 5.7, 6.1])
+        full_v = np.array([1.0, 3.0, 9.0])
+        first = rollup(t1, v1, 1.0)
+        both = rollup(full_t, full_v, 1.0)
+        assert both[0][0] == first[0][0] == 5.0
+        assert both[2][0] == first[2][0] == 2.0
+
+
+@pytest.fixture()
+def populated(tmp_path):
+    store = TelemetryStore(tmp_path)
+    keys = [
+        SeriesKey("b", "north", 1, "strain"),
+        SeriesKey("b", "north", 2, "strain"),
+        SeriesKey("b", "south", 3, "strain"),
+    ]
+    t = np.arange(0.0, 96.0, 0.5)
+    for i, key in enumerate(keys):
+        store.append(key, t, 100.0 + 10.0 * i + np.sin(t + i))
+    return store, keys, t
+
+
+class TestCompaction:
+    def test_compact_is_deterministic(self, populated):
+        store, keys, _ = populated
+        store.compact()
+        first = {
+            key: store.segment(key).seg_path(HOURLY).read_bytes()
+            for key in keys
+        }
+        store.compact()
+        for key in keys:
+            assert (
+                store.segment(key).seg_path(HOURLY).read_bytes()
+                == first[key]
+            )
+
+    def test_compact_summary(self, populated):
+        store, keys, t = populated
+        summary = store.compact()
+        assert summary["series"] == len(keys)
+        assert summary["raw_rows"] == t.size * len(keys)
+        assert summary["rollup_rows"][HOURLY] == 96 * len(keys)
+        assert summary["rollup_rows"][DAILY] == 4 * len(keys)
+
+
+class TestQueryEngine:
+    def test_select_filters(self, populated):
+        store, keys, _ = populated
+        engine = QueryEngine(store)
+        assert engine.select() == keys
+        assert engine.select(wall="north") == keys[:2]
+        assert engine.select(node_id=3) == [keys[2]]
+        assert engine.select(metric="nope") == []
+
+    def test_series_raw_window(self, populated):
+        store, keys, _ = populated
+        engine = QueryEngine(store)
+        data = engine.series(keys[0], t0=10.0, t1=20.0)
+        assert data["t"][0] >= 10.0 and data["t"][-1] <= 20.0
+
+    def test_rollup_on_the_fly_matches_compacted(self, populated):
+        store, keys, _ = populated
+        engine = QueryEngine(store)
+        lazy = engine.series(keys[0], resolution=HOURLY)
+        store.compact()
+        compacted = engine.series(keys[0], resolution=HOURLY)
+        for column in ("t", "min", "mean", "max", "count"):
+            assert np.allclose(lazy[column], compacted[column])
+
+    def test_unknown_resolution(self, populated):
+        store, keys, _ = populated
+        with pytest.raises(StoreError):
+            QueryEngine(store).series(keys[0], resolution="weekly")
+
+    @pytest.mark.parametrize("agg", ["count", "min", "max", "sum", "mean"])
+    def test_rollup_aggregate_matches_raw(self, populated, agg):
+        store, _, _ = populated
+        store.compact()
+        engine = QueryEngine(store)
+        raw = engine.aggregate("strain", agg, resolution=RAW)["value"]
+        hourly = engine.aggregate("strain", agg, resolution=HOURLY)["value"]
+        daily = engine.aggregate("strain", agg, resolution=DAILY)["value"]
+        assert hourly == pytest.approx(raw, rel=1e-12)
+        assert daily == pytest.approx(raw, rel=1e-12)
+
+    def test_group_by_wall(self, populated):
+        store, _, t = populated
+        engine = QueryEngine(store)
+        result = engine.aggregate("strain", "count", group_by="wall")
+        assert result["groups"] == {
+            "b/north": 2.0 * t.size, "b/south": 1.0 * t.size,
+        }
+
+    def test_group_by_node(self, populated):
+        store, keys, t = populated
+        engine = QueryEngine(store)
+        result = engine.aggregate("strain", "count", group_by="node")
+        assert result["groups"]["b/north/1"] == t.size
+
+    def test_no_matching_series(self, populated):
+        store, _, _ = populated
+        engine = QueryEngine(store)
+        result = engine.aggregate("ghost", "mean")
+        assert result["value"] is None and result["series"] == 0
+
+    def test_bad_agg_and_group_by(self, populated):
+        store, _, _ = populated
+        engine = QueryEngine(store)
+        with pytest.raises(StoreError):
+            engine.aggregate("strain", "median")
+        with pytest.raises(StoreError):
+            engine.aggregate("strain", "mean", group_by="building")
+
+    def test_latest(self, populated):
+        store, keys, t = populated
+        engine = QueryEngine(store)
+        last = engine.latest(keys[0])
+        assert last["t"] == t[-1]
+        assert engine.latest(SeriesKey("b", "w", 9, "x")) is None
+
+
+class TestDamageQueries:
+    def _drifting_store(self, tmp_path, drift_per_day=3.0, days=60):
+        store = TelemetryStore(tmp_path)
+        hours = np.arange(0.0, days * 24.0, 2.0)
+        healthy = 120.0 + 5.0 * np.sin(hours / 7.0)
+        drifting = healthy + drift_per_day * hours / 24.0
+        store.append(SeriesKey("hq", "east", 1, "strain"), hours, healthy)
+        store.append(SeriesKey("hq", "east", 2, "strain"), hours, drifting)
+        store.compact()
+        return store
+
+    def test_drifting_capsule_alarms(self, tmp_path):
+        engine = QueryEngine(self._drifting_store(tmp_path))
+        alarm = engine.strain_alarm(SeriesKey("hq", "east", 2, "strain"))
+        assert isinstance(alarm, DamageAlarm)
+        assert alarm.severity == "critical"
+        assert alarm.drift_estimate == pytest.approx(3.0, rel=0.1)
+
+    def test_healthy_capsule_silent(self, tmp_path):
+        engine = QueryEngine(self._drifting_store(tmp_path))
+        assert (
+            engine.strain_alarm(SeriesKey("hq", "east", 1, "strain")) is None
+        )
+
+    def test_degradation_report(self, tmp_path):
+        engine = QueryEngine(self._drifting_store(tmp_path))
+        report = engine.degradation_report("hq")
+        assert report["grade"] == "critical"
+        assert report["degraded_walls"] == ["east"]
+        flagged = {s["node_id"] for s in report["attention"]}
+        assert flagged == {2}
+
+    def test_stale_capsule_unreachable(self, tmp_path):
+        store = self._drifting_store(tmp_path)
+        # Node 3 stopped reporting long before the others.
+        store.append(
+            SeriesKey("hq", "east", 3, "strain"), [0.0, 24.0], [100.0, 101.0]
+        )
+        monitor = QueryEngine(store).building_view("hq", stale_hours=100.0)
+        by_node = {
+            c.node_id: c for w in monitor.walls() for c in w.capsules
+        }
+        assert not by_node[3].reachable
+        assert by_node[1].reachable
+
+    def test_missing_building_is_loud(self, tmp_path):
+        engine = QueryEngine(self._drifting_store(tmp_path))
+        with pytest.raises(StoreError):
+            engine.building_view("atlantis")
