@@ -21,6 +21,15 @@
 #          both the CLI and the HTTP API on an ephemeral port, and both
 #          answers must match an in-memory reference computed straight
 #          from the store.
+# Stage 7: PHY benchmark smoke -- a shrunk scalar-vs-batched Monte-Carlo
+#          workload (REPRO_PHY_BENCH_SMOKE=1) into a throwaway
+#          BENCH file, asserting bit-identical BERs and a >= 3x smoke
+#          speedup (the committed BENCH_phy.json full run shows >= 10x).
+# Stage 8: scalar/batch equivalence cross-check -- the two equivalence
+#          suites run under two PYTHONHASHSEED values and the batch
+#          engine's BER is byte-compared against the scalar engine's
+#          across hash seeds; any divergence beyond the documented
+#          tolerances (docs/PERFORMANCE.md) fails the gate.
 #
 # Usage:  scripts/ci.sh [extra pytest args...]
 
@@ -248,5 +257,73 @@ PY
 kill "${SERVE_PID}" 2>/dev/null || true
 wait "${SERVE_PID}" 2>/dev/null || true
 trap 'rm -rf "${OUT_DIR}"' EXIT
+
+echo "== stage 7: PHY benchmark smoke (batched vs scalar) =="
+REPRO_PHY_BENCH_SMOKE=1 REPRO_BENCH_OUT="${OUT_DIR}/BENCH_phy_smoke.json" \
+    python -m pytest benchmarks/test_phy_bench.py --benchmark-only \
+    --benchmark-disable-gc -q
+python - "${OUT_DIR}/BENCH_phy_smoke.json" <<'PY'
+import json
+import sys
+
+bench = json.load(open(sys.argv[1]))
+assert bench["schema"] == "repro/bench-phy/v1"
+assert bench["smoke"] is True
+assert bench["ber_identical_scalar_vs_batch"] is True
+print(
+    f"phy bench smoke OK: {bench['speedup_batch_vs_scalar']}x batch, "
+    f"{bench['speedup_float32_vs_scalar']}x float32"
+)
+PY
+
+echo "== stage 8: scalar/batch equivalence cross-check (hash-seed sweep) =="
+for HASHSEED in 0 31337; do
+    PYTHONHASHSEED="${HASHSEED}" python -m pytest -q \
+        tests/test_phy_batch_equivalence.py \
+        tests/test_acoustics_batch_equivalence.py \
+        tests/test_batch_golden_regression.py
+done
+
+python - <<'PY'
+# Cross-hash-seed determinism: the batch engine's BER must be byte-
+# identical to the scalar engine's, and to itself, regardless of
+# PYTHONHASHSEED (subprocesses so each run gets a fresh hash seed).
+import json
+import subprocess
+import sys
+
+SCRIPT = r"""
+import json, sys
+from repro.link.simulation import UplinkBasebandSimulator
+from repro.phy.batch import use_engine
+out = {}
+for engine in ("scalar", "batch"):
+    with use_engine(engine):
+        out[engine] = [
+            UplinkBasebandSimulator(seed=0x5EC0).measure_ber(
+                snr, total_bits=2_000, packet_bits=100
+            )
+            for snr in (2.0, 3.5, 6.0)
+        ]
+json.dump(out, sys.stdout)
+"""
+
+answers = []
+for hashseed in ("0", "31337"):
+    proc = subprocess.run(
+        [sys.executable, "-c", SCRIPT],
+        capture_output=True, text=True, check=True,
+        env={"PYTHONHASHSEED": hashseed, "PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+    )
+    payload = json.loads(proc.stdout)
+    assert payload["scalar"] == payload["batch"], (
+        f"engines diverged under PYTHONHASHSEED={hashseed}: {payload}"
+    )
+    answers.append(proc.stdout)
+assert answers[0] == answers[1], (
+    "BER stream is hash-seed sensitive: " + repr(answers)
+)
+print("equivalence cross-check OK: scalar == batch across hash seeds")
+PY
 
 echo "== CI OK =="

@@ -98,8 +98,8 @@ class ImageSourceModel:
         if max_bounces < 0:
             raise AcousticsError("max_bounces cannot be negative")
         self.geometry = geometry
-        self.frequency = frequency
-        self.max_bounces = max_bounces
+        self.frequency = float(frequency)
+        self.max_bounces = int(max_bounces)
         if face_reflection is None:
             face_reflection = abs(
                 reflection_coefficient(
@@ -126,8 +126,11 @@ class ImageSourceModel:
         the medium's S-wave velocity (the prism injects S-waves only).
         """
         thickness = self.geometry.thickness
-        sx, sy = source
-        rx, ry = receiver
+        # Coerce to plain floats: callers hand in numpy scalars (grid
+        # sweeps, optimisers) and Arrival fields must stay Python floats
+        # so downstream math/serialization never sees np.float64 leaks.
+        sx, sy = float(source[0]), float(source[1])
+        rx, ry = float(receiver[0]), float(receiver[1])
         for label, y in (("source", sy), ("receiver", ry)):
             if not 0.0 <= y <= thickness:
                 raise AcousticsError(
@@ -136,6 +139,7 @@ class ImageSourceModel:
         if speed is None:
             medium = self.geometry.medium
             speed = medium.cs if not medium.is_fluid else medium.cp
+        speed = float(speed)
 
         dx = rx - sx
         reference = 0.05  # m, amplitude reference distance

@@ -73,6 +73,29 @@ class PowerUpLink:
         absorption_db = self.structure.medium.attenuation_db(self.frequency, distance)
         return self.coupling * tx_voltage * gain * 10.0 ** (-absorption_db / 20.0)
 
+    def node_voltages(self, distances, tx_voltage: float) -> "np.ndarray":
+        """Batched :meth:`node_voltage` over an array of distances.
+
+        One broadcast evaluates the whole wall; results match the scalar
+        budget to 1 ulp (vectorized ``**`` differs from scalar ``**`` in
+        the last bit -- see docs/PERFORMANCE.md).  Power-up decisions
+        sit far from the activation threshold relative to that error.
+        """
+        import numpy as np
+
+        from ..acoustics.batch import attenuation_db_batch, spreading_gains
+
+        if tx_voltage <= 0.0:
+            raise PowerError("TX voltage must be positive")
+        distances = np.asarray(distances, dtype=float)
+        if (distances < 0.0).any():
+            raise PowerError("distance cannot be negative")
+        gain = spreading_gains(self._spreading, distances)
+        absorption_db = attenuation_db_batch(
+            self.structure.medium, self.frequency, distances
+        )
+        return self.coupling * tx_voltage * gain * 10.0 ** (-absorption_db / 20.0)
+
     def powers_up(self, distance: float, tx_voltage: float) -> bool:
         """True when a node at ``distance`` wakes at ``tx_voltage``."""
         if distance > self.structure.length:

@@ -153,15 +153,38 @@ class WallSession:
     def charge(self) -> Tuple[List[PlacedNode], List[PlacedNode], float]:
         """Apply the CBW field to every node.
 
+        The field solve dispatches on the ambient PHY engine (see
+        :mod:`repro.phy.batch`): the batch engines evaluate the whole
+        wall's link budget in one broadcast
+        (:meth:`PowerUpLink.node_voltages`), the scalar engine walks the
+        nodes through the reference :meth:`PowerUpLink.node_voltage`.
+        The two differ by at most 1 ulp per voltage (documented in
+        docs/PERFORMANCE.md); power-up margins are orders of magnitude
+        wider.
+
         Returns:
             (powered nodes, dark nodes, charge time) where charge time is
             the slowest cold start among the powered nodes.
         """
+        from ..phy.batch import resolve_engine
+
+        if resolve_engine() == "scalar" or len(self.nodes) == 1:
+            voltages = [
+                self.budget.node_voltage(placed.distance, self.tx_voltage)
+                for placed in self.nodes
+            ]
+        else:
+            voltages = [
+                float(v)
+                for v in self.budget.node_voltages(
+                    [placed.distance for placed in self.nodes],
+                    self.tx_voltage,
+                )
+            ]
         powered: List[PlacedNode] = []
         dark: List[PlacedNode] = []
         slowest = 0.0
-        for placed in self.nodes:
-            field_v = self.budget.node_voltage(placed.distance, self.tx_voltage)
+        for placed, field_v in zip(self.nodes, voltages):
             if placed.capsule.apply_field(field_v):
                 powered.append(placed)
                 slowest = max(slowest, placed.capsule.cold_start_time())

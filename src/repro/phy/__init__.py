@@ -1,6 +1,20 @@
-"""PHY layer: PIE downlink coding, FM0 uplink coding, modems, DSP, metrics."""
+"""PHY layer: PIE downlink coding, FM0 uplink coding, modems, DSP, metrics.
+
+The scalar codecs here are the reference implementations; their batched
+counterparts (and the scalar/batch engine dispatch) live in
+:mod:`repro.phy.batch`.
+"""
 
 from . import dsp
+from .batch import (
+    Fm0BatchDecoder,
+    default_engine,
+    encode_baseband_batch,
+    encode_levels_batch,
+    matched_filter_bank,
+    resolve_engine,
+    use_engine,
+)
 from .fdma import FdmaPlan, FdmaReceiver, composite_waveform
 from .fm0 import Fm0Decoder, bipolar
 from .fm0 import encode_baseband as fm0_encode_baseband
@@ -26,6 +40,13 @@ from .pie import encode_baseband as pie_encode_baseband
 
 __all__ = [
     "dsp",
+    "Fm0BatchDecoder",
+    "default_engine",
+    "encode_baseband_batch",
+    "encode_levels_batch",
+    "matched_filter_bank",
+    "resolve_engine",
+    "use_engine",
     "FdmaPlan",
     "FdmaReceiver",
     "composite_waveform",

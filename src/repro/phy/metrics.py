@@ -6,6 +6,8 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from ..errors import ReproError
 
 
@@ -14,19 +16,27 @@ class MetricsError(ReproError):
 
 
 def bit_errors(sent: Sequence[int], received: Sequence[int]) -> int:
-    """Number of differing bits; lengths must match."""
-    if len(sent) != len(received):
+    """Number of differing bits; lengths must match.
+
+    Accepts lists or numpy arrays (any mix) and always returns a
+    built-in ``int`` -- batched callers used to leak ``np.int64`` into
+    result dataclasses and JSON manifests.
+    """
+    sent_arr = np.asarray(sent)
+    received_arr = np.asarray(received)
+    if sent_arr.shape != received_arr.shape:
         raise MetricsError(
             f"length mismatch: sent {len(sent)} bits, received {len(received)}"
         )
-    return sum(1 for a, b in zip(sent, received) if a != b)
+    return int(np.count_nonzero(sent_arr != received_arr))
 
 
 def bit_error_rate(sent: Sequence[int], received: Sequence[int]) -> float:
-    """Fraction of bits received incorrectly."""
-    if not sent:
+    """Fraction of bits received incorrectly (always a built-in float)."""
+    total = int(np.asarray(sent).size)
+    if total == 0:
         raise MetricsError("cannot compute BER over zero bits")
-    return bit_errors(sent, received) / len(sent)
+    return bit_errors(sent, received) / total
 
 
 def throughput(correct_bits: int, duration: float) -> float:

@@ -1,0 +1,294 @@
+"""Scalar-vs-batched acoustics equivalence harness (hypothesis tests).
+
+Contract (see ``docs/PERFORMANCE.md``): the broadcast raytracer in
+``repro.acoustics.batch`` matches the scalar ``ImageSourceModel`` to a
+relative tolerance of ``1e-12`` -- not byte-exactly, because
+``np.hypot``/vectorized ``**`` differ from ``math.hypot``/scalar ``**``
+by up to 1 ulp and the gain sums reduce in image order rather than
+delay order.  Structural quantities (bounce counts, arrival counts,
+tap indices away from half-sample boundaries) must match exactly.
+Distance-vectorized attenuation is exact; frequency-vectorized
+attenuation is 1-ulp close.
+
+Tolerances here are the documented ones; loosening them requires a
+docs/PERFORMANCE.md edit and review.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.acoustics import (
+    ImageSourceModel,
+    SpreadingModel,
+    StructureGeometry,
+    attenuation_db_batch,
+    complex_gains,
+    complex_gains_vs_frequency,
+    impulse_responses,
+    power_gains,
+    spreading_gains,
+    trace_arrivals,
+)
+from repro.errors import AcousticsError
+from repro.materials import get_concrete
+
+#: Documented scalar-vs-batch tolerance for float reductions.
+RTOL = 1e-12
+#: Looser bound for multi-term coherent sums (cancellation amplifies
+#: the per-term ulp noise when arrivals nearly cancel).
+SUM_ATOL = 1e-9
+
+NC = get_concrete("NC").medium
+
+thickness_strategy = st.floats(min_value=0.05, max_value=1.0)
+frequency_strategy = st.floats(min_value=20e3, max_value=500e3)
+bounce_strategy = st.integers(min_value=0, max_value=24)
+
+
+def make_model(thickness, frequency, max_bounces):
+    geometry = StructureGeometry(
+        "prop", length=20.0, thickness=thickness, medium=NC
+    )
+    return ImageSourceModel(geometry, frequency, max_bounces=max_bounces)
+
+
+def random_points(rng, thickness, count):
+    xs = rng.uniform(0.05, 8.0, size=count)
+    ys = rng.uniform(0.0, thickness, size=count)
+    return np.column_stack([xs, ys])
+
+
+class TestTraceEquivalence:
+    @given(
+        seed=st.integers(0, 2**31),
+        thickness=thickness_strategy,
+        frequency=frequency_strategy,
+        max_bounces=bounce_strategy,
+        receivers=st.integers(1, 6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_arrivals_match_scalar_within_rtol(
+        self, seed, thickness, frequency, max_bounces, receivers
+    ):
+        rng = np.random.default_rng(seed)
+        model = make_model(thickness, frequency, max_bounces)
+        source = (0.0, float(rng.uniform(0.0, thickness)))
+        grid = random_points(rng, thickness, receivers)
+        batch = trace_arrivals(model, source, grid)
+        assert batch.delays.shape == (receivers, 2 * max_bounces + 1)
+        for row in range(receivers):
+            scalar = model.arrivals(source, tuple(grid[row]))
+            delays, amplitudes, bounces, paths = batch.sorted_row(row)
+            assert len(scalar) == delays.size
+            assert [a.bounces for a in scalar] == bounces.tolist()
+            np.testing.assert_allclose(
+                delays, [a.delay for a in scalar], rtol=RTOL
+            )
+            np.testing.assert_allclose(
+                amplitudes, [a.amplitude for a in scalar], rtol=RTOL
+            )
+            np.testing.assert_allclose(
+                paths, [a.path_length for a in scalar], rtol=RTOL
+            )
+
+    @given(
+        thickness=thickness_strategy,
+        frequency=frequency_strategy,
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_single_path_is_direct_ray(self, thickness, frequency):
+        """Degenerate path count: max_bounces=0 leaves the direct ray."""
+        model = make_model(thickness, frequency, 0)
+        source = (0.0, thickness / 2.0)
+        receiver = (1.0, thickness / 2.0)
+        batch = trace_arrivals(model, source, receiver)
+        assert batch.n_paths == 1
+        [scalar] = model.arrivals(source, receiver)
+        np.testing.assert_allclose(
+            batch.delays[0, 0], scalar.delay, rtol=RTOL
+        )
+
+    def test_zero_receivers(self):
+        model = make_model(0.2, 230e3, 5)
+        batch = trace_arrivals(model, (0.0, 0.1), np.zeros((0, 2)))
+        assert batch.delays.shape == (0, 11)
+        assert complex_gains(model, (0.0, 0.1), np.zeros((0, 2))).shape == (0,)
+        assert impulse_responses(
+            model, (0.0, 0.1), np.zeros((0, 2)), 1e6
+        ).shape[0] == 0
+
+    def test_validation_matches_scalar(self):
+        model = make_model(0.2, 230e3, 5)
+        with pytest.raises(AcousticsError):
+            trace_arrivals(model, (0.0, 0.5), [(1.0, 0.1)])  # source depth
+        with pytest.raises(AcousticsError):
+            trace_arrivals(model, (0.0, 0.1), [(1.0, 0.5)])  # receiver depth
+        with pytest.raises(AcousticsError):
+            trace_arrivals(model, (0.0, 0.1), [(1.0, 0.1, 3.0)])
+
+
+class TestGainEquivalence:
+    @given(
+        seed=st.integers(0, 2**31),
+        thickness=thickness_strategy,
+        frequency=frequency_strategy,
+        max_bounces=bounce_strategy,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_complex_and_power_gains(
+        self, seed, thickness, frequency, max_bounces
+    ):
+        rng = np.random.default_rng(seed)
+        model = make_model(thickness, frequency, max_bounces)
+        source = (0.0, float(rng.uniform(0.0, thickness)))
+        grid = random_points(rng, thickness, 4)
+        coherent = complex_gains(model, source, grid)
+        incoherent = power_gains(model, source, grid)
+        for row in range(4):
+            ref_c = model.complex_gain(source, tuple(grid[row]))
+            ref_p = model.power_gain(source, tuple(grid[row]))
+            assert coherent[row] == pytest.approx(
+                ref_c, rel=RTOL, abs=SUM_ATOL * max(1.0, abs(ref_c))
+            )
+            assert incoherent[row] == pytest.approx(ref_p, rel=1e-11)
+
+    @given(
+        thickness=thickness_strategy,
+        frequency=frequency_strategy,
+        n_freqs=st.integers(1, 8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_frequency_sweep_matches_per_frequency_models(
+        self, thickness, frequency, n_freqs
+    ):
+        model = make_model(thickness, frequency, 8)
+        source = (0.0, thickness * 0.3)
+        receiver = (1.5, thickness * 0.7)
+        freqs = np.linspace(0.5 * frequency, 1.5 * frequency, n_freqs)
+        sweep = complex_gains_vs_frequency(model, source, receiver, freqs)
+        for k, f in enumerate(freqs):
+            per_f = ImageSourceModel(
+                model.geometry, float(f), max_bounces=model.max_bounces
+            )
+            ref = per_f.complex_gain(source, receiver)
+            assert sweep[k] == pytest.approx(
+                ref, rel=1e-9, abs=SUM_ATOL * max(1.0, abs(ref))
+            )
+
+
+class TestImpulseResponseEquivalence:
+    @given(
+        seed=st.integers(0, 2**31),
+        thickness=thickness_strategy,
+        max_bounces=st.integers(0, 12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_taps_match_scalar(self, seed, thickness, max_bounces):
+        rng = np.random.default_rng(seed)
+        fs = 1e6
+        model = make_model(thickness, 230e3, max_bounces)
+        source = (0.0, float(rng.uniform(0.0, thickness)))
+        grid = random_points(rng, thickness, 3)
+        batch = trace_arrivals(model, source, grid)
+        # Skip draws where an arrival lands within a breath of a
+        # half-sample boundary: a 1-ulp delay difference could then
+        # legitimately flip the tap index (documented caveat).
+        frac = np.abs(
+            batch.delays * fs - np.rint(batch.delays * fs)
+        )
+        assume((np.abs(frac - 0.5) > 1e-6).all())
+        duration = float(batch.delays.max()) + 1.0 / fs
+        h_batch = impulse_responses(model, source, grid, fs, duration=duration)
+        for row in range(3):
+            h_scalar = model.impulse_response(
+                source, tuple(grid[row]), fs, duration=duration
+            )
+            assert h_batch.shape[1] == h_scalar.size
+            np.testing.assert_allclose(
+                h_batch[row], h_scalar, rtol=1e-11, atol=1e-300
+            )
+
+    def test_duration_override_truncates_identically(self):
+        model = make_model(0.2, 230e3, 10)
+        source, receiver = (0.0, 0.05), (2.0, 0.15)
+        h_scalar = model.impulse_response(source, receiver, 1e6, duration=1e-4)
+        h_batch = impulse_responses(
+            model, source, receiver, 1e6, duration=1e-4
+        )
+        np.testing.assert_allclose(h_batch[0], h_scalar, rtol=1e-11)
+
+
+class TestPropagationPrimitives:
+    @given(
+        seed=st.integers(0, 2**31),
+        frequency=frequency_strategy,
+        count=st.integers(1, 32),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_distance_vectorized_attenuation_is_exact(
+        self, seed, frequency, count
+    ):
+        distances = np.random.default_rng(seed).uniform(0.0, 30.0, count)
+        batch = attenuation_db_batch(NC, frequency, distances)
+        scalar = [NC.attenuation_db(frequency, d) for d in distances]
+        # Exact: the power law is linear in distance, so the per-metre
+        # factor is the same float the scalar code computes.
+        assert batch.tolist() == scalar
+
+    @given(
+        frequency=frequency_strategy,
+        distance=st.floats(min_value=0.0, max_value=30.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_frequency_vectorized_attenuation_is_ulp_close(
+        self, frequency, distance
+    ):
+        freqs = np.array([frequency, 2.0 * frequency])
+        batch = attenuation_db_batch(NC, freqs, distance)
+        for k, f in enumerate(freqs):
+            assert batch[k] == pytest.approx(
+                NC.attenuation_db(float(f), distance), rel=RTOL
+            )
+
+    @given(
+        exponent=st.floats(min_value=0.0, max_value=1.5),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_spreading_gains_match_scalar(self, exponent, seed):
+        spreading = SpreadingModel(exponent=exponent)
+        distances = np.random.default_rng(seed).uniform(0.0, 20.0, 16)
+        batch = spreading_gains(spreading, distances)
+        for k, d in enumerate(distances):
+            assert batch[k] == pytest.approx(
+                spreading.amplitude_gain(float(d)), rel=RTOL
+            )
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(AcousticsError):
+            attenuation_db_batch(NC, 230e3, [-1.0])
+        with pytest.raises(AcousticsError):
+            attenuation_db_batch(NC, [0.0], 1.0)
+        with pytest.raises(AcousticsError):
+            spreading_gains(SpreadingModel(), [-0.5])
+
+
+class TestBudgetEquivalence:
+    @given(
+        seed=st.integers(0, 2**31),
+        tx=st.floats(min_value=1.0, max_value=250.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_node_voltages_match_scalar_budget(self, seed, tx):
+        from repro.link import PowerUpLink
+
+        geometry = StructureGeometry("wall", 20.0, 0.2, NC)
+        link = PowerUpLink(structure=geometry)
+        distances = np.random.default_rng(seed).uniform(0.0, 10.0, 12)
+        batch = link.node_voltages(distances, tx)
+        for k, d in enumerate(distances):
+            assert batch[k] == pytest.approx(
+                link.node_voltage(float(d), tx), rel=RTOL
+            )

@@ -113,3 +113,35 @@ class TestImpulseResponse:
     def test_rejects_bad_sample_rate(self, model):
         with pytest.raises(AcousticsError):
             model.impulse_response((0.0, 0.1), (1.0, 0.1), sample_rate=0.0)
+
+
+class TestDtypeContracts:
+    """Batching surfaced these: scalar Arrival fields must stay plain
+    Python floats/ints even when callers hand in numpy scalars (grid
+    sweeps build coordinates with np.linspace)."""
+
+    def test_arrival_fields_plain_python_for_numpy_inputs(self):
+        wall = make_wall()
+        model = ImageSourceModel(wall, frequency=np.float64(230e3), max_bounces=3)
+        source = (np.float64(0.0), np.float64(0.1))
+        receiver = np.array([1.0, 0.1])
+        for arrival in model.arrivals(source, receiver, speed=np.float64(NC.cs)):
+            assert type(arrival.delay) is float
+            assert type(arrival.amplitude) is float
+            assert type(arrival.path_length) is float
+            assert type(arrival.bounces) is int
+
+    def test_numpy_inputs_match_python_inputs(self):
+        wall = make_wall()
+        a = ImageSourceModel(wall, frequency=230e3, max_bounces=5)
+        b = ImageSourceModel(wall, frequency=np.float64(230e3), max_bounces=np.int64(5))
+        assert a.arrivals((0.0, 0.1), (1.0, 0.1)) == b.arrivals(
+            (np.float64(0.0), np.float64(0.1)), np.array([1.0, 0.1])
+        )
+
+    def test_model_attributes_coerced(self):
+        model = ImageSourceModel(
+            make_wall(), frequency=np.float64(230e3), max_bounces=np.int64(4)
+        )
+        assert type(model.frequency) is float
+        assert type(model.max_bounces) is int

@@ -1,0 +1,85 @@
+"""Golden-tolerance audit for the batched engine (ISSUE 6 satellite).
+
+Three guarantees, stronger than the per-experiment golden tests:
+
+1. every pinned golden is *byte-identical* under the batched default
+   path -- regenerating the goldens with the batch engine active must
+   reproduce the committed JSON exactly (``canonical_json`` compare);
+2. the ``uplink_ber``-class experiments (fig15, fig17) produce
+   byte-identical result payloads under the scalar and batch engines;
+3. the campaign/fault experiments that charge through the batched link
+   budget stay within the goldens' documented tolerances both ways.
+
+If (1) ever fails after an intentional numerics change, regenerate and
+document the tolerance in ``tests/goldens/README``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.phy.batch import use_engine
+from repro.runtime import (
+    canonical_json,
+    compare_snapshots,
+    experiment_registry,
+    golden_snapshot,
+    to_jsonable,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+REGISTRY = experiment_registry()
+
+#: Experiments whose hot path runs through the uplink Monte-Carlo
+#: engine -- the ``uplink_ber`` class of the ISSUE.
+UPLINK_BER_CLASS = ("fig15", "fig17")
+
+#: Experiments that charge through the (1-ulp-close) batched budget.
+SURVEY_CLASS = ("fault_sweep", "campaign_pilot")
+
+
+@pytest.mark.parametrize("name", UPLINK_BER_CLASS)
+def test_uplink_ber_experiments_byte_identical_both_ways(name):
+    spec = REGISTRY[name]
+    with use_engine("scalar"):
+        scalar = golden_snapshot(name, spec.execute(quick=True))
+    with use_engine("batch"):
+        batch = golden_snapshot(name, spec.execute(quick=True))
+    assert canonical_json(scalar) == canonical_json(batch), (
+        f"{name}: scalar and batch engines diverged; the batch FM0 "
+        "kernels are supposed to be bit-identical"
+    )
+
+
+@pytest.mark.parametrize("name", UPLINK_BER_CLASS + SURVEY_CLASS)
+def test_goldens_byte_identical_under_batch_default(name):
+    """Regenerating under the batch engine reproduces the committed JSON."""
+    spec = REGISTRY[name]
+    golden = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+    with use_engine("batch"):
+        fresh = {
+            "experiment": name,
+            "seed": spec.seed,
+            "params": to_jsonable(spec.params(quick=True)),
+            "scalars": golden_snapshot(name, spec.execute(quick=True)),
+        }
+    committed = {key: golden[key] for key in fresh}
+    assert canonical_json(committed) == canonical_json(fresh)
+
+
+@pytest.mark.parametrize("name", SURVEY_CLASS)
+def test_survey_experiments_within_golden_tolerance_both_ways(name):
+    """The budget batch is 1-ulp-close, not exact: hold it to the
+    goldens' documented tolerances under both engines."""
+    spec = REGISTRY[name]
+    golden = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+    for engine in ("scalar", "batch"):
+        with use_engine(engine):
+            fresh = golden_snapshot(name, spec.execute(quick=True))
+        problems = compare_snapshots(
+            golden["scalars"], fresh, rel_tol=1e-6
+        )
+        assert not problems, (
+            f"{name} under engine={engine} drifted: {problems}"
+        )

@@ -87,3 +87,57 @@ class TestLinkStatistics:
     def test_ber_requires_data(self):
         with pytest.raises(MetricsError):
             LinkStatistics().ber
+
+
+class TestArrayDtypeContracts:
+    """Batching surfaced these: metrics must accept arrays and return
+    built-in Python types (no np.int64/np.float64 leaking into result
+    dataclasses or JSON manifests)."""
+
+    def test_bit_errors_accepts_numpy_arrays(self):
+        import numpy as np
+
+        sent = np.array([0, 1, 1, 0])
+        received = np.array([1, 1, 0, 0])
+        errors = bit_errors(sent, received)
+        assert errors == 2
+        assert type(errors) is int
+
+    def test_bit_errors_mixed_list_and_array(self):
+        import numpy as np
+
+        assert bit_errors([0, 1, 0], np.array([0, 0, 0])) == 1
+
+    def test_bit_errors_2d_batch(self):
+        import numpy as np
+
+        decoded = np.array([[0, 1], [1, 1]])
+        sent = np.array([[0, 0], [1, 1]])
+        assert bit_errors(decoded, sent) == 1
+
+    def test_bit_errors_shape_mismatch_raises(self):
+        import numpy as np
+
+        with pytest.raises(MetricsError):
+            bit_errors(np.zeros(3), np.zeros(4))
+        with pytest.raises(MetricsError):
+            bit_errors(np.zeros((2, 2)), np.zeros(4))
+
+    def test_bit_error_rate_returns_builtin_float(self):
+        import numpy as np
+
+        rate = bit_error_rate(np.array([0, 1, 1, 0]), np.array([1, 1, 1, 0]))
+        assert rate == 0.25
+        assert type(rate) is float
+
+    def test_bit_error_rate_2d_uses_total_bits(self):
+        import numpy as np
+
+        rate = bit_error_rate(np.zeros((2, 4)), np.ones((2, 4)))
+        assert rate == 1.0
+
+    def test_bit_error_rate_empty_array_raises(self):
+        import numpy as np
+
+        with pytest.raises(MetricsError):
+            bit_error_rate(np.zeros(0), np.zeros(0))
