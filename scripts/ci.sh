@@ -30,6 +30,13 @@
 #          engine's BER is byte-compared against the scalar engine's
 #          across hash seeds; any divergence beyond the documented
 #          tolerances (docs/PERFORMANCE.md) fails the gate.
+# Stage 9: obs-pipeline smoke -- the same short campaign runs with and
+#          without --obs and the two result.json sha256 digests must be
+#          byte-identical; the observed run's _obs self-telemetry is
+#          then queried over HTTP (/series, /healthz, /metrics) and
+#          summarised by `obs report`; finally the `obs trend` gate
+#          runs against the committed BENCH_*.json artifacts (must
+#          pass) and against an injected regression (must fail).
 #
 # Usage:  scripts/ci.sh [extra pytest args...]
 
@@ -325,5 +332,108 @@ assert answers[0] == answers[1], (
 )
 print("equivalence cross-check OK: scalar == batch across hash seeds")
 PY
+
+echo "== stage 9: obs-pipeline smoke (self-telemetry + trend gate) =="
+OBS_DIR="${OUT_DIR}/obs-pipeline"
+for arm in plain observed; do
+    OBS_FLAG=""
+    [ "${arm}" = "observed" ] && OBS_FLAG="--obs"
+    python -m repro.cli campaign run \
+        --state-dir "${OBS_DIR}/${arm}-state" \
+        --store "${OBS_DIR}/${arm}-store" ${OBS_FLAG} \
+        --epochs 4 --nodes 3 --hours-per-epoch 24 --seed 11 \
+        --epoch-timeout-s 0 > /dev/null
+done
+
+python - "${OBS_DIR}" <<'PY'
+import json
+import sys
+from pathlib import Path
+
+obs_dir = Path(sys.argv[1])
+digests = {
+    arm: json.loads((obs_dir / f"{arm}-state" / "result.json").read_text())["sha256"]
+    for arm in ("plain", "observed")
+}
+assert digests["plain"] == digests["observed"], (
+    f"--obs changed the result bytes: {digests}"
+)
+print(f"obs zero-effect OK: sha256 {digests['plain'][:16]}... both arms")
+PY
+
+python -m repro.cli obs report --store "${OBS_DIR}/observed-store" > /dev/null
+python -m repro.cli obs report --store "${OBS_DIR}/observed-store" --json \
+    > "${OBS_DIR}/report.json"
+python - "${OBS_DIR}/report.json" <<'PY'
+import json
+import sys
+
+report = json.load(open(sys.argv[1]))
+assert "campaign" in report["sources"], "obs report lost the campaign wall"
+metrics = report["sources"]["campaign"]["metrics"]
+for required in ("campaign.epoch_wall_s", "campaign.epochs_run"):
+    assert required in metrics, f"obs report missing {required}"
+print(f"obs report OK: {report['sources']['campaign']['series']} _obs series")
+PY
+
+OBS_SERVE_LOG="${OUT_DIR}/obs-serve.log"
+python -m repro.cli store serve --store "${OBS_DIR}/observed-store" --port 0 \
+    > "${OBS_SERVE_LOG}" 2>&1 &
+OBS_SERVE_PID=$!
+trap 'kill "${OBS_SERVE_PID}" 2>/dev/null || true; rm -rf "${OUT_DIR}"' EXIT
+
+OBS_BASE_URL=""
+for _ in $(seq 1 100); do
+    OBS_BASE_URL="$(sed -n 's/^serving .* on \(http:\/\/[^ ]*\)$/\1/p' "${OBS_SERVE_LOG}" | head -n 1)"
+    [ -n "${OBS_BASE_URL}" ] && break
+    sleep 0.1
+done
+[ -n "${OBS_BASE_URL}" ] || { echo "store serve never announced its port" >&2; exit 1; }
+
+python - "${OBS_BASE_URL}" <<'PY'
+import json
+import sys
+import urllib.request
+
+base = sys.argv[1]
+with urllib.request.urlopen(
+    base + "/series?building=_obs&wall=campaign&node=0"
+    "&metric=campaign.epoch_wall_s", timeout=10.0
+) as response:
+    series = json.load(response)
+assert series["rows"] == 4, f"expected 4 heartbeat ticks, got {series['rows']}"
+
+with urllib.request.urlopen(base + "/healthz", timeout=10.0) as response:
+    healthz = json.load(response)
+assert healthz["status"] == "ok"
+assert healthz["campaign"]["last_epoch"] == 4.0, healthz
+
+with urllib.request.urlopen(base + "/metrics", timeout=10.0) as response:
+    text = response.read().decode("utf-8")
+assert "# TYPE serve_requests counter" in text, "no request counters exposed"
+assert 'serve_request_s_bucket{path="/series"' in text, "no latency histogram"
+print(f"obs serving OK: {series['rows']} ticks over HTTP, /healthz + /metrics live")
+PY
+kill "${OBS_SERVE_PID}" 2>/dev/null || true
+wait "${OBS_SERVE_PID}" 2>/dev/null || true
+trap 'rm -rf "${OUT_DIR}"' EXIT
+
+REPRO_OBS_BENCH_SMOKE=1 REPRO_BENCH_OUT="${OUT_DIR}/BENCH_obs_smoke.json" \
+    python -m pytest benchmarks/test_obs_bench.py --benchmark-only \
+    --benchmark-disable-gc -q
+
+python -m repro.cli obs trend --bench-dir . --history BENCH_HISTORY.jsonl
+
+REGRESS_DIR="${OUT_DIR}/obs-regress"
+mkdir -p "${REGRESS_DIR}"
+cp BENCH_phy.json BENCH_store.json "${REGRESS_DIR}/"
+printf '{"schema": "repro/bench-obs/v1", "smoke": false, "overhead_pct": 50.0}\n' \
+    > "${REGRESS_DIR}/BENCH_obs.json"
+if python -m repro.cli obs trend --bench-dir "${REGRESS_DIR}" \
+    --history BENCH_HISTORY.jsonl > /dev/null 2>&1; then
+    echo "obs trend failed to flag an injected 50% overhead regression" >&2
+    exit 1
+fi
+echo "obs trend gate OK: committed artifacts pass, injected regression caught"
 
 echo "== CI OK =="

@@ -40,7 +40,15 @@ from ..faults import FaultInjector, FaultPlan
 from ..link import PlacedNode, PowerUpLink, WallSession
 from ..materials import get_concrete
 from ..node import EcoCapsule, Environment
-from ..obs import obs_counter, obs_event, obs_gauge, obs_histogram, obs_span
+from ..obs import (
+    obs_counter,
+    obs_enabled,
+    obs_event,
+    obs_gauge,
+    obs_histogram,
+    obs_span,
+)
+from ..obs.pipeline import MetricsRecorder
 from ..runtime.serialize import canonical_json, write_json_atomic
 from ..shm import (
     AnomalyWindow,
@@ -54,7 +62,7 @@ from ..shm import (
     grade_sections,
     worst_grade,
 )
-from ..store import TelemetryStore, ingest_series, ingest_session
+from ..store import OBS_BUILDING, TelemetryStore, ingest_series, ingest_session
 from .checkpoint import CheckpointStore
 from .config import CampaignConfig
 from .log import EpochLog
@@ -72,6 +80,14 @@ RESULT_FILENAME = "result.json"
 #: Series naming for telemetry exported by a campaign (``--store``).
 STORE_BUILDING = "campaign"
 STORE_WALL = "pilot"
+
+#: Heartbeat ticks buffered in memory between ``_obs`` store flushes.
+#: Ticks are pure in-memory delta computations; the batched flush (one
+#: non-durable block per touched series) amortises manifest rewrites so
+#: the recorder stays inside the <= 2% wall-time budget pinned by
+#: ``BENCH_obs.json``.  A crash loses at most this many ticks of
+#: self-telemetry -- never any experiment data.
+OBS_FLUSH_EPOCHS = 64
 
 
 @dataclass(frozen=True)
@@ -196,6 +212,15 @@ class Campaign:
             :class:`~repro.store.TelemetryStore` at this path.  Purely
             additive: the campaign result is byte-identical with or
             without a store attached.
+        record_obs: When True (requires ``store_dir``), an obs ->
+            store :class:`~repro.obs.pipeline.MetricsRecorder` ticks at
+            every epoch boundary, appending the campaign's own health
+            metrics (epoch wall time, checkpoint/export latency,
+            degradations, timeouts, RSS) as ``_obs/campaign`` series.
+            Same contract as the store itself: zero effect on the
+            result bytes -- the recorder never draws from experiment
+            RNG streams, and its timestamps are the deterministic
+            epoch-boundary hours.
     """
 
     def __init__(
@@ -204,6 +229,7 @@ class Campaign:
         state_dir: Optional[Union[str, Path]] = None,
         epoch_hook: Optional[Callable[[int], None]] = None,
         store_dir: Optional[Union[str, Path]] = None,
+        record_obs: bool = False,
     ):
         self.config = config
         self.state_dir = Path(state_dir) if state_dir is not None else None
@@ -211,6 +237,7 @@ class Campaign:
         self.store: Optional[CheckpointStore] = None
         self.log: Optional[EpochLog] = None
         self.telemetry: Optional[TelemetryStore] = None
+        self.recorder: Optional[MetricsRecorder] = None
         if self.state_dir is not None:
             self.store = CheckpointStore(
                 self.state_dir / CHECKPOINT_DIRNAME, keep=config.checkpoint_keep
@@ -218,6 +245,16 @@ class Campaign:
             self.log = EpochLog(self.state_dir / EPOCH_LOG_FILENAME)
         if store_dir is not None:
             self.telemetry = TelemetryStore(store_dir)
+        if record_obs:
+            if self.telemetry is None:
+                raise CampaignError(
+                    "record_obs requires a telemetry store (store_dir)"
+                )
+            self.recorder = MetricsRecorder(
+                self.telemetry,
+                source=STORE_BUILDING,
+                flush_every=OBS_FLUSH_EPOCHS,
+            )
 
     # ------------------------------------------------------------------
     # Construction / resume
@@ -229,6 +266,7 @@ class Campaign:
         state_dir: Union[str, Path],
         epoch_hook: Optional[Callable[[int], None]] = None,
         store_dir: Optional[Union[str, Path]] = None,
+        record_obs: bool = False,
     ) -> Tuple["Campaign", CampaignState]:
         """Reload a campaign from its newest good checkpoint.
 
@@ -252,12 +290,22 @@ class Campaign:
         state = CampaignState.from_dict(payload["state"])
         campaign = cls(
             config, state_dir=state_dir, epoch_hook=epoch_hook,
-            store_dir=store_dir,
+            store_dir=store_dir, record_obs=record_obs,
         )
         campaign._sync_log(state)
         if campaign.telemetry is not None:
+            # Heal experiment series and this campaign's own _obs
+            # heartbeat (both stamped on deterministic epoch hours) --
+            # but leave foreign _obs walls alone: a serve-tier recorder
+            # writing wall-clock hours into the same store must not
+            # lose its history to a campaign resume.
             campaign.telemetry.truncate_from(
-                state.epoch * float(config.hours_per_epoch)
+                state.epoch * float(config.hours_per_epoch),
+                keys=[
+                    key for key in campaign.telemetry.keys()
+                    if key.building != OBS_BUILDING
+                    or key.wall == STORE_BUILDING
+                ],
             )
         obs_counter("campaign.resumes").inc()
         obs_event(
@@ -391,6 +439,7 @@ class Campaign:
         """
         if self.telemetry is None:
             return
+        started = time.perf_counter()
         visit_hour = float(samples.epoch * self.config.hours_per_epoch)
         with self.telemetry.writer() as writer:
             ingest_series(
@@ -406,6 +455,9 @@ class Campaign:
                 visit_hour,
             )
         obs_counter("campaign.store_epochs").inc()
+        obs_histogram("campaign.export_s").observe(
+            time.perf_counter() - started
+        )
 
     def _epoch_grade(self, epoch: int, counts: np.ndarray) -> str:
         """The bridge-level PAO grade for this epoch's busiest hour."""
@@ -537,9 +589,93 @@ class Campaign:
 
     def _checkpoint(self, state: CampaignState) -> None:
         if self.store is not None:
+            started = time.perf_counter()
             self.store.save(
                 state.epoch, self.config.to_dict(), state.to_dict()
             )
+            obs_histogram("campaign.checkpoint_s").observe(
+                time.perf_counter() - started
+            )
+
+    def _pre_register_obs(self) -> None:
+        """Touch every heartbeat metric once, so the recorder's first
+        tick writes the full ``_obs/campaign`` series set (at zero) even
+        for a short clean run -- dashboards and the ``obs report`` verb
+        can rely on the series existing, not just on lucky incidents.
+        """
+        if not obs_enabled():
+            return
+        obs_counter("campaign.epochs_run")
+        obs_counter("campaign.degradations")
+        obs_counter("campaign.epoch_timeouts")
+        obs_counter("campaign.retries")
+        obs_counter("campaign.store_epochs")
+        obs_gauge("campaign.epoch")
+        obs_gauge("campaign.epoch_wall_s")
+        obs_histogram("campaign.epoch_s")
+        obs_histogram("campaign.checkpoint_s")
+        obs_histogram("campaign.export_s")
+
+    def _supervised_epoch(self, state: CampaignState) -> None:
+        """One epoch under the watchdog: run, record, log, checkpoint,
+        heartbeat.  Mutates ``state`` in place."""
+        config = self.config
+        epoch = state.epoch
+        boundary_rng = state.rng.getstate()
+        boundary_latches = dict(state.stuck_latches)
+        started = time.perf_counter()
+        try:
+            with obs_span(
+                "campaign.epoch", epoch=epoch,
+                storm=config.is_storm_epoch(epoch),
+            ):
+                with epoch_deadline(config.epoch_timeout_s):
+                    record = self._run_epoch(state)
+        except EpochTimeout:
+            # Roll the mutable streams back to the epoch boundary so
+            # the *next* epoch sees exactly the state it would have
+            # seen had this epoch never drawn anything.
+            state.rng.setstate(boundary_rng)
+            state.stuck_latches = boundary_latches
+            record = {
+                "epoch": epoch,
+                "status": "epoch_timeout",
+                "storm": config.is_storm_epoch(epoch),
+                "degraded": True,
+            }
+            state.timeouts.append(epoch)
+            obs_counter("campaign.epoch_timeouts").inc()
+            obs_event(
+                "warning", "campaign.epoch_timeout",
+                epoch=epoch, budget_s=config.epoch_timeout_s,
+            )
+        state.epoch_records.append(record)
+        state.epoch = epoch + 1
+        elapsed = time.perf_counter() - started
+        obs_counter("campaign.epochs_run").inc()
+        if record.get("degraded"):
+            obs_counter("campaign.degradations").inc()
+        obs_counter("campaign.retries").inc(record.get("retries", 0))
+        obs_gauge("campaign.epoch").set(state.epoch)
+        obs_gauge("campaign.epoch_wall_s").set(elapsed)
+        obs_histogram("campaign.epoch_s").observe(elapsed)
+        if self.log is not None:
+            # Wall time is audit-log-only: it must never reach
+            # state.epoch_records, which feed the byte-stable
+            # result.json.
+            self.log.append({**record, "elapsed_s": round(elapsed, 6)})
+        if (
+            state.epoch % config.checkpoint_interval == 0
+            or state.epoch == config.epochs
+        ):
+            self._checkpoint(state)
+        if self.recorder is not None:
+            # Heartbeat stamped at the completed epoch's START hour
+            # (after the log/checkpoint so their latencies land in this
+            # tick): resume truncation cuts t >= boundary *
+            # hours_per_epoch, which then removes exactly the replayed
+            # epochs' ticks and no others.
+            self.recorder.record(t=epoch * float(config.hours_per_epoch))
 
     def run(self, state: Optional[CampaignState] = None) -> CampaignOutcome:
         """Drive the campaign from ``state`` (or epoch zero) to the end.
@@ -555,56 +691,22 @@ class Campaign:
         resumed_from = state.epoch if state.epoch else None
         interrupted = False
         signal_name: Optional[str] = None
+        self._pre_register_obs()
 
-        with ShutdownGuard() as guard:
-            while state.epoch < config.epochs:
-                if guard.stop_requested:
-                    interrupted, signal_name = True, guard.signal_name
-                    break
-                epoch = state.epoch
-                boundary_rng = state.rng.getstate()
-                boundary_latches = dict(state.stuck_latches)
-                started = time.perf_counter()
-                try:
-                    with obs_span(
-                        "campaign.epoch", epoch=epoch,
-                        storm=config.is_storm_epoch(epoch),
-                    ):
-                        with epoch_deadline(config.epoch_timeout_s):
-                            record = self._run_epoch(state)
-                except EpochTimeout:
-                    # Roll the mutable streams back to the epoch
-                    # boundary so the *next* epoch sees exactly the
-                    # state it would have seen had this epoch never
-                    # drawn anything.
-                    state.rng.setstate(boundary_rng)
-                    state.stuck_latches = boundary_latches
-                    record = {
-                        "epoch": epoch,
-                        "status": "epoch_timeout",
-                        "storm": config.is_storm_epoch(epoch),
-                        "degraded": True,
-                    }
-                    state.timeouts.append(epoch)
-                    obs_counter("campaign.epoch_timeouts").inc()
-                    obs_event(
-                        "warning", "campaign.epoch_timeout",
-                        epoch=epoch, budget_s=config.epoch_timeout_s,
-                    )
-                state.epoch_records.append(record)
-                state.epoch = epoch + 1
-                obs_counter("campaign.epochs_run").inc()
-                obs_gauge("campaign.epoch").set(state.epoch)
-                obs_histogram("campaign.epoch_s").observe(
-                    time.perf_counter() - started
-                )
-                if self.log is not None:
-                    self.log.append(record)
-                if (
-                    state.epoch % config.checkpoint_interval == 0
-                    or state.epoch == config.epochs
-                ):
-                    self._checkpoint(state)
+        try:
+            with ShutdownGuard() as guard:
+                while state.epoch < config.epochs:
+                    if guard.stop_requested:
+                        interrupted, signal_name = True, guard.signal_name
+                        break
+                    self._supervised_epoch(state)
+        finally:
+            if self.recorder is not None:
+                # Buffered heartbeat ticks reach the store even when an
+                # exception (or KeyboardInterrupt) unwinds the loop;
+                # anything past the last checkpoint is truncated and
+                # replayed on resume anyway.
+                self.recorder.flush()
         if interrupted:
             self._checkpoint(state)
             obs_counter("campaign.interrupts").inc()
@@ -710,11 +812,12 @@ def run_campaign(
     state_dir: Optional[Union[str, Path]] = None,
     epoch_hook: Optional[Callable[[int], None]] = None,
     store_dir: Optional[Union[str, Path]] = None,
+    record_obs: bool = False,
 ) -> CampaignOutcome:
     """Start a fresh campaign (``campaign run``)."""
     return Campaign(
         config, state_dir=state_dir, epoch_hook=epoch_hook,
-        store_dir=store_dir,
+        store_dir=store_dir, record_obs=record_obs,
     ).run()
 
 
@@ -722,11 +825,13 @@ def resume_campaign(
     state_dir: Union[str, Path],
     epoch_hook: Optional[Callable[[int], None]] = None,
     store_dir: Optional[Union[str, Path]] = None,
+    record_obs: bool = False,
 ) -> CampaignOutcome:
     """Continue a campaign from its last good checkpoint
     (``campaign resume``)."""
     campaign, state = Campaign.resume(
-        state_dir, epoch_hook=epoch_hook, store_dir=store_dir
+        state_dir, epoch_hook=epoch_hook, store_dir=store_dir,
+        record_obs=record_obs,
     )
     return campaign.run(state)
 
@@ -742,11 +847,20 @@ def campaign_status(state_dir: Union[str, Path]) -> Dict[str, Any]:
         if store.quarantine_dir.is_dir()
         else []
     )
+    last = records[-1] if records else None
     status: Dict[str, Any] = {
         "state_dir": str(state_dir),
         "latest_checkpoint_epoch": store.latest_epoch(),
         "log_records": len(records),
-        "log_last_epoch": records[-1]["epoch"] if records else None,
+        "log_last_epoch": last["epoch"] if last else None,
+        # Operational read of the audit log: how the pilot is *running*
+        # (wall time, degradations, watchdog trips), not just where.
+        "last_epoch_wall_s": last.get("elapsed_s") if last else None,
+        "degraded_epochs": sum(1 for r in records if r.get("degraded")),
+        "epoch_timeouts": [
+            r["epoch"] for r in records if r.get("status") == "epoch_timeout"
+        ],
+        "total_retries": sum(r.get("retries", 0) for r in records),
         "quarantined": quarantined,
         "complete": (state_dir / RESULT_FILENAME).exists(),
     }

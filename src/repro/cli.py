@@ -522,6 +522,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         args, lambda hook: run_campaign(
             config, state_dir=args.state_dir or None, epoch_hook=hook,
             store_dir=args.store or None,
+            record_obs=bool(args.obs and args.store),
         )
     )
     return _print_campaign_outcome(args, outcome)
@@ -556,6 +557,7 @@ def _cmd_campaign_resume(args: argparse.Namespace) -> int:
             args, lambda hook: resume_campaign(
                 args.state_dir, epoch_hook=hook,
                 store_dir=args.store or None,
+                record_obs=bool(args.obs and args.store),
             )
         )
     except CampaignError as exc:
@@ -588,6 +590,12 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     if "checkpoint_error" in status:
         print(f"  CHECKPOINT ERROR: {status['checkpoint_error']}")
     print(f"  epoch log records:       {status['log_records']}")
+    if status["last_epoch_wall_s"] is not None:
+        print(f"  last epoch wall time:    {status['last_epoch_wall_s']:.3f} s")
+    print(f"  degraded epochs (log):   {status['degraded_epochs']}")
+    if status["epoch_timeouts"]:
+        print(f"  watchdog timeouts (log): {status['epoch_timeouts']}")
+    print(f"  TDMA retries (log):      {status['total_retries']}")
     if status["quarantined"]:
         print(
             f"  quarantined checkpoints: {len(status['quarantined'])} "
@@ -747,20 +755,95 @@ def _cmd_store_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_store_serve(args: argparse.Namespace) -> int:
+    import time as time_module
+
     from .store import StoreServer
 
-    server = StoreServer(_open_store(args), host=args.host, port=args.port)
+    store = _open_store(args)
+    server = StoreServer(store, host=args.host, port=args.port)
+    recorder = None
+    if args.self_record > 0.0:
+        from .obs.pipeline import MetricsRecorder
+
+        recorder = MetricsRecorder(
+            store, source="serve", registry=server.registry,
+            clock=lambda: time_module.time() / 3600.0,
+        ).start(interval_s=args.self_record)
     # The port line is machine-read by CI (ephemeral --port 0); keep it
     # first and flush before blocking.
     print(f"serving {args.store} on http://{args.host}:{server.port}", flush=True)
-    print("endpoints: /series /aggregate /health /stats  (Ctrl-C to stop)")
+    print(
+        "endpoints: /series /aggregate /health /stats /metrics /healthz"
+        "  (Ctrl-C to stop)"
+    )
+    if recorder is not None:
+        print(
+            f"self-recording serve metrics into _obs/serve every "
+            f"{args.self_record:g} s"
+        )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        if recorder is not None:
+            recorder.stop()
         server.server_close()
     return 0
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .errors import ObsError
+    from .obs.report import build_report, render_report_markdown
+
+    try:
+        report = build_report(_open_store(args))
+    except ObsError as exc:
+        raise SystemExit(f"obs report: {exc}")
+    if args.json:
+        print(json_module.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_report_markdown(report), end="")
+    return 0
+
+
+def _cmd_obs_trend(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .errors import ObsError
+    from .obs.trend import (
+        evaluate,
+        load_bench,
+        load_history,
+        record_history,
+        render_trend_text,
+    )
+
+    try:
+        readings = load_bench(args.bench_dir)
+        history = load_history(args.history)
+        verdicts = evaluate(readings, history, tolerance=args.tolerance)
+        if args.record:
+            record_history(args.history, readings)
+    except ObsError as exc:
+        raise SystemExit(f"obs trend: {exc}")
+    regressed = [v for v in verdicts if v["verdict"] == "regress"]
+    if args.json:
+        print(json_module.dumps(
+            {"verdicts": verdicts, "regressed": len(regressed)},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(f"bench trends vs {args.history} "
+              f"(tolerance {args.tolerance:.0%}):")
+        print(render_trend_text(verdicts))
+        print(
+            f"{len(regressed)} regression(s)" if regressed
+            else "no regressions"
+        )
+    return 1 if regressed else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1029,7 +1112,51 @@ def build_parser() -> argparse.ArgumentParser:
     st_serve.add_argument(
         "--port", type=int, default=8080, help="0 picks an ephemeral port"
     )
+    st_serve.add_argument(
+        "--self-record", type=float, default=0.0, metavar="SECONDS",
+        help="record the server's own request metrics into the store's "
+        "_obs/serve series at this cadence (0 disables)",
+    )
     st_serve.set_defaults(func=_cmd_store_serve)
+
+    obs = sub.add_parser(
+        "obs",
+        help="operational telemetry: health dossiers and bench trends",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    obs_report = obs_sub.add_parser(
+        "report",
+        help="summarize a store's _obs self-telemetry (markdown or JSON)",
+    )
+    obs_report.add_argument("--store", required=True, metavar="DIR",
+                            help="telemetry store directory")
+    obs_report.add_argument("--json", action="store_true")
+    obs_report.set_defaults(func=_cmd_obs_report)
+
+    obs_trend = obs_sub.add_parser(
+        "trend",
+        help="gate BENCH_*.json readings against floors and history",
+    )
+    obs_trend.add_argument(
+        "--bench-dir", default=".", metavar="DIR",
+        help="directory holding the BENCH_*.json artifacts",
+    )
+    obs_trend.add_argument(
+        "--history", default="BENCH_HISTORY.jsonl", metavar="FILE",
+        help="append-only JSONL of past readings (the baseline)",
+    )
+    obs_trend.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="relative slide off the history baseline tolerated "
+        "(default 0.25)",
+    )
+    obs_trend.add_argument(
+        "--record", action="store_true",
+        help="append the current non-smoke readings to the history",
+    )
+    obs_trend.add_argument("--json", action="store_true")
+    obs_trend.set_defaults(func=_cmd_obs_trend)
 
     return parser
 

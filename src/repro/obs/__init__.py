@@ -43,7 +43,10 @@ from .metrics import (
     METRICS_SCHEMA,
     MetricsRegistry,
     NULL_METRIC,
+    escape_label_value,
     parse_series,
+    prometheus_name,
+    render_prometheus_text,
     render_snapshot_text,
     series_name,
 )
@@ -79,6 +82,7 @@ __all__ = [
     "TRACE_SCHEMA",
     "Tracer",
     "activate_obs",
+    "escape_label_value",
     "obs_counter",
     "obs_enabled",
     "obs_event",
@@ -91,6 +95,8 @@ __all__ = [
     "observed",
     "parse_series",
     "peak_rss_kb",
+    "prometheus_name",
+    "render_prometheus_text",
     "render_snapshot_text",
     "restore_obs",
     "series_name",

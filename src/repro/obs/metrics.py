@@ -21,6 +21,7 @@ observability is off (see :mod:`repro.obs`).
 from __future__ import annotations
 
 import bisect
+import re
 import threading
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
@@ -356,6 +357,122 @@ def parse_series(series: str) -> Tuple[str, LabelItems]:
         key, _, value = part.partition("=")
         labels.append((key, value))
     return name, tuple(labels)
+
+
+#: Legal Prometheus metric-name characters; anything else becomes ``_``.
+_PROM_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+_PROM_FIRST_OK = re.compile(r"^[a-zA-Z_:]")
+
+#: Legal Prometheus label-name characters.
+_PROM_LABEL_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def prometheus_name(name: str) -> str:
+    """Map an internal dotted metric name onto a Prometheus-legal one.
+
+    Dots (our namespace separator) and every other illegal character
+    become underscores; a name whose first character is still illegal
+    (e.g. a digit) gains a leading underscore.  Deterministic, so the
+    same registry always exposes the same names.
+    """
+    mapped = _PROM_NAME_BAD.sub("_", name)
+    if not mapped:
+        return "_"
+    if not _PROM_FIRST_OK.match(mapped):
+        mapped = "_" + mapped
+    return mapped
+
+
+def prometheus_label_name(name: str) -> str:
+    """Map a label key onto a Prometheus-legal label name."""
+    mapped = _PROM_LABEL_BAD.sub("_", name)
+    if not mapped:
+        return "_"
+    if mapped[0].isdigit():
+        mapped = "_" + mapped
+    return mapped
+
+
+def escape_label_value(value: str) -> str:
+    """Escape one label value per the Prometheus text format.
+
+    Backslash, double quote and newline are the three characters the
+    exposition format escapes; everything else passes through verbatim.
+    """
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _prom_value(value: Any) -> str:
+    number = float(value)
+    if number != number:  # NaN
+        return "NaN"
+    if number in (float("inf"), float("-inf")):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _prom_labels(labels: LabelItems, extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    items = [
+        f'{prometheus_label_name(k)}="{escape_label_value(v)}"'
+        for k, v in tuple(labels) + tuple(extra)
+    ]
+    return "{" + ",".join(items) + "}" if items else ""
+
+
+def render_prometheus_text(snapshot: Mapping[str, Any]) -> str:
+    """Prometheus text-exposition rendering of a metrics snapshot.
+
+    The payload a ``/metrics`` scrape endpoint serves: one ``# TYPE``
+    line per metric family, then one sample line per labelled series,
+    with label values escaped per the exposition format.  Histograms
+    expand into cumulative ``_bucket{le=...}`` samples plus ``_sum``
+    and ``_count``.  Families and series are emitted in sorted order,
+    so two scrapes of the same registry state are byte-identical.
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+    for kind_key, prom_type in (
+        ("counters", "counter"), ("gauges", "gauge"), ("histograms", "histogram")
+    ):
+        for series, value in snapshot.get(kind_key, {}).items():
+            name, labels = parse_series(series)
+            family = families.setdefault(
+                prometheus_name(name), {"type": prom_type, "series": []}
+            )
+            family["series"].append((tuple(labels), value))
+    lines: List[str] = []
+    for name in sorted(families):
+        family = families[name]
+        lines.append(f"# TYPE {name} {family['type']}")
+        for labels, value in sorted(family["series"]):
+            if family["type"] == "histogram":
+                for bound, cum in value.get("buckets", []):
+                    le = "+Inf" if bound == "+inf" else _prom_value(bound)
+                    lines.append(
+                        f"{name}_bucket{_prom_labels(labels, (('le', le),))} "
+                        f"{_prom_value(cum)}"
+                    )
+                if not value.get("buckets"):
+                    lines.append(
+                        f"{name}_bucket{_prom_labels(labels, (('le', '+Inf'),))} "
+                        f"{_prom_value(value.get('count', 0))}"
+                    )
+                lines.append(
+                    f"{name}_sum{_prom_labels(labels)} "
+                    f"{_prom_value(value.get('sum', 0.0))}"
+                )
+                lines.append(
+                    f"{name}_count{_prom_labels(labels)} "
+                    f"{_prom_value(value.get('count', 0))}"
+                )
+            else:
+                lines.append(f"{name}{_prom_labels(labels)} {_prom_value(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 def render_snapshot_text(snapshot: Mapping[str, Any]) -> str:

@@ -1,0 +1,134 @@
+"""The ``obs report`` health dossier, built from stored ``_obs`` series.
+
+Reads back what the :mod:`repro.obs.pipeline` recorder wrote -- the
+counter deltas, gauge readings and histogram quantiles under the
+``_obs`` building -- and folds each source (``campaign``, ``serve``,
+...) into a summary an operator can read in one screen: activity
+totals, latency percentiles, degradation counters, and the top wall
+time sinks.  JSON for machines, markdown for humans.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Union
+
+from ..errors import ObsError
+from ..store.keys import OBS_BUILDING
+from ..store.query import QueryEngine
+from ..store.store import TelemetryStore
+
+#: Schema tag for the JSON dossier.
+OBS_REPORT_SCHEMA = "repro/obs-report/v1"
+
+#: Metrics surfaced as one-line highlights when present (all sources).
+HIGHLIGHT_METRICS = (
+    ("campaign.epochs_run", "total", "epochs run"),
+    ("campaign.epoch_wall_s", "last", "last epoch wall s"),
+    ("campaign.degradations", "total", "degraded epochs"),
+    ("campaign.epoch_timeouts", "total", "watchdog timeouts"),
+    ("campaign.retries", "total", "TDMA retries"),
+    ("serve.requests", "total", "http requests"),
+    ("store.rows_ingested", "total", "rows ingested"),
+    ("process.max_rss_kb", "max", "peak RSS kB"),
+)
+
+#: How many ``.sum`` series make the "top time sinks" table.
+TOP_SINKS = 5
+
+
+def build_report(
+    store: TelemetryStore, building: str = OBS_BUILDING
+) -> Dict[str, Any]:
+    """The dossier as a JSON-ready dict; raises when no ``_obs`` series
+    exist (nothing has self-recorded into this store yet)."""
+    engine = QueryEngine(store)
+    keys = sorted(k for k in store.keys() if k.building == building)
+    if not keys:
+        raise ObsError(
+            f"no {building!r} series in {store.root} -- run "
+            "`campaign run --store ... --obs` or `store serve "
+            "--self-record` first"
+        )
+    sources: Dict[str, Dict[str, Any]] = {}
+    for key in keys:
+        data = engine.series(key)
+        t, values = data["t"], data["value"]
+        if t.size == 0:
+            continue
+        source = sources.setdefault(
+            key.wall,
+            {"series": 0, "metrics": {}, "t0": float(t[0]), "t1": float(t[-1])},
+        )
+        source["series"] += 1
+        source["t0"] = min(source["t0"], float(t[0]))
+        source["t1"] = max(source["t1"], float(t[-1]))
+        source["metrics"][key.metric] = {
+            "samples": int(t.size),
+            "last": float(values[-1]),
+            "max": float(values.max()),
+            # Counters arrive as per-tick deltas, so their sum is the
+            # lifetime total; for gauges it is meaningless and unused.
+            "total": float(values.sum()),
+        }
+    for source in sources.values():
+        metrics = source["metrics"]
+        source["highlights"] = {
+            label: metrics[name][stat]
+            for name, stat, label in HIGHLIGHT_METRICS
+            if name in metrics
+        }
+        source["latency_p95"] = {
+            name[: -len(".p95")]: entry["last"]
+            for name, entry in sorted(metrics.items())
+            if name.endswith(".p95")
+        }
+        sinks = sorted(
+            (
+                (name[: -len(".sum")], entry["total"])
+                for name, entry in metrics.items()
+                if name.endswith("_s.sum")
+            ),
+            key=lambda item: -item[1],
+        )
+        source["top_time_sinks"] = [
+            [name, round(total, 6)] for name, total in sinks[:TOP_SINKS]
+        ]
+    return {
+        "schema": OBS_REPORT_SCHEMA,
+        "store": str(store.root),
+        "building": building,
+        "sources": sources,
+    }
+
+
+def render_report_markdown(report: Dict[str, Any]) -> str:
+    """The dossier as a markdown document."""
+    lines: List[str] = [
+        "# Operational telemetry report",
+        "",
+        f"Store: `{report['store']}` (building `{report['building']}`)",
+    ]
+    for name, source in sorted(report["sources"].items()):
+        lines += [
+            "",
+            f"## Source `{name}`",
+            "",
+            f"{source['series']} series spanning hours "
+            f"{source['t0']:g} to {source['t1']:g}.",
+        ]
+        if source["highlights"]:
+            lines += ["", "| highlight | value |", "| --- | --- |"]
+            for label, value in source["highlights"].items():
+                lines.append(f"| {label} | {value:g} |")
+        if source["latency_p95"]:
+            lines += ["", "| latency (p95, last tick) | seconds |",
+                      "| --- | --- |"]
+            for metric, value in source["latency_p95"].items():
+                lines.append(f"| {metric} | {value:.6g} |")
+        if source["top_time_sinks"]:
+            lines += ["", "| top time sinks | total seconds |",
+                      "| --- | --- |"]
+            for metric, total in source["top_time_sinks"]:
+                lines.append(f"| {metric} | {total:.6g} |")
+    lines.append("")
+    return "\n".join(lines)

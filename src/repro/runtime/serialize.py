@@ -93,13 +93,21 @@ def canonical_json(obj: Any) -> str:
     )
 
 
-def write_json_atomic(path: Union[str, Path], payload: Any) -> Path:
+def write_json_atomic(
+    path: Union[str, Path], payload: Any, fsync: bool = True
+) -> Path:
     """Write ``payload`` as indented JSON via a same-directory temp file.
 
     The fsync-then-rename keeps readers (and the result cache) from
     ever observing a half-written file, and -- because the data hits
     the platters before the rename -- a power cut leaves either the old
     file or the complete new one, never a truncated hybrid.
+
+    ``fsync=False`` keeps the rename atomicity (readers still never see
+    a partial file) but lets the page cache decide when bytes reach the
+    platters -- a power cut may then roll the file back to its previous
+    content.  Only loss-tolerant writers (the ``_obs`` telemetry
+    pipeline) opt into this.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -111,7 +119,8 @@ def write_json_atomic(path: Union[str, Path], payload: Any) -> Path:
         with os.fdopen(handle, "w") as tmp:
             tmp.write(text + "\n")
             tmp.flush()
-            os.fsync(tmp.fileno())
+            if fsync:
+                os.fsync(tmp.fileno())
         os.replace(tmp_name, path)
     except BaseException:
         if os.path.exists(tmp_name):

@@ -20,7 +20,7 @@ from .ingest import (
     ingest_series,
     ingest_session,
 )
-from .keys import MAX_NODE_ID, STRUCTURE_NODE_ID, SeriesKey
+from .keys import MAX_NODE_ID, OBS_BUILDING, STRUCTURE_NODE_ID, SeriesKey
 from .query import AGGREGATIONS, QueryEngine
 from .segment import (
     DAILY,
@@ -38,6 +38,7 @@ __all__ = [
     "DAILY",
     "HOURLY",
     "MAX_NODE_ID",
+    "OBS_BUILDING",
     "QueryEngine",
     "RAW",
     "RESOLUTIONS",

@@ -27,11 +27,18 @@ from ..errors import StoreError
 #: Reserved node id for structure-level (non-capsule) series.
 STRUCTURE_NODE_ID = 0
 
+#: Reserved building namespace for the system's own operational
+#: telemetry (the :mod:`repro.obs.pipeline` recorder).  Components
+#: starting with an underscore are reserved for such self-telemetry
+#: namespaces; experiment data should never use them.
+OBS_BUILDING = "_obs"
+
 #: Largest representable node id (the directory name is zero-padded).
 MAX_NODE_ID = 99_999
 
 #: Allowed shape of a name component (also a safe path component).
-_COMPONENT = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+#: A leading underscore marks a reserved namespace (e.g. ``_obs``).
+_COMPONENT = re.compile(r"^[A-Za-z0-9_][A-Za-z0-9._-]{0,63}$")
 
 _NODE_DIRNAME = re.compile(r"^n(\d{5})$")
 
@@ -41,7 +48,8 @@ def validate_component(name: str, what: str) -> str:
     if not isinstance(name, str) or not _COMPONENT.match(name):
         raise StoreError(
             f"invalid {what} {name!r}: need 1-64 chars of "
-            "[A-Za-z0-9._-] starting with an alphanumeric"
+            "[A-Za-z0-9._-] starting with an alphanumeric "
+            "(or an underscore for reserved namespaces)"
         )
     if name in (".", "..") or ".." in name:
         raise StoreError(f"invalid {what} {name!r}: path traversal")

@@ -286,8 +286,10 @@ class SegmentDir:
                 return [f"{res}: rows field disagrees with blocks"]
         return []
 
-    def _write_manifest(self, manifest: Dict[str, Any]) -> None:
-        write_json_atomic(self.manifest_path, manifest)
+    def _write_manifest(
+        self, manifest: Dict[str, Any], durable: bool = True
+    ) -> None:
+        write_json_atomic(self.manifest_path, manifest, fsync=durable)
         self._manifest = manifest
 
     def file_entry(self, resolution: str) -> Dict[str, Any]:
@@ -363,13 +365,20 @@ class SegmentDir:
     # ------------------------------------------------------------------
 
     def append_block(
-        self, resolution: str, arrays: Sequence[np.ndarray]
+        self, resolution: str, arrays: Sequence[np.ndarray], durable: bool = True
     ) -> Dict[str, Any]:
         """Append one block and acknowledge it in the manifest.
 
         ``arrays`` follow the resolution's column order.  Appends must
         advance time: the new block's ``t0`` may not precede the last
         acknowledged ``t1``.
+
+        ``durable=False`` skips both fsyncs (segment file and manifest).
+        A *process* crash still heals -- the page cache survives, and
+        any torn tail is cut back by :meth:`recover` -- but a power cut
+        can lose acknowledged rows (the manifest may reach disk before
+        the data, which :meth:`recover` then quarantines loudly).
+        Reserved for loss-tolerant series (``_obs`` self-telemetry).
         """
         self.recover()
         entry = self.file_entry(resolution)
@@ -385,12 +394,13 @@ class SegmentDir:
         with path.open("ab") as handle:
             handle.write(frame)
             handle.flush()
-            os.fsync(handle.fileno())
+            if durable:
+                os.fsync(handle.fileno())
         block = {"offset": entry["bytes"], **meta}
         entry["blocks"].append(block)
         entry["bytes"] += meta["length"]
         entry["rows"] += meta["n"]
-        self._write_manifest(self._load_manifest())
+        self._write_manifest(self._load_manifest(), durable=durable)
         obs_counter("store.blocks_written").inc()
         obs_counter("store.bytes_written").inc(meta["length"])
         return block

@@ -4,7 +4,7 @@ Stdlib-only (``http.server.ThreadingHTTPServer``) -- the point is the
 smart-building integration surface from the paper's Fig. 1f (facility
 dashboards polling wall health), not a production web stack.
 
-Endpoints (all GET, all JSON):
+Endpoints (all GET; JSON unless noted):
 
 * ``/health``              -- building health view (``?building=...``
   required; optional ``stale_hours``, ``t0``, ``t1``); the
@@ -16,26 +16,45 @@ Endpoints (all GET, all JSON):
   (``metric`` + ``agg`` required; optional filters, window,
   ``resolution``, ``group_by``).
 * ``/stats``               -- :meth:`TelemetryStore.stats`.
+* ``/metrics``             -- the server's metrics registry in
+  Prometheus text exposition format (``text/plain``); includes the
+  per-endpoint ``serve.requests``/``serve.request_s`` series the
+  handler itself maintains.
+* ``/healthz``             -- operational liveness: ``ok`` (200) or
+  ``degraded`` (503, when the store holds quarantined segments),
+  uptime, series/quarantine counts, and -- when a campaign has been
+  self-recording into ``_obs/campaign`` -- the last heartbeat epoch.
 
 Bad queries return 400 with ``{"error": ...}``; unknown paths 404;
-anything else 500.  Every response carries ``Content-Type:
-application/json``.
+anything else 500.
+
+Every request is measured on the server's registry (request counters
+and latency histograms labeled by path and status), so a scrape of
+``/metrics`` observes the serving tier observing itself.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qsl, urlsplit
 
 from ..errors import ReproError, StoreError
-from ..obs import obs_counter
-from .keys import SeriesKey
+from ..obs import MetricsRegistry, obs_counter, obs_registry, render_prometheus_text
+from .keys import OBS_BUILDING, STRUCTURE_NODE_ID, SeriesKey
 from .query import QueryEngine
 from .segment import RAW
 from .store import TelemetryStore
+
+#: Endpoints the handler reports per-path metrics for.  Unknown paths
+#: collapse into one ``other`` label so a URL-scanning client cannot
+#: inflate the registry with unbounded label values.
+KNOWN_ENDPOINTS = (
+    "/aggregate", "/health", "/healthz", "/metrics", "/series", "/stats",
+)
 
 
 def _opt_float(params: Dict[str, str], name: str) -> Optional[float]:
@@ -64,18 +83,77 @@ class StoreServer(ThreadingHTTPServer):
         store: TelemetryStore,
         host: str = "127.0.0.1",
         port: int = 0,
+        registry: Optional[MetricsRegistry] = None,
     ):
         super().__init__((host, port), StoreRequestHandler)
         self.store = store
         self.engine = QueryEngine(store)
+        # The server's own registry: an explicit one, else the live obs
+        # registry, else a private one -- /metrics always has something
+        # real to expose, even with observability off globally.
+        self.registry = (
+            registry if registry is not None
+            else (obs_registry() or MetricsRegistry())
+        )
+        self.started_monotonic = time.monotonic()
 
     @property
     def port(self) -> int:
         return int(self.server_address[1])
 
+    def observe_request(
+        self, path: str, status: int, elapsed_s: float
+    ) -> None:
+        """Fold one handled request into the server's registry."""
+        endpoint = path if path in KNOWN_ENDPOINTS else "other"
+        self.registry.counter("serve.requests").labels(
+            path=endpoint, status=status
+        ).inc()
+        self.registry.histogram("serve.request_s").labels(
+            path=endpoint
+        ).observe(elapsed_s)
+
     # ------------------------------------------------------------------
     # Routing (shared by every handler thread; queries are read-only)
     # ------------------------------------------------------------------
+
+    def metrics_text(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        return render_prometheus_text(self.registry.snapshot())
+
+    def healthz(self) -> Tuple[Dict[str, Any], int]:
+        """Liveness payload and its HTTP status (200 ok / 503 degraded).
+
+        ``ok`` means the store is readable and nothing is quarantined.
+        When a campaign heartbeat exists under ``_obs/campaign`` its
+        last epoch/tick ride along, so one probe answers both "is the
+        store serving" and "is the pilot still advancing".
+        """
+        quarantined = (
+            sum(1 for _ in self.store.quarantine_dir.iterdir())
+            if self.store.quarantine_dir.is_dir()
+            else 0
+        )
+        payload: Dict[str, Any] = {
+            "status": "ok" if quarantined == 0 else "degraded",
+            "uptime_s": round(time.monotonic() - self.started_monotonic, 3),
+            "series_count": len(self.store.keys()),
+            "quarantined_segments": quarantined,
+        }
+        heartbeat = SeriesKey(
+            building=OBS_BUILDING, wall="campaign",
+            node_id=STRUCTURE_NODE_ID, metric="campaign.epoch",
+        )
+        try:
+            latest = self.engine.latest(heartbeat)
+        except (StoreError, ReproError):
+            latest = None
+        if latest is not None:
+            payload["campaign"] = {
+                "last_epoch": latest["value"],
+                "last_tick_hours": latest["t"],
+            }
+        return payload, (200 if payload["status"] == "ok" else 503)
 
     def route(self, path: str, params: Dict[str, str]) -> Dict[str, Any]:
         if path == "/stats":
@@ -138,21 +216,40 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802  (http.server's casing)
         obs_counter("store.http_requests").inc()
+        started = time.perf_counter()
         parsed = urlsplit(self.path)
         params = dict(parse_qsl(parsed.query))
+        content_type = "application/json"
         try:
-            payload, status = self.server.route(parsed.path, params), 200
+            if parsed.path == "/metrics":
+                # Rendered before observe_request, so the scrape a
+                # client reads never includes the scrape itself --
+                # each sample shows up from the *next* scrape on.
+                text, status = self.server.metrics_text(), 200
+                body = text.encode("utf-8")
+                content_type = "text/plain; version=0.0.4; charset=utf-8"
+            elif parsed.path == "/healthz":
+                payload, status = self.server.healthz()
+                body = json.dumps(payload).encode("utf-8")
+            else:
+                payload, status = self.server.route(parsed.path, params), 200
+                body = json.dumps(payload).encode("utf-8")
         except LookupError:
             payload, status = {"error": f"no such endpoint {parsed.path!r}"}, 404
+            body = json.dumps(payload).encode("utf-8")
         except (StoreError, ReproError) as exc:
             payload, status = {"error": str(exc)}, 400
+            body = json.dumps(payload).encode("utf-8")
         except Exception as exc:  # pragma: no cover - defensive
             payload, status = {"error": f"internal error: {exc!r}"}, 500
-        if status != 200:
+            body = json.dumps(payload).encode("utf-8")
+        if status not in (200, 503):
             obs_counter("store.http_errors").inc()
-        body = json.dumps(payload).encode("utf-8")
+        self.server.observe_request(
+            parsed.path, status, time.perf_counter() - started
+        )
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -162,10 +259,13 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
 
 
 def serve_background(
-    store: TelemetryStore, host: str = "127.0.0.1", port: int = 0
+    store: TelemetryStore,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    registry: Optional[MetricsRegistry] = None,
 ) -> Tuple[StoreServer, threading.Thread]:
     """Start a server on a daemon thread; caller owns ``.shutdown()``."""
-    server = StoreServer(store, host=host, port=port)
+    server = StoreServer(store, host=host, port=port, registry=registry)
     thread = threading.Thread(
         target=server.serve_forever, name="store-serve", daemon=True
     )

@@ -118,9 +118,16 @@ class TelemetryStore:
     # Write / read
     # ------------------------------------------------------------------
 
-    def writer(self, flush_rows: int = 200_000) -> "StoreWriter":
-        """A batched writer (use as a context manager to auto-flush)."""
-        return StoreWriter(self, flush_rows=flush_rows)
+    def writer(
+        self, flush_rows: int = 200_000, durable: bool = True
+    ) -> "StoreWriter":
+        """A batched writer (use as a context manager to auto-flush).
+
+        ``durable=False`` skips per-block fsyncs -- see
+        :meth:`.segment.SegmentDir.append_block`; only loss-tolerant
+        writers (the ``_obs`` telemetry pipeline) should opt in.
+        """
+        return StoreWriter(self, flush_rows=flush_rows, durable=durable)
 
     def append(
         self,
@@ -218,11 +225,17 @@ class StoreWriter:
     Not thread-safe: one writer per ingesting thread.
     """
 
-    def __init__(self, store: TelemetryStore, flush_rows: int = 200_000):
+    def __init__(
+        self,
+        store: TelemetryStore,
+        flush_rows: int = 200_000,
+        durable: bool = True,
+    ):
         if flush_rows < 1:
             raise StoreError(f"flush_rows must be >= 1, got {flush_rows}")
         self.store = store
         self.flush_rows = flush_rows
+        self.durable = durable
         self._buffers: Dict[SeriesKey, List[Tuple[np.ndarray, np.ndarray]]] = {}
         self._buffered_rows = 0
         self.rows_written = 0
@@ -273,7 +286,9 @@ class StoreWriter:
             if t.size > 1 and bool(np.any(np.diff(t) < 0.0)):
                 order = np.argsort(t, kind="stable")
                 t, v = t[order], v[order]
-            self.store.segment(key).append_block(RAW, [t, v])
+            self.store.segment(key).append_block(
+                RAW, [t, v], durable=self.durable
+            )
             flushed += t.size
         self._buffers.clear()
         self._buffered_rows = 0

@@ -1,0 +1,196 @@
+"""Prometheus text exposition edge cases (repro/obs/metrics.py).
+
+The /metrics scrape surface is only useful if its encoding is exactly
+right in the corners: label values holding quotes/backslashes/newlines,
+empty registries, histogram bucket boundaries, and snapshot merging
+that round-trips without drift.
+"""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    escape_label_value,
+    prometheus_name,
+    render_prometheus_text,
+)
+from repro.obs.metrics import prometheus_label_name
+
+
+class TestEscaping:
+    def test_backslash_is_escaped_first(self):
+        # A backslash in the input must not double-escape the quote
+        # escape that follows it.
+        assert escape_label_value(r'a\"b') == r'a\\\"b'
+
+    def test_quote(self):
+        assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+
+    def test_newline(self):
+        assert escape_label_value("line1\nline2") == "line1\\nline2"
+
+    def test_all_three_in_one_rendered_line(self):
+        registry = MetricsRegistry()
+        registry.counter("evil").labels(path='a\\b"c\nd').inc()
+        text = render_prometheus_text(registry.snapshot())
+        assert 'evil{path="a\\\\b\\"c\\nd"} 1' in text
+
+    def test_plain_values_pass_through(self):
+        assert escape_label_value("/series?x=1") == "/series?x=1"
+
+
+class TestNameSanitization:
+    def test_dots_become_underscores(self):
+        assert prometheus_name("campaign.epoch_wall_s") == "campaign_epoch_wall_s"
+
+    def test_leading_digit_gains_underscore(self):
+        assert prometheus_name("9lives") == "_9lives"
+
+    def test_colon_is_legal(self):
+        assert prometheus_name("ns:metric") == "ns:metric"
+
+    def test_label_name_sanitized(self):
+        assert prometheus_label_name("http.status") == "http_status"
+        assert prometheus_label_name("2xx") == "_2xx"
+
+
+class TestRendering:
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus_text(MetricsRegistry().snapshot()) == ""
+
+    def test_empty_snapshot_kinds_render_empty(self):
+        assert render_prometheus_text(
+            {"counters": {}, "gauges": {}, "histograms": {}}
+        ) == ""
+
+    def test_type_lines_and_sorted_families(self):
+        registry = MetricsRegistry()
+        registry.gauge("b.gauge").set(2.0)
+        registry.counter("a.counter").inc(3)
+        text = render_prometheus_text(registry.snapshot())
+        lines = text.splitlines()
+        assert lines[0] == "# TYPE a_counter counter"
+        assert lines[1] == "a_counter 3"
+        assert lines[2] == "# TYPE b_gauge gauge"
+        assert lines[3] == "b_gauge 2"
+
+    def test_deterministic_byte_for_byte(self):
+        registry = MetricsRegistry()
+        registry.counter("x").labels(b="2").inc()
+        registry.counter("x").labels(a="1").inc()
+        snap = registry.snapshot()
+        assert render_prometheus_text(snap) == render_prometheus_text(snap)
+
+    def test_nonfinite_values(self):
+        registry = MetricsRegistry()
+        registry.gauge("pos").set(float("inf"))
+        registry.gauge("neg").set(float("-inf"))
+        registry.gauge("nan").set(float("nan"))
+        text = render_prometheus_text(registry.snapshot())
+        assert "pos +Inf" in text
+        assert "neg -Inf" in text
+        assert "nan NaN" in text
+
+    def test_trailing_newline_present_when_nonempty(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        assert render_prometheus_text(registry.snapshot()).endswith("\n")
+
+
+class TestHistogramBuckets:
+    def test_boundary_value_counts_into_its_bucket(self):
+        # Prometheus `le` is inclusive: an observation exactly on a
+        # bound lands in that bound's bucket.
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0, 2.0))
+        hist.observe(1.0)   # le="1"
+        hist.observe(1.5)   # le="2"
+        hist.observe(2.5)   # +Inf overflow
+        text = render_prometheus_text(registry.snapshot())
+        assert 'h_bucket{le="1"} 1' in text
+        assert 'h_bucket{le="2"} 2' in text
+        assert 'h_bucket{le="+Inf"} 3' in text
+        assert "h_sum 5" in text
+        assert "h_count 3" in text
+
+    def test_buckets_are_cumulative_and_ordered(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0, 50.0):
+            hist.observe(v)
+        lines = [
+            line for line in
+            render_prometheus_text(registry.snapshot()).splitlines()
+            if line.startswith("h_bucket")
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts) == [1, 2, 3, 4]
+        assert lines[-1].startswith('h_bucket{le="+Inf"}')
+
+    def test_bucketless_summary_falls_back_to_single_inf_bucket(self):
+        # A merged/foreign snapshot may carry histograms without bucket
+        # detail; exposition still emits a valid single-bucket family.
+        snapshot = {
+            "histograms": {"h": {"count": 4, "sum": 2.0, "buckets": []}}
+        }
+        text = render_prometheus_text(snapshot)
+        assert 'h_bucket{le="+Inf"} 4' in text
+        assert "h_sum 2" in text
+        assert "h_count 4" in text
+
+    def test_labeled_histogram_keeps_labels_on_every_sample(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(1.0,)).labels(path="/x").observe(0.5)
+        text = render_prometheus_text(registry.snapshot())
+        assert 'lat_bucket{path="/x",le="1"} 1' in text
+        assert 'lat_sum{path="/x"} 0.5' in text
+        assert 'lat_count{path="/x"} 1' in text
+
+
+class TestMergeIdempotence:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs").inc(7)
+        registry.counter("req").labels(path="/series", status="200").inc(2)
+        registry.gauge("rss").set(123.5)
+        hist = registry.histogram("lat")  # default buckets, so a merge
+        for v in (0.004, 0.07, 2.0):      # target rebuilds identically
+            hist.observe(v)
+        return registry
+
+    def test_merge_into_empty_reproduces_snapshot(self):
+        source = self._populated()
+        snap = source.snapshot()
+        target = MetricsRegistry()
+        target.merge_snapshot(snap)
+        assert target.snapshot() == snap
+
+    def test_merge_after_snapshot_is_stable_through_rounds(self):
+        # snapshot -> merge -> snapshot -> merge must not drift: the
+        # second round-trip reproduces the first's bytes exactly.
+        snap = self._populated().snapshot()
+        once = MetricsRegistry()
+        once.merge_snapshot(snap)
+        twice = MetricsRegistry()
+        twice.merge_snapshot(once.snapshot())
+        assert twice.snapshot() == snap
+        assert render_prometheus_text(twice.snapshot()) == \
+            render_prometheus_text(snap)
+
+    def test_merge_twice_doubles_counters_not_gauges(self):
+        snap = self._populated().snapshot()
+        target = MetricsRegistry()
+        target.merge_snapshot(snap)
+        target.merge_snapshot(snap)
+        merged = target.snapshot()
+        assert merged["counters"]["jobs"] == 14
+        assert merged["gauges"]["rss"] == 123.5
+        assert merged["histograms"]["lat"]["count"] == 6
+
+    def test_histogram_minmax_survive_merge(self):
+        snap = self._populated().snapshot()
+        target = MetricsRegistry()
+        target.merge_snapshot(snap)
+        summary = target.snapshot()["histograms"]["lat"]
+        assert summary["min"] == pytest.approx(0.004)
+        assert summary["max"] == pytest.approx(2.0)

@@ -8,6 +8,7 @@ import urllib.request
 import numpy as np
 import pytest
 
+from repro.obs import MetricsRegistry
 from repro.store import (
     QueryEngine,
     SeriesKey,
@@ -29,7 +30,7 @@ def served(tmp_path):
         hours, 118.0 + 0.1 * np.sin(hours),
     )
     store.compact()
-    server, thread = serve_background(store)
+    server, thread = serve_background(store, registry=MetricsRegistry())
     yield store, f"http://127.0.0.1:{server.port}"
     server.shutdown()
     thread.join(timeout=5.0)
@@ -122,3 +123,75 @@ class TestErrors:
         _, base = served
         code, payload = _get_error(base + "/health?building=atlantis")
         assert code == 400 and "atlantis" in payload["error"]
+
+
+def _get_text(url):
+    with urllib.request.urlopen(url, timeout=10.0) as response:
+        assert response.headers["Content-Type"].startswith("text/plain")
+        return response.read().decode("utf-8")
+
+
+class TestObservabilityEndpoints:
+    def test_healthz_ok(self, served):
+        _, base = served
+        payload = _get(base + "/healthz")
+        assert payload["status"] == "ok"
+        assert payload["series_count"] == 2
+        assert payload["quarantined_segments"] == 0
+        assert payload["uptime_s"] >= 0.0
+        assert "campaign" not in payload  # no heartbeat in this store
+
+    def test_healthz_degraded_503_on_quarantine(self, served):
+        store, base = served
+        store.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        (store.quarantine_dir / "segment.bad").write_bytes(b"corrupt")
+        code, payload = _get_error(base + "/healthz")
+        assert code == 503
+        assert payload["status"] == "degraded"
+        assert payload["quarantined_segments"] == 1
+
+    def test_metrics_exposition_has_request_counters(self, served):
+        _, base = served
+        _get(base + "/stats")
+        _get_error(base + "/nope")
+        text = _get_text(base + "/metrics")
+        assert "# TYPE serve_requests counter" in text
+        assert 'serve_requests{path="/stats",status="200"} 1' in text
+        # Unknown paths collapse into one label value (no cardinality
+        # explosion from URL scanners).
+        assert 'serve_requests{path="other",status="404"} 1' in text
+
+    def test_metrics_exposition_has_latency_histograms(self, served):
+        _, base = served
+        _get(base + "/stats")
+        text = _get_text(base + "/metrics")
+        assert 'serve_request_s_bucket{path="/stats",le="+Inf"} 1' in text
+        assert 'serve_request_s_count{path="/stats"} 1' in text
+
+    def test_requests_accumulate_across_scrapes(self, served):
+        _, base = served
+        for _ in range(3):
+            _get(base + "/stats")
+        text = _get_text(base + "/metrics")
+        assert 'serve_requests{path="/stats",status="200"} 3' in text
+        # /metrics itself is measured from the next scrape on.
+        text = _get_text(base + "/metrics")
+        assert 'serve_requests{path="/metrics",status="200"} 1' in text
+
+    def test_healthz_surfaces_campaign_heartbeat(self, tmp_path):
+        from repro.store import OBS_BUILDING
+
+        store = TelemetryStore(tmp_path / "hb")
+        store.append(
+            SeriesKey(OBS_BUILDING, "campaign", 0, "campaign.epoch"),
+            [0.0, 24.0], [1.0, 2.0],
+        )
+        server, thread = serve_background(store, registry=MetricsRegistry())
+        try:
+            payload = _get(f"http://127.0.0.1:{server.port}/healthz")
+            assert payload["campaign"] == {
+                "last_epoch": 2.0, "last_tick_hours": 24.0,
+            }
+        finally:
+            server.shutdown()
+            thread.join(timeout=5.0)

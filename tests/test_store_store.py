@@ -90,6 +90,34 @@ class TestWriter:
                 raise RuntimeError("abort ingest")
         assert store.read(KEY)["t"].size == 0
 
+    def test_non_durable_writer_reads_back_identically(self, tmp_path):
+        # durable=False only skips fsyncs -- bytes, ordering and the
+        # manifest acknowledgement are exactly the durable path's.
+        durable = TelemetryStore(tmp_path / "d")
+        relaxed = TelemetryStore(tmp_path / "r")
+        for store, flag in ((durable, True), (relaxed, False)):
+            with store.writer(durable=flag) as writer:
+                writer.add(KEY, [0.0, 1.0, 2.0], [5.0, 6.0, 7.0])
+        pa = durable.segment(KEY).seg_path("raw")
+        pb = relaxed.segment(KEY).seg_path("raw")
+        assert pa.read_bytes() == pb.read_bytes()
+        assert np.array_equal(relaxed.read(KEY)["value"], [5.0, 6.0, 7.0])
+
+    def test_non_durable_appends_stay_ordered_and_recoverable(self, tmp_path):
+        store = TelemetryStore(tmp_path)
+        store.writer(durable=False).__enter__()  # writer alone writes nothing
+        with store.writer(durable=False) as writer:
+            writer.add(KEY, [0.0, 1.0], [1.0, 2.0])
+        with store.writer(durable=False) as writer:
+            writer.add(KEY, [2.0], [3.0])
+        # A torn tail on a non-durable segment still heals on append.
+        path = store.segment(KEY).seg_path("raw")
+        with path.open("ab") as handle:
+            handle.write(b"torn!")
+        with store.writer(durable=False) as writer:
+            writer.add(KEY, [3.0], [4.0])
+        assert np.array_equal(store.read(KEY)["value"], [1.0, 2.0, 3.0, 4.0])
+
     def test_identical_sequences_identical_bytes(self, tmp_path):
         def build(root):
             store = TelemetryStore(root)
