@@ -37,6 +37,12 @@
 #          summarised by `obs report`; finally the `obs trend` gate
 #          runs against the committed BENCH_*.json artifacts (must
 #          pass) and against an injected regression (must fail).
+# Stage 10: fleet smoke -- the same small fleet runs on 1 worker and on
+#          a 4-worker pool (sha256 must match); the supervisor is then
+#          SIGKILLed mid-epoch and `fleet resume` must converge on the
+#          same sha256; an injected poison shard must exit 4 with the
+#          quarantine recorded in the result body and `fleet status`;
+#          the fleet benchmark smoke closes the stage.
 #
 # Usage:  scripts/ci.sh [extra pytest args...]
 
@@ -435,5 +441,136 @@ if python -m repro.cli obs trend --bench-dir "${REGRESS_DIR}" \
     exit 1
 fi
 echo "obs trend gate OK: committed artifacts pass, injected regression caught"
+
+echo "== stage 10: fleet smoke (sharding + SIGKILL + resume + quarantine) =="
+FLEET_ARGS=(--buildings 4 --epochs 3 --nodes 2 --hours-per-epoch 6
+    --storm-period 2 --storm-duration 1 --epoch-timeout-s 30
+    --backoff-base-s 0.05 --backoff-max-s 0.5)
+
+python -m repro.cli fleet run --fleet-dir "${OUT_DIR}/fleet-solo" \
+    "${FLEET_ARGS[@]}" --workers 1 > /dev/null
+python -m repro.cli fleet run --fleet-dir "${OUT_DIR}/fleet-pool" \
+    "${FLEET_ARGS[@]}" --workers 4 > /dev/null
+
+FLEET_HASH="$(python - "${OUT_DIR}" <<'PY'
+import json
+import sys
+from pathlib import Path
+
+out_dir = Path(sys.argv[1])
+digests = {
+    arm: json.loads((out_dir / f"fleet-{arm}" / "result.json").read_text())["sha256"]
+    for arm in ("solo", "pool")
+}
+assert digests["solo"] == digests["pool"], (
+    f"fleet hash depends on the worker count: {digests}"
+)
+print(digests["pool"])
+PY
+)"
+echo "fleet worker-count invariance OK (${FLEET_HASH})"
+
+# SIGKILL the whole supervisor mid-epoch; resume must converge on the
+# same bytes (PR_SET_PDEATHSIG takes the orphaned workers down too).
+FLEET_KILL_DIR="${OUT_DIR}/fleet-kill"
+python -m repro.cli fleet run --fleet-dir "${FLEET_KILL_DIR}" \
+    "${FLEET_ARGS[@]}" --workers 4 --epoch-sleep-s 0.4 \
+    > /dev/null 2>&1 &
+FLEET_PID=$!
+
+FLEET_MARKER="${FLEET_KILL_DIR}/shards/b001/checkpoints/epoch-000001.json"
+for _ in $(seq 1 600); do
+    [ -f "${FLEET_MARKER}" ] && break
+    if ! kill -0 "${FLEET_PID}" 2>/dev/null; then
+        echo "fleet exited before it could be killed" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+[ -f "${FLEET_MARKER}" ] || { echo "no shard checkpoint appeared in time" >&2; exit 1; }
+kill -9 "${FLEET_PID}" 2>/dev/null || true
+wait "${FLEET_PID}" 2>/dev/null || true
+
+if [ -f "${FLEET_KILL_DIR}/result.json" ]; then
+    echo "fleet finished before the kill; nothing was tested" >&2
+    exit 1
+fi
+
+python -m repro.cli fleet status --fleet-dir "${FLEET_KILL_DIR}"
+python -m repro.cli fleet resume --fleet-dir "${FLEET_KILL_DIR}" > /dev/null
+
+RESUMED_FLEET_HASH="$(python - "${FLEET_KILL_DIR}/result.json" <<'PY'
+import json
+import sys
+
+print(json.load(open(sys.argv[1]))["sha256"])
+PY
+)"
+if [ "${RESUMED_FLEET_HASH}" != "${FLEET_HASH}" ]; then
+    echo "resumed fleet diverged from the uninterrupted reference:" >&2
+    echo "  resumed:   ${RESUMED_FLEET_HASH}" >&2
+    echo "  reference: ${FLEET_HASH}" >&2
+    exit 1
+fi
+echo "fleet kill smoke OK: SIGKILL mid-epoch + resume == uninterrupted"
+
+# Poison shard: b003 fails every attempt -> quarantine, survivors
+# complete, exit code 4, and the loss is visible everywhere.
+FLEET_PLAN="${OUT_DIR}/fleet-poison.json"
+python - "${FLEET_PLAN}" <<'PY'
+import sys
+
+from repro.faults import WorkerFault, WorkerFaultPlan
+
+WorkerFaultPlan(faults=(
+    WorkerFault(building="b003", epoch=1, action="poison"),
+)).to_json_file(sys.argv[1])
+PY
+
+set +e
+python -m repro.cli fleet run --fleet-dir "${OUT_DIR}/fleet-poison" \
+    "${FLEET_ARGS[@]}" --workers 4 --max-restarts 2 \
+    --worker-faults "${FLEET_PLAN}" > /dev/null
+FLEET_RC=$?
+set -e
+if [ "${FLEET_RC}" -ne 4 ]; then
+    echo "poisoned fleet should exit 4 (quarantined), got ${FLEET_RC}" >&2
+    exit 1
+fi
+
+python -m repro.cli fleet status --fleet-dir "${OUT_DIR}/fleet-poison" --json \
+    > "${OUT_DIR}/fleet-poison-status.json"
+python - "${OUT_DIR}" <<'PY'
+import json
+import sys
+from pathlib import Path
+
+out_dir = Path(sys.argv[1])
+result = json.loads((out_dir / "fleet-poison" / "result.json").read_text())
+assert result["result"]["quarantined"] == ["b003"], result["result"]["quarantined"]
+assert result["result"]["totals"]["completed"] == 3
+status = json.loads((out_dir / "fleet-poison-status.json").read_text())
+assert status["summary"]["quarantined"] == 1, status["summary"]
+assert status["shards"]["b003"]["status"] == "quarantined"
+assert status["shards"]["b003"]["quarantine_reason"]
+print("fleet quarantine smoke OK: b003 poisoned, 3 survivors, exit 4")
+PY
+
+REPRO_FLEET_BENCH_SMOKE=1 REPRO_BENCH_OUT="${OUT_DIR}/BENCH_fleet_smoke.json" \
+    python -m pytest benchmarks/test_fleet_bench.py --benchmark-only \
+    --benchmark-disable-gc -q
+python - "${OUT_DIR}/BENCH_fleet_smoke.json" <<'PY'
+import json
+import sys
+
+bench = json.load(open(sys.argv[1]))
+assert bench["schema"] == "repro/bench-fleet/v1"
+assert bench["smoke"] is True
+assert bench["result_hash_identical"] is True
+print(
+    f"fleet bench smoke OK: {bench['buildings_per_min']} buildings/min, "
+    f"restart overhead {bench['restart_overhead_pct']}%"
+)
+PY
 
 echo "== CI OK =="

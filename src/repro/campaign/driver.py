@@ -221,6 +221,11 @@ class Campaign:
             result bytes -- the recorder never draws from experiment
             RNG streams, and its timestamps are the deterministic
             epoch-boundary hours.
+        store_building: Building component for exported series (and the
+            ``_obs`` wall for the recorder).  Fleet workers set this to
+            their shard's building name so many campaigns can share one
+            store root without colliding partitions.
+        store_wall: Wall component for exported series.
     """
 
     def __init__(
@@ -230,10 +235,14 @@ class Campaign:
         epoch_hook: Optional[Callable[[int], None]] = None,
         store_dir: Optional[Union[str, Path]] = None,
         record_obs: bool = False,
+        store_building: str = STORE_BUILDING,
+        store_wall: str = STORE_WALL,
     ):
         self.config = config
         self.state_dir = Path(state_dir) if state_dir is not None else None
         self.epoch_hook = epoch_hook
+        self.store_building = store_building
+        self.store_wall = store_wall
         self.store: Optional[CheckpointStore] = None
         self.log: Optional[EpochLog] = None
         self.telemetry: Optional[TelemetryStore] = None
@@ -252,7 +261,7 @@ class Campaign:
                 )
             self.recorder = MetricsRecorder(
                 self.telemetry,
-                source=STORE_BUILDING,
+                source=self.store_building,
                 flush_every=OBS_FLUSH_EPOCHS,
             )
 
@@ -267,6 +276,8 @@ class Campaign:
         epoch_hook: Optional[Callable[[int], None]] = None,
         store_dir: Optional[Union[str, Path]] = None,
         record_obs: bool = False,
+        store_building: str = STORE_BUILDING,
+        store_wall: str = STORE_WALL,
     ) -> Tuple["Campaign", CampaignState]:
         """Reload a campaign from its newest good checkpoint.
 
@@ -291,20 +302,25 @@ class Campaign:
         campaign = cls(
             config, state_dir=state_dir, epoch_hook=epoch_hook,
             store_dir=store_dir, record_obs=record_obs,
+            store_building=store_building, store_wall=store_wall,
         )
         campaign._sync_log(state)
         if campaign.telemetry is not None:
-            # Heal experiment series and this campaign's own _obs
-            # heartbeat (both stamped on deterministic epoch hours) --
-            # but leave foreign _obs walls alone: a serve-tier recorder
-            # writing wall-clock hours into the same store must not
-            # lose its history to a campaign resume.
+            # Heal exactly this campaign's partition: its experiment
+            # series and its own _obs heartbeat wall (both stamped on
+            # deterministic epoch hours).  Every other building -- a
+            # fleet sibling sharing the store root, or a serve-tier
+            # recorder writing wall-clock hours -- must not lose its
+            # history to *this* campaign's resume.
             campaign.telemetry.truncate_from(
                 state.epoch * float(config.hours_per_epoch),
                 keys=[
                     key for key in campaign.telemetry.keys()
-                    if key.building != OBS_BUILDING
-                    or key.wall == STORE_BUILDING
+                    if key.building == campaign.store_building
+                    or (
+                        key.building == OBS_BUILDING
+                        and key.wall == campaign.store_building
+                    )
                 ],
             )
         obs_counter("campaign.resumes").inc()
@@ -441,17 +457,18 @@ class Campaign:
             return
         started = time.perf_counter()
         visit_hour = float(samples.epoch * self.config.hours_per_epoch)
+        building, wall = self.store_building, self.store_wall
         with self.telemetry.writer() as writer:
             ingest_series(
-                writer, STORE_BUILDING, STORE_WALL, "acceleration",
+                writer, building, wall, "acceleration",
                 samples.hours, samples.acceleration,
             )
             ingest_series(
-                writer, STORE_BUILDING, STORE_WALL, "stress_mpa",
+                writer, building, wall, "stress_mpa",
                 samples.hours, samples.stress_mpa,
             )
             ingest_session(
-                writer, session_result, STORE_BUILDING, STORE_WALL,
+                writer, session_result, building, wall,
                 visit_hour,
             )
         obs_counter("campaign.store_epochs").inc()
@@ -813,11 +830,14 @@ def run_campaign(
     epoch_hook: Optional[Callable[[int], None]] = None,
     store_dir: Optional[Union[str, Path]] = None,
     record_obs: bool = False,
+    store_building: str = STORE_BUILDING,
+    store_wall: str = STORE_WALL,
 ) -> CampaignOutcome:
     """Start a fresh campaign (``campaign run``)."""
     return Campaign(
         config, state_dir=state_dir, epoch_hook=epoch_hook,
         store_dir=store_dir, record_obs=record_obs,
+        store_building=store_building, store_wall=store_wall,
     ).run()
 
 
@@ -826,12 +846,15 @@ def resume_campaign(
     epoch_hook: Optional[Callable[[int], None]] = None,
     store_dir: Optional[Union[str, Path]] = None,
     record_obs: bool = False,
+    store_building: str = STORE_BUILDING,
+    store_wall: str = STORE_WALL,
 ) -> CampaignOutcome:
     """Continue a campaign from its last good checkpoint
     (``campaign resume``)."""
     campaign, state = Campaign.resume(
         state_dir, epoch_hook=epoch_hook, store_dir=store_dir,
         record_obs=record_obs,
+        store_building=store_building, store_wall=store_wall,
     )
     return campaign.run(state)
 

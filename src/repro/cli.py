@@ -25,6 +25,14 @@ and the crash-safe campaign runtime (checkpoint + resume + status)::
     python -m repro.cli campaign resume --state-dir pilot
     python -m repro.cli campaign status --state-dir pilot
 
+and the supervised multi-building fleet runtime (shard + restart +
+quarantine, byte-deterministic)::
+
+    python -m repro.cli fleet run --fleet-dir city --buildings 16 \
+        --workers 4 --store telemetry
+    python -m repro.cli fleet resume --fleet-dir city
+    python -m repro.cli fleet status --fleet-dir city
+
 and the embedded telemetry store (ingest + rollups + query + HTTP)::
 
     python -m repro.cli campaign run --state-dir pilot --store telemetry
@@ -548,10 +556,35 @@ def _run_supervised(args: argparse.Namespace, runner):
             restore_obs(scope)
 
 
+def _usage_exit(message: str) -> SystemExit:
+    """One-line operator error on stderr, exit code 2 (not a traceback)."""
+    print(message, file=sys.stderr)
+    return SystemExit(2)
+
+
+def _require_campaign_dir(state_dir: str, verb: str) -> None:
+    """Exit 2 unless ``state_dir`` actually hosts a campaign."""
+    from .campaign import CHECKPOINT_DIRNAME, EPOCH_LOG_FILENAME
+
+    path = Path(state_dir)
+    if not path.is_dir():
+        raise _usage_exit(
+            f"campaign {verb}: no such directory: {state_dir}"
+        )
+    markers = (CHECKPOINT_DIRNAME, EPOCH_LOG_FILENAME, "result.json")
+    if not any((path / marker).exists() for marker in markers):
+        raise _usage_exit(
+            f"campaign {verb}: {state_dir} holds no campaign "
+            f"(expected {CHECKPOINT_DIRNAME}/, {EPOCH_LOG_FILENAME} "
+            f"or result.json)"
+        )
+
+
 def _cmd_campaign_resume(args: argparse.Namespace) -> int:
     from .campaign import resume_campaign
     from .errors import CampaignError
 
+    _require_campaign_dir(args.state_dir, "resume")
     try:
         outcome = _run_supervised(
             args, lambda hook: resume_campaign(
@@ -561,7 +594,7 @@ def _cmd_campaign_resume(args: argparse.Namespace) -> int:
             )
         )
     except CampaignError as exc:
-        raise SystemExit(f"campaign resume: {exc}")
+        raise _usage_exit(f"campaign resume: {exc}")
     return _print_campaign_outcome(args, outcome)
 
 
@@ -570,6 +603,7 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
 
     from .campaign import campaign_status
 
+    _require_campaign_dir(args.state_dir, "status")
     status = campaign_status(args.state_dir)
     if args.json:
         print(json_module.dumps(status, indent=2, sort_keys=True))
@@ -605,6 +639,181 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     return 1 if "checkpoint_error" in status else 0
 
 
+def _fleet_supervised(args: argparse.Namespace, runner):
+    """Run a fleet callable under optional --obs instrumentation."""
+    from .obs import activate_obs, obs_registry, render_snapshot_text, restore_obs
+
+    scope = activate_obs(process_label="fleet") if args.obs else None
+    try:
+        return runner()
+    finally:
+        if scope is not None:
+            print("fleet metrics:")
+            print(render_snapshot_text(obs_registry().snapshot()), end="")
+            restore_obs(scope)
+
+
+def _load_worker_faults(args: argparse.Namespace):
+    from .errors import FaultConfigError
+    from .faults import WorkerFaultPlan
+
+    if not getattr(args, "worker_faults", None):
+        return None
+    try:
+        return WorkerFaultPlan.from_json_file(args.worker_faults)
+    except FaultConfigError as exc:
+        raise _usage_exit(f"fleet: bad --worker-faults plan: {exc}")
+
+
+def _print_fleet_outcome(args: argparse.Namespace, outcome) -> int:
+    if outcome.interrupted:
+        print(
+            f"fleet interrupted by {outcome.signal_name or 'signal'}; "
+            f"manifest + shard checkpoints flushed"
+        )
+        print(
+            f"continue with: python -m repro.cli fleet resume "
+            f"--fleet-dir {args.fleet_dir}"
+        )
+        return 3
+    totals = outcome.result["totals"]
+    print(
+        f"fleet complete: {totals['completed']}/{totals['buildings']} "
+        f"building(s), {totals['epochs_run']} epoch(s) total "
+        f"in {outcome.wall_s:.1f} s"
+    )
+    if outcome.quarantined:
+        for building, reason in sorted(outcome.quarantined.items()):
+            print(f"  QUARANTINED {building}: {reason}")
+    if totals["degraded_epochs"] or totals["epoch_timeouts"]:
+        print(
+            f"  degraded epochs: {totals['degraded_epochs']}; "
+            f"watchdog timeouts: {totals['epoch_timeouts']}"
+        )
+    print(f"result sha256: {outcome.sha256}")
+    if outcome.result_file is not None:
+        print(f"result file:   {outcome.result_file}")
+    return 4 if outcome.quarantined else 0
+
+
+def _cmd_fleet_run(args: argparse.Namespace) -> int:
+    from .campaign import CampaignConfig
+    from .errors import FleetError
+    from .fleet import FleetConfig, building_names, run_fleet
+
+    template = CampaignConfig(
+        epochs=args.epochs,
+        nodes=args.nodes,
+        wall_length=args.wall_length,
+        tx_voltage=args.tx_voltage,
+        hours_per_epoch=args.hours_per_epoch,
+        samples_per_hour=args.samples_per_hour,
+        fault_rates=None if args.no_faults else dict(_default_faults()),
+        fault_intensity=args.fault_intensity,
+        storm_period_epochs=args.storm_period,
+        storm_duration_epochs=args.storm_duration,
+        storm_fault_intensity=args.storm_intensity,
+        checkpoint_interval=args.checkpoint_interval,
+        checkpoint_keep=args.checkpoint_keep,
+        epoch_timeout_s=args.epoch_timeout_s,
+    )
+    try:
+        config = FleetConfig(
+            buildings=building_names(args.buildings),
+            campaign=template,
+            seed=args.seed,
+            workers=args.workers,
+            max_restarts=args.max_restarts,
+            heartbeat_timeout_s=args.heartbeat_timeout_s,
+            backoff_base_s=args.backoff_base_s,
+            backoff_max_s=args.backoff_max_s,
+        )
+        outcome = _fleet_supervised(
+            args, lambda: run_fleet(
+                config,
+                args.fleet_dir,
+                store_dir=args.store or None,
+                worker_faults=_load_worker_faults(args),
+                epoch_sleep_s=args.epoch_sleep_s,
+                record_obs=bool(args.obs and args.store),
+            )
+        )
+    except FleetError as exc:
+        raise _usage_exit(f"fleet run: {exc}")
+    return _print_fleet_outcome(args, outcome)
+
+
+def _cmd_fleet_resume(args: argparse.Namespace) -> int:
+    from .errors import FleetError
+    from .fleet import resume_fleet
+
+    try:
+        outcome = _fleet_supervised(
+            args, lambda: resume_fleet(
+                args.fleet_dir,
+                store_dir=args.store or None,
+                epoch_sleep_s=args.epoch_sleep_s,
+                record_obs=bool(args.obs and args.store),
+            )
+        )
+    except FleetError as exc:
+        raise _usage_exit(f"fleet resume: {exc}")
+    return _print_fleet_outcome(args, outcome)
+
+
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .errors import FleetError
+    from .fleet import fleet_status
+
+    try:
+        status = fleet_status(args.fleet_dir)
+    except FleetError as exc:
+        raise _usage_exit(f"fleet status: {exc}")
+    if args.json:
+        print(json_module.dumps(status, indent=2, sort_keys=True))
+        return 0
+    summary = status["summary"]
+    print(
+        f"fleet in {status['fleet_dir']}: {status['buildings']} building(s) "
+        f"on {status['workers']} worker(s)"
+    )
+    print(
+        f"  healthy: {summary['healthy']}  recovering: "
+        f"{summary['recovering']}  quarantined: {summary['quarantined']}"
+    )
+    for building, shard in sorted(status["shards"].items()):
+        checkpoint = (
+            f"epoch {shard['checkpoint_epoch']}/{shard['epochs_total']}"
+            if shard["checkpoint_epoch"] is not None
+            else "no checkpoint"
+        )
+        detail = f"  {building}: {shard['status']:<11s} {checkpoint}"
+        if shard["failures_total"]:
+            detail += f", {shard['failures_total']} failure(s)"
+        if shard["heartbeat_age_s"] is not None:
+            detail += f", heartbeat {shard['heartbeat_age_s']:.1f}s ago"
+        print(detail)
+        if shard["quarantine_reason"]:
+            print(f"      reason: {shard['quarantine_reason']}")
+    supervision = status["supervision"]
+    if supervision:
+        print(
+            f"  supervision: {supervision.get('workers_spawned', 0)} "
+            f"spawn(s), {supervision.get('restarts', 0)} restart(s), "
+            f"{supervision.get('heartbeat_kills', 0)} heartbeat kill(s)"
+        )
+    if status["complete"]:
+        print(f"  complete: yes (result sha256 {status['result_sha256']})")
+    else:
+        print(
+            "  complete: no"
+            + (" (interrupted)" if status["interrupted"] else "")
+        )
+    return 0
+
+
 def _open_store(args: argparse.Namespace, create: bool = False):
     """Open the --store directory, exiting cleanly on store errors."""
     from .errors import StoreError
@@ -613,7 +822,7 @@ def _open_store(args: argparse.Namespace, create: bool = False):
     try:
         return TelemetryStore(args.store, create=create)
     except StoreError as exc:
-        raise SystemExit(f"store: {exc}")
+        raise _usage_exit(f"store: {exc}")
 
 
 def _cmd_store_ingest(args: argparse.Namespace) -> int:
@@ -1036,6 +1245,89 @@ def build_parser() -> argparse.ArgumentParser:
     camp_status.add_argument("--state-dir", required=True)
     camp_status.add_argument("--json", action="store_true")
     camp_status.set_defaults(func=_cmd_campaign_status)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="supervise a sharded multi-building campaign fleet "
+        "(crash isolation, quarantine, deterministic completion)",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fl_run = fleet_sub.add_parser(
+        "run",
+        help="start a fleet: N buildings sharded over a worker pool "
+        "(exit 0 clean, 4 completed-with-quarantines, 3 interrupted)",
+    )
+    fl_run.add_argument(
+        "--fleet-dir", required=True,
+        help="directory for the manifest, shard state and fleet result",
+    )
+    fl_run.add_argument("--buildings", type=int, default=4,
+                        help="number of buildings (named b001..bNNN)")
+    fl_run.add_argument("--workers", type=int, default=4,
+                        help="max concurrent shard workers")
+    fl_run.add_argument("--seed", type=int, default=2021,
+                        help="fleet seed; per-building seeds derive from it")
+    fl_run.add_argument("--max-restarts", type=int, default=3,
+                        help="consecutive failures before quarantine")
+    fl_run.add_argument("--heartbeat-timeout-s", type=float, default=30.0,
+                        help="kill a worker whose heartbeat is older "
+                        "(<=0 disables the liveness watchdog)")
+    fl_run.add_argument("--backoff-base-s", type=float, default=0.25)
+    fl_run.add_argument("--backoff-max-s", type=float, default=5.0)
+    fl_run.add_argument(
+        "--worker-faults", default="", metavar="PLAN.JSON",
+        help="inject worker-level kill/hang/poison faults "
+        "(see docs/FLEET.md)",
+    )
+    # Campaign template (per-building; seeds are derived, not set here).
+    fl_run.add_argument("--epochs", type=int, default=74)
+    fl_run.add_argument("--nodes", type=int, default=8)
+    fl_run.add_argument("--wall-length", type=float, default=8.0)
+    fl_run.add_argument("--tx-voltage", type=float, default=250.0)
+    fl_run.add_argument("--hours-per-epoch", type=int, default=168)
+    fl_run.add_argument("--samples-per-hour", type=int, default=1)
+    fl_run.add_argument("--no-faults", action="store_true",
+                        help="disable campaign fault injection entirely")
+    fl_run.add_argument("--fault-intensity", type=float, default=1.0)
+    fl_run.add_argument("--storm-period", type=int, default=26)
+    fl_run.add_argument("--storm-duration", type=int, default=2)
+    fl_run.add_argument("--storm-intensity", type=float, default=3.0)
+    fl_run.add_argument("--checkpoint-interval", type=int, default=1)
+    fl_run.add_argument("--checkpoint-keep", type=int, default=5)
+    fl_run.add_argument("--epoch-timeout-s", type=float, default=120.0)
+    fl_run.add_argument(
+        "--store", default="", metavar="DIR",
+        help="shared telemetry store; each building gets its own "
+        "locked partition",
+    )
+    fl_run.add_argument("--obs", action="store_true",
+                        help="collect fleet.* metrics and print them")
+    fl_run.add_argument("--epoch-sleep-s", type=float, default=0.0,
+                        help=argparse.SUPPRESS)  # CI kill-timing seam
+    fl_run.set_defaults(func=_cmd_fleet_run)
+
+    fl_resume = fleet_sub.add_parser(
+        "resume",
+        help="continue a killed fleet from its manifest and checkpoints",
+    )
+    fl_resume.add_argument("--fleet-dir", required=True)
+    fl_resume.add_argument(
+        "--store", default="", metavar="DIR",
+        help="override the store recorded in the manifest",
+    )
+    fl_resume.add_argument("--obs", action="store_true")
+    fl_resume.add_argument("--epoch-sleep-s", type=float, default=0.0,
+                           help=argparse.SUPPRESS)
+    fl_resume.set_defaults(func=_cmd_fleet_resume)
+
+    fl_status = fleet_sub.add_parser(
+        "status",
+        help="health of every shard (healthy/recovering/quarantined)",
+    )
+    fl_status.add_argument("--fleet-dir", required=True)
+    fl_status.add_argument("--json", action="store_true")
+    fl_status.set_defaults(func=_cmd_fleet_status)
 
     store = sub.add_parser(
         "store",

@@ -100,6 +100,27 @@ class StoreError(ReproError):
     """The telemetry store hit invalid data, a bad key or a broken layout."""
 
 
+class PartitionLockError(StoreError):
+    """A building partition is already locked by another live writer.
+
+    Subclasses :class:`StoreError` so store callers need no new handler;
+    carries the owning pid so supervisors can report who holds it.
+    """
+
+    def __init__(self, building: str, path, pid):
+        self.building = building
+        self.path = path
+        self.pid = pid
+        super().__init__(
+            f"building partition {building!r} is locked by live pid {pid} "
+            f"({path})"
+        )
+
+
+class FleetError(ReproError):
+    """The fleet supervisor hit an unrecoverable configuration/state error."""
+
+
 class SegmentError(StoreError):
     """A store segment failed integrity verification (CRC/manifest/frame).
 

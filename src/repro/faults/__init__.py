@@ -22,6 +22,13 @@ from .plan import (
     ber_from_snr_db,
     plan_from_link_budget,
 )
+from .worker import (
+    UNBOUNDED,
+    WORKER_FAULT_ACTIONS,
+    WORKER_FAULT_SCHEMA,
+    WorkerFault,
+    WorkerFaultPlan,
+)
 
 __all__ = [
     "FAULT_PLAN_SCHEMA",
@@ -29,6 +36,11 @@ __all__ = [
     "FaultPlan",
     "FaultPlanError",
     "RATE_FIELDS",
+    "UNBOUNDED",
+    "WORKER_FAULT_ACTIONS",
+    "WORKER_FAULT_SCHEMA",
+    "WorkerFault",
+    "WorkerFaultPlan",
     "ber_from_snr_db",
     "plan_from_link_budget",
 ]

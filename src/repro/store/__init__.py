@@ -20,7 +20,14 @@ from .ingest import (
     ingest_series,
     ingest_session,
 )
-from .keys import MAX_NODE_ID, OBS_BUILDING, STRUCTURE_NODE_ID, SeriesKey
+from .keys import (
+    MAX_NODE_ID,
+    OBS_BUILDING,
+    STRUCTURE_NODE_ID,
+    SeriesKey,
+    validate_component,
+)
+from .lock import LOCK_FILENAME, PartitionLock, pid_alive
 from .query import AGGREGATIONS, QueryEngine
 from .segment import (
     DAILY,
@@ -37,8 +44,10 @@ __all__ = [
     "AGGREGATIONS",
     "DAILY",
     "HOURLY",
+    "LOCK_FILENAME",
     "MAX_NODE_ID",
     "OBS_BUILDING",
+    "PartitionLock",
     "QueryEngine",
     "RAW",
     "RESOLUTIONS",
@@ -58,6 +67,8 @@ __all__ = [
     "ingest_reports",
     "ingest_series",
     "ingest_session",
+    "pid_alive",
     "rollup",
     "serve_background",
+    "validate_component",
 ]

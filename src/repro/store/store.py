@@ -33,6 +33,7 @@ from ..errors import StoreError
 from ..obs import obs_counter, obs_event
 from ..runtime.serialize import write_json_atomic
 from .keys import SeriesKey
+from .lock import PartitionLock
 from .segment import RAW, RESOLUTIONS, SegmentDir
 
 #: Schema tag for the store-level marker file.
@@ -119,15 +120,25 @@ class TelemetryStore:
     # ------------------------------------------------------------------
 
     def writer(
-        self, flush_rows: int = 200_000, durable: bool = True
+        self,
+        flush_rows: int = 200_000,
+        durable: bool = True,
+        lock: bool = True,
     ) -> "StoreWriter":
         """A batched writer (use as a context manager to auto-flush).
 
         ``durable=False`` skips per-block fsyncs -- see
         :meth:`.segment.SegmentDir.append_block`; only loss-tolerant
         writers (the ``_obs`` telemetry pipeline) should opt in.
+
+        ``lock=True`` (the default) takes an advisory
+        :class:`~repro.store.lock.PartitionLock` per building on first
+        ingest into it, so two processes cannot append to the same
+        building partition concurrently -- see :mod:`repro.store.lock`.
         """
-        return StoreWriter(self, flush_rows=flush_rows, durable=durable)
+        return StoreWriter(
+            self, flush_rows=flush_rows, durable=durable, lock=lock
+        )
 
     def append(
         self,
@@ -222,7 +233,12 @@ class StoreWriter:
     order, so two identical ingest sequences produce identical stores).
     Crossing ``flush_rows`` buffered rows triggers an automatic flush.
 
-    Not thread-safe: one writer per ingesting thread.
+    Not thread-safe: one writer per ingesting thread.  Against other
+    *processes*, the first ingest into each building takes that
+    building's advisory :class:`~repro.store.lock.PartitionLock`, held
+    until the writer's context exits (stale locks from dead writers are
+    reclaimed loudly; a live foreign writer raises
+    :class:`~repro.errors.PartitionLockError`).
     """
 
     def __init__(
@@ -230,12 +246,15 @@ class StoreWriter:
         store: TelemetryStore,
         flush_rows: int = 200_000,
         durable: bool = True,
+        lock: bool = True,
     ):
         if flush_rows < 1:
             raise StoreError(f"flush_rows must be >= 1, got {flush_rows}")
         self.store = store
         self.flush_rows = flush_rows
         self.durable = durable
+        self.lock_partitions = lock
+        self._locks: Dict[str, PartitionLock] = {}
         self._buffers: Dict[SeriesKey, List[Tuple[np.ndarray, np.ndarray]]] = {}
         self._buffered_rows = 0
         self.rows_written = 0
@@ -244,8 +263,24 @@ class StoreWriter:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        if exc_type is None:
-            self.flush()
+        try:
+            if exc_type is None:
+                self.flush()
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Release every held partition lock (idempotent)."""
+        locks, self._locks = self._locks, {}
+        for held in locks.values():
+            held.release()
+
+    def _lock_building(self, building: str) -> None:
+        if not self.lock_partitions or building in self._locks:
+            return
+        self._locks[building] = PartitionLock(
+            self.store.segments_dir, building
+        ).acquire()
 
     # ------------------------------------------------------------------
 
@@ -265,6 +300,7 @@ class StoreWriter:
             )
         if t.size == 0:
             return
+        self._lock_building(key.building)
         self._buffers.setdefault(key, []).append((t, v))
         self._buffered_rows += t.size
         if self._buffered_rows >= self.flush_rows:

@@ -268,9 +268,11 @@ class TestCli:
         with pytest.raises(SystemExit, match="already holds a campaign"):
             main(["campaign", "run", "--state-dir", state_dir] + self.ARGS)
 
-    def test_resume_of_nothing_exits_with_an_error(self, tmp_path):
-        with pytest.raises(SystemExit, match="nothing to resume"):
+    def test_resume_of_nothing_exits_with_an_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
             main(["campaign", "resume", "--state-dir", str(tmp_path / "no")])
+        assert excinfo.value.code == 2
+        assert "no such directory" in capsys.readouterr().err
 
 
 class TestKillDashNine:
