@@ -43,6 +43,12 @@
 #          same sha256; an injected poison shard must exit 4 with the
 #          quarantine recorded in the result body and `fleet status`;
 #          the fleet benchmark smoke closes the stage.
+# Stage 11: storage-chaos smoke -- `chaos run` drives a campaign drill
+#          under a seeded ENOSPC/torn-write/dropped-rename plan and must
+#          exit 0 with the drill sha256 equal to the fault-free clean
+#          run's; `chaos verify` re-derives the same verdict; then a
+#          byte is flipped in the drill's result.json and `chaos verify`
+#          MUST go red (non-zero) -- the oracle has teeth.
 #
 # Usage:  scripts/ci.sh [extra pytest args...]
 
@@ -572,5 +578,46 @@ print(
     f"restart overhead {bench['restart_overhead_pct']}%"
 )
 PY
+
+echo "== stage 11: storage-chaos smoke (fault drill + corruption tripwire) =="
+CHAOS_DIR="${OUT_DIR}/chaos"
+python -m repro.cli chaos run --dir "${CHAOS_DIR}" --scenario campaign \
+    --seed 5 --epochs 2 --nodes 2 --hours-per-epoch 6 --max-attempts 4 \
+    --fault-seed 7 --enospc-write-rate 0.1 --torn-write-rate 0.1 \
+    --drop-rename-rate 0.05 --json > "${OUT_DIR}/chaos-verdict.json"
+python -m repro.cli chaos verify --dir "${CHAOS_DIR}"
+
+python - "${OUT_DIR}/chaos-verdict.json" <<'PY'
+import json
+import sys
+
+verdict = json.load(open(sys.argv[1]))
+assert verdict["status"] in ("pass", "degraded"), verdict
+assert verdict["drill_sha256"] == verdict["clean_sha256"], (
+    "chaos drill recovered to different result bytes than the clean run"
+)
+fired = sum(verdict["io"].values())
+assert fired > 0, "chaos smoke injected nothing: no storage faults fired"
+print(
+    f"chaos drill OK: {verdict['status']}, {fired} fault(s) fired, "
+    f"recovered to clean sha {verdict['drill_sha256'][:16]}..."
+)
+PY
+
+# The tripwire: flip one byte in the drill's result file; the verifier
+# must notice (embedded sha mismatch / unreadable) and exit non-zero.
+python - "${CHAOS_DIR}/drill/state/result.json" <<'PY'
+import sys
+
+path = sys.argv[1]
+data = bytearray(open(path, "rb").read())
+data[len(data) // 2] ^= 0x01
+open(path, "wb").write(bytes(data))
+PY
+if python -m repro.cli chaos verify --dir "${CHAOS_DIR}" > /dev/null 2>&1; then
+    echo "chaos verify failed to flag an injected corrupted drill result" >&2
+    exit 1
+fi
+echo "chaos smoke OK: drill recovered, corrupted fixture caught"
 
 echo "== CI OK =="

@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from ..errors import CheckpointError
+from ..faults.io import io_read_text
 from ..obs import obs_counter, obs_event
 from ..runtime.serialize import canonical_json, write_json_atomic
 
@@ -120,7 +121,7 @@ class CheckpointStore:
         content hash that does not match the body (torn/corrupt write).
         """
         try:
-            payload = json.loads(path.read_text())
+            payload = json.loads(io_read_text(path))
         except OSError as exc:
             raise CheckpointError(f"cannot read checkpoint {path}: {exc}")
         except ValueError as exc:

@@ -35,8 +35,9 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from ..acoustics import StructureGeometry
-from ..errors import CampaignError, CheckpointError
+from ..errors import CampaignError, CheckpointError, PartitionLockError, StoreError
 from ..faults import FaultInjector, FaultPlan
+from ..faults.io import reclaim_tmp_files
 from ..link import PlacedNode, PowerUpLink, WallSession
 from ..materials import get_concrete
 from ..node import EcoCapsule, Environment
@@ -49,7 +50,11 @@ from ..obs import (
     obs_span,
 )
 from ..obs.pipeline import MetricsRecorder
-from ..runtime.serialize import canonical_json, write_json_atomic
+from ..runtime.serialize import (
+    canonical_json,
+    write_json_atomic,
+    write_json_atomic_verified,
+)
 from ..shm import (
     AnomalyWindow,
     ComplianceReport,
@@ -247,7 +252,15 @@ class Campaign:
         self.log: Optional[EpochLog] = None
         self.telemetry: Optional[TelemetryStore] = None
         self.recorder: Optional[MetricsRecorder] = None
+        #: Epochs whose ``--store`` export failed recoverably (ENOSPC,
+        #: persistent write faults): the campaign kept computing, the
+        #: degradation is recorded here and in the epoch log.
+        self.export_failures: List[int] = []
         if self.state_dir is not None:
+            # The state dir is single-owner by contract, so any *.tmp
+            # here was leaked by a dead predecessor (crash between
+            # mkstemp and rename, or a dropped rename).
+            reclaim_tmp_files(self.state_dir, recursive=True, scope="campaign")
             self.store = CheckpointStore(
                 self.state_dir / CHECKPOINT_DIRNAME, keep=config.checkpoint_keep
             )
@@ -458,19 +471,37 @@ class Campaign:
         started = time.perf_counter()
         visit_hour = float(samples.epoch * self.config.hours_per_epoch)
         building, wall = self.store_building, self.store_wall
-        with self.telemetry.writer() as writer:
-            ingest_series(
-                writer, building, wall, "acceleration",
-                samples.hours, samples.acceleration,
+        try:
+            with self.telemetry.writer() as writer:
+                ingest_series(
+                    writer, building, wall, "acceleration",
+                    samples.hours, samples.acceleration,
+                )
+                ingest_series(
+                    writer, building, wall, "stress_mpa",
+                    samples.hours, samples.stress_mpa,
+                )
+                ingest_session(
+                    writer, session_result, building, wall,
+                    visit_hour,
+                )
+        except PartitionLockError:
+            # A live foreign writer on our partition is a deployment
+            # error (two campaigns racing one building), never a disk
+            # fault -- stay loud.
+            raise
+        except (OSError, StoreError) as exc:
+            # The store is an *additive* export: a full or failing disk
+            # under it must not take the pilot down.  Record the
+            # degradation (epoch log + obs) and keep computing; a later
+            # resume heals the gap via truncate_from + replay.
+            self.export_failures.append(samples.epoch)
+            obs_counter("io.export_failures").inc()
+            obs_event(
+                "warning", "campaign.export_degraded",
+                epoch=samples.epoch, error=str(exc),
             )
-            ingest_series(
-                writer, building, wall, "stress_mpa",
-                samples.hours, samples.stress_mpa,
-            )
-            ingest_session(
-                writer, session_result, building, wall,
-                visit_hour,
-            )
+            return
         obs_counter("campaign.store_epochs").inc()
         obs_histogram("campaign.export_s").observe(
             time.perf_counter() - started
@@ -677,10 +708,14 @@ class Campaign:
         obs_gauge("campaign.epoch_wall_s").set(elapsed)
         obs_histogram("campaign.epoch_s").observe(elapsed)
         if self.log is not None:
-            # Wall time is audit-log-only: it must never reach
-            # state.epoch_records, which feed the byte-stable
-            # result.json.
-            self.log.append({**record, "elapsed_s": round(elapsed, 6)})
+            # Wall time and export degradation are audit-log-only: they
+            # must never reach state.epoch_records, which feed the
+            # byte-stable result.json (an io-faulted run hashes
+            # identically to a clean one).
+            extra: Dict[str, Any] = {"elapsed_s": round(elapsed, 6)}
+            if epoch in self.export_failures:
+                extra["export_degraded"] = True
+            self.log.append({**record, **extra})
         if (
             state.epoch % config.checkpoint_interval == 0
             or state.epoch == config.epochs
@@ -742,7 +777,10 @@ class Campaign:
         result = self._finalize(state)
         result_file = None
         if self.state_dir is not None:
-            result_file = write_json_atomic(
+            # The terminal artifact is read back and compared after the
+            # rename: a dropped rename or torn result would otherwise be
+            # the one silent failure nothing downstream could detect.
+            result_file = write_json_atomic_verified(
                 self.state_dir / RESULT_FILENAME,
                 {
                     "schema": CAMPAIGN_RESULT_SCHEMA,
@@ -880,6 +918,9 @@ def campaign_status(state_dir: Union[str, Path]) -> Dict[str, Any]:
         # (wall time, degradations, watchdog trips), not just where.
         "last_epoch_wall_s": last.get("elapsed_s") if last else None,
         "degraded_epochs": sum(1 for r in records if r.get("degraded")),
+        "export_degraded_epochs": [
+            r["epoch"] for r in records if r.get("export_degraded")
+        ],
         "epoch_timeouts": [
             r["epoch"] for r in records if r.get("status") == "epoch_timeout"
         ],

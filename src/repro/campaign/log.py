@@ -24,6 +24,7 @@ import zlib
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Union
 
+from ..faults.io import io_fsync, io_replace, io_write, retry_io
 from ..obs import obs_counter, obs_event
 
 #: Schema tag stamped into every log line.
@@ -70,13 +71,30 @@ class EpochLog:
         self.path = Path(path)
 
     def append(self, record: Mapping[str, Any]) -> None:
-        """Append one epoch record, flushed and fsynced."""
+        """Append one epoch record, flushed and fsynced.
+
+        Transient EIO is retried with bounded backoff; before each
+        retry the file is healed back to its pre-append length, so a
+        torn first attempt can never merge with the retried line.
+        """
         line = encode_line(record)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a") as handle:
-            handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        base_size = self.path.stat().st_size if self.path.exists() else 0
+
+        def heal(_attempt: int, _exc: OSError) -> None:
+            if self.path.exists() and self.path.stat().st_size > base_size:
+                with self.path.open("r+b") as handle:
+                    handle.truncate(base_size)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+
+        def attempt() -> None:
+            with self.path.open("a") as handle:
+                io_write(handle, line + "\n")
+                handle.flush()
+                io_fsync(handle.fileno(), self.path)
+
+        retry_io(attempt, f"epoch_log_append:{self.path.name}", on_retry=heal)
 
     def recover(self) -> List[Dict[str, Any]]:
         """Validate the log, truncate any torn/corrupt tail, return records.
@@ -124,12 +142,21 @@ class EpochLog:
         """
         self.path.parent.mkdir(parents=True, exist_ok=True)
         tmp = self.path.with_suffix(".jsonl.tmp")
-        with tmp.open("w") as handle:
-            for record in records:
-                handle.write(encode_line(record) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        tmp.replace(self.path)
+
+        def attempt() -> None:
+            with tmp.open("w") as handle:
+                for record in records:
+                    io_write(handle, encode_line(record) + "\n")
+                handle.flush()
+                io_fsync(handle.fileno(), tmp)
+            io_replace(tmp, self.path)
+
+        try:
+            retry_io(attempt, f"epoch_log_rewrite:{self.path.name}")
+        except BaseException:
+            if tmp.exists():
+                tmp.unlink()
+            raise
 
     def records(self) -> List[Dict[str, Any]]:
         """All currently-valid records (without truncating the file)."""

@@ -43,6 +43,13 @@ and the embedded telemetry store (ingest + rollups + query + HTTP)::
     python -m repro.cli store health --store telemetry --building campaign
     python -m repro.cli store stats --store telemetry
     python -m repro.cli store serve --store telemetry --port 8080
+
+and the storage-fault chaos drills (recovered or loud, never silently
+wrong)::
+
+    python -m repro.cli chaos run --dir drills/c1 --scenario campaign \
+        --enospc-write-rate 0.05 --torn-write-rate 0.05
+    python -m repro.cli chaos verify --dir drills/c1
 """
 
 from __future__ import annotations
@@ -1055,6 +1062,89 @@ def _cmd_obs_trend(args: argparse.Namespace) -> int:
     return 1 if regressed else 0
 
 
+#: ``chaos`` exit codes by verdict status: recovered outcomes succeed,
+#: a loud failure is distinguishable from a silent one.
+_CHAOS_EXIT_CODES = {"pass": 0, "degraded": 0, "loud": 4, "fail": 1}
+
+
+def _chaos_plan(args: argparse.Namespace):
+    import dataclasses
+
+    from .faults.io import IoFaultPlan
+
+    plan = (
+        IoFaultPlan.from_json_file(args.plan)
+        if args.plan
+        else IoFaultPlan()
+    )
+    overrides = {
+        name: getattr(args, name)
+        for name in (
+            "enospc_write_rate", "eio_read_rate", "eio_fsync_rate",
+            "torn_write_rate", "drop_rename_rate", "bitrot_read_rate",
+            "persistence",
+        )
+        if getattr(args, name) is not None
+    }
+    if args.fault_seed is not None:
+        overrides["seed"] = args.fault_seed
+    return dataclasses.replace(plan, **overrides) if overrides else plan
+
+
+def _print_chaos_verdict(args: argparse.Namespace, verdict) -> int:
+    import json as json_module
+
+    if args.json:
+        print(json_module.dumps(verdict, indent=2, sort_keys=True))
+    else:
+        print(f"chaos {verdict['scenario']}: {verdict['status'].upper()}")
+        for reason in verdict.get("reasons", []):
+            print(f"  - {reason}")
+        fired = {k: v for k, v in (verdict.get("io") or {}).items() if v}
+        if fired:
+            print("  faults fired: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(fired.items())
+            ))
+        if verdict.get("drill_sha256"):
+            print(f"  sha256: {verdict['drill_sha256'][:16]}… "
+                  f"(clean {str(verdict.get('clean_sha256'))[:16]}…)")
+    return _CHAOS_EXIT_CODES.get(verdict["status"], 1)
+
+
+def _cmd_chaos_run(args: argparse.Namespace) -> int:
+    from .errors import ChaosError, FaultConfigError, FaultPlanError
+    from .faults.chaos import ChaosConfig, run_drill
+
+    try:
+        config = ChaosConfig(
+            scenario=args.scenario,
+            seed=args.seed,
+            epochs=args.epochs,
+            nodes=args.nodes,
+            hours_per_epoch=args.hours_per_epoch,
+            buildings=args.buildings,
+            batches=args.batches,
+            rows_per_batch=args.rows_per_batch,
+            max_attempts=args.max_attempts,
+            plan=_chaos_plan(args),
+        )
+        verdict = run_drill(args.dir, config)
+    except (ChaosError, FaultConfigError, FaultPlanError, OSError) as exc:
+        raise SystemExit(f"chaos run: {exc}")
+    return _print_chaos_verdict(args, verdict)
+
+
+def _cmd_chaos_verify(args: argparse.Namespace) -> int:
+    from .errors import ChaosError
+    from .faults.chaos import verify_drill
+
+    try:
+        verdict = verify_drill(args.dir)
+    except ChaosError as exc:
+        raise SystemExit(f"chaos verify: {exc}")
+    return _print_chaos_verdict(args, verdict)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="EcoCapsule reproduction toolkit"
@@ -1449,6 +1539,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_trend.add_argument("--json", action="store_true")
     obs_trend.set_defaults(func=_cmd_obs_trend)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="storage-fault drills: prove recovered-or-loud under "
+        "ENOSPC/EIO/torn-rename",
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+
+    ch_run = chaos_sub.add_parser(
+        "run",
+        help="run (or resume) a seeded fault drill and judge its oracle",
+    )
+    ch_run.add_argument("--dir", required=True, metavar="DIR",
+                        help="drill directory (manifest + clean + drill)")
+    ch_run.add_argument(
+        "--scenario", default="campaign",
+        choices=("campaign", "fleet", "store"),
+    )
+    ch_run.add_argument("--seed", type=int, default=2021,
+                        help="workload seed (campaign/fleet/store data)")
+    ch_run.add_argument("--epochs", type=int, default=4)
+    ch_run.add_argument("--nodes", type=int, default=4)
+    ch_run.add_argument("--hours-per-epoch", type=int, default=24)
+    ch_run.add_argument("--buildings", type=int, default=3)
+    ch_run.add_argument("--batches", type=int, default=6)
+    ch_run.add_argument("--rows-per-batch", type=int, default=64)
+    ch_run.add_argument(
+        "--max-attempts", type=int, default=5,
+        help="faulted attempts per work unit before giving up loudly",
+    )
+    ch_run.add_argument(
+        "--plan", default="", metavar="FILE",
+        help="repro/io-faults/v1 JSON fault plan (flags override fields)",
+    )
+    ch_run.add_argument("--fault-seed", type=int, default=None,
+                        help="fault-schedule seed (default: plan's)")
+    for rate in (
+        "enospc-write-rate", "eio-read-rate", "eio-fsync-rate",
+        "torn-write-rate", "drop-rename-rate", "bitrot-read-rate",
+        "persistence",
+    ):
+        ch_run.add_argument(f"--{rate}", type=float, default=None)
+    ch_run.add_argument("--json", action="store_true")
+    ch_run.set_defaults(func=_cmd_chaos_run)
+
+    ch_verify = chaos_sub.add_parser(
+        "verify",
+        help="recompute a finished drill's verdict from its artifacts "
+        "and cross-check the stamped one",
+    )
+    ch_verify.add_argument("--dir", required=True, metavar="DIR")
+    ch_verify.add_argument("--json", action="store_true")
+    ch_verify.set_defaults(func=_cmd_chaos_verify)
 
     return parser
 

@@ -88,6 +88,10 @@ class FaultPlanError(FaultConfigError):
     """
 
 
+class ChaosError(ReproError):
+    """A chaos drill is misconfigured or its state directory is unusable."""
+
+
 class CampaignError(ReproError):
     """The campaign runtime hit an unrecoverable configuration/state error."""
 

@@ -9,12 +9,32 @@ fires, reproducibly.  ``TdmaInventory`` and ``WallSession`` accept a
 plan directly; the CLI loads one from JSON via
 ``experiments run --faults plan.json``.
 
+Beyond the physical-world faults, two sibling modules model a hostile
+*machine*: :mod:`repro.faults.io` injects seeded storage faults
+(ENOSPC, EIO, torn writes, dropped renames, bit rot) underneath every
+real write path, and :mod:`repro.faults.chaos` runs end-to-end drills
+proving the stack recovers from them -- or fails loudly -- never
+silently diverging.
+
 See ``docs/ROBUSTNESS.md`` for the fault taxonomy, the plan schema and
 the retry/degradation policies layered on top.
 """
 
 from ..errors import FaultPlanError
 from .injector import FaultInjector
+from .io import (
+    IO_FAULT_SCHEMA,
+    IO_RATE_FIELDS,
+    IoFaultInjector,
+    IoFaultPlan,
+    active_io_injector,
+    clear_io_faults,
+    install_io_faults,
+    io_faults,
+    io_faults_active,
+    reclaim_tmp_files,
+    retry_io,
+)
 from .plan import (
     FAULT_PLAN_SCHEMA,
     FaultPlan,
@@ -30,17 +50,49 @@ from .worker import (
     WorkerFaultPlan,
 )
 
+#: Chaos-drill names resolved lazily (PEP 562): ``repro.faults.chaos``
+#: imports the campaign/fleet drivers, which themselves import this
+#: package -- an eager import here would be a cycle.
+_CHAOS_EXPORTS = (
+    "CHAOS_SCHEMA",
+    "ChaosConfig",
+    "evaluate_drill",
+    "run_drill",
+    "verify_drill",
+)
+
+
+def __getattr__(name: str):
+    if name in _CHAOS_EXPORTS:
+        from . import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "FAULT_PLAN_SCHEMA",
     "FaultInjector",
     "FaultPlan",
     "FaultPlanError",
+    "IO_FAULT_SCHEMA",
+    "IO_RATE_FIELDS",
+    "IoFaultInjector",
+    "IoFaultPlan",
     "RATE_FIELDS",
     "UNBOUNDED",
     "WORKER_FAULT_ACTIONS",
     "WORKER_FAULT_SCHEMA",
     "WorkerFault",
     "WorkerFaultPlan",
+    "active_io_injector",
     "ber_from_snr_db",
+    "clear_io_faults",
+    "install_io_faults",
+    "io_faults",
+    "io_faults_active",
     "plan_from_link_budget",
+    "reclaim_tmp_files",
+    "retry_io",
+    *_CHAOS_EXPORTS,
 ]

@@ -39,9 +39,14 @@ from typing import Any, Dict, List, Optional, Union
 from ..campaign.driver import RESULT_FILENAME
 from ..campaign.watchdog import ShutdownGuard
 from ..errors import FleetError
+from ..faults.io import reclaim_tmp_files
 from ..faults.worker import WorkerFaultPlan
 from ..obs import obs_counter, obs_event, obs_gauge, obs_histogram
-from ..runtime.serialize import read_json, write_json_atomic
+from ..runtime.serialize import (
+    read_json,
+    write_json_atomic,
+    write_json_atomic_verified,
+)
 from .config import FleetConfig, backoff_delay
 from .merge import (
     FLEET_RESULT_SCHEMA,
@@ -409,6 +414,9 @@ class FleetSupervisor:
         """Supervise the fleet to completion (or graceful interrupt)."""
         started = time.monotonic()
         self.fleet_dir.mkdir(parents=True, exist_ok=True)
+        # Non-recursive: the fleet root's manifest/result temps are ours
+        # to sweep; shard dirs are swept by their own campaigns.
+        reclaim_tmp_files(self.fleet_dir, recursive=False, scope="fleet")
         self._pre_register_obs()
         # Adopt shards already completed by a previous run.
         for shard in self.shards.values():
@@ -482,7 +490,9 @@ class FleetSupervisor:
             )
         body = build_fleet_result(self.config, payloads, quarantined)
         sha256 = fleet_result_hash(body)
-        result_file = write_json_atomic(
+        # Read-back-verified: a dropped rename here would leave a stale
+        # or missing fleet result that "fleet status" would trust.
+        result_file = write_json_atomic_verified(
             self.result_path,
             {"schema": FLEET_RESULT_SCHEMA, "sha256": sha256, "result": body},
         )

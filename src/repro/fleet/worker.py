@@ -42,7 +42,9 @@ from typing import Any, Dict, Mapping, Optional
 from ..campaign import CampaignConfig
 from ..campaign.checkpoint import CheckpointStore
 from ..campaign.driver import CHECKPOINT_DIRNAME, Campaign
+from ..faults.io import io_replace, io_write
 from ..faults.worker import WorkerFaultPlan
+from ..obs import obs_counter, obs_event
 
 #: Files a worker maintains inside its shard directory.
 HEARTBEAT_FILENAME = "heartbeat.json"
@@ -64,21 +66,39 @@ def write_heartbeat(shard_dir: Path, building: str, epoch: int) -> None:
 
     Plain ``os.replace`` with no fsync: heartbeats are wall-clock
     operational state, loss-tolerant by definition -- the supervisor
-    reads recency (mtime), not history.
+    reads recency (mtime), not history.  For the same reason an I/O
+    failure here (full disk, dead sector) must not kill an otherwise
+    healthy shard: the miss is swallowed after being counted, and a
+    *sustained* failure surfaces through the supervisor's existing
+    liveness watchdog as a stale heartbeat.
     """
     path = shard_dir / HEARTBEAT_FILENAME
     tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(
-        json.dumps(
-            {
-                "building": building,
-                "epoch": epoch,
-                "pid": os.getpid(),
-                "time": time.time(),
-            }
+    try:
+        with tmp.open("w") as handle:
+            io_write(
+                handle,
+                json.dumps(
+                    {
+                        "building": building,
+                        "epoch": epoch,
+                        "pid": os.getpid(),
+                        "time": time.time(),
+                    }
+                ),
+            )
+        io_replace(tmp, path)
+    except OSError as exc:
+        obs_counter("io.heartbeat_failures").inc()
+        obs_event(
+            "warning", "fleet.heartbeat_failed",
+            building=building, epoch=epoch, error=str(exc),
         )
-    )
-    os.replace(tmp, path)
+        if tmp.exists():
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
 
 
 def heartbeat_age_s(

@@ -17,6 +17,7 @@ Two invariants matter for the determinism test-layer:
 from __future__ import annotations
 
 import dataclasses
+import errno
 import json
 import math
 import os
@@ -27,6 +28,7 @@ from typing import Any, Dict, Union
 import numpy as np
 
 from ..errors import SerializationError
+from ..faults.io import io_fsync, io_read_text, io_replace, io_write, retry_io
 
 #: Marker key used to round-trip non-finite floats through JSON.
 NONFINITE_KEY = "__nonfinite__"
@@ -103,33 +105,88 @@ def write_json_atomic(
     the platters before the rename -- a power cut leaves either the old
     file or the complete new one, never a truncated hybrid.
 
+    When ``fsync=True`` the parent directory is fsynced after the
+    rename as well: the rename itself is a directory mutation, and
+    without the directory fsync a power cut can durably keep the data
+    blocks yet lose the name pointing at them.
+
     ``fsync=False`` keeps the rename atomicity (readers still never see
     a partial file) but lets the page cache decide when bytes reach the
     platters -- a power cut may then roll the file back to its previous
-    content.  Only loss-tolerant writers (the ``_obs`` telemetry
-    pipeline) opt into this.
+    content, and the directory entry is likewise left to the cache.
+    Only loss-tolerant writers (the ``_obs`` telemetry pipeline, fleet
+    heartbeats) opt into this.
+
+    Transient write/fsync errors (EIO) are retried with bounded
+    backoff; each attempt starts from a fresh temp file, so a torn
+    first attempt can never leak into the final rename.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     text = json.dumps(to_jsonable(payload), indent=2, sort_keys=True, allow_nan=False)
-    handle, tmp_name = tempfile.mkstemp(
-        dir=str(path.parent), prefix=path.name, suffix=".tmp"
-    )
+
+    def attempt() -> None:
+        handle, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w") as tmp:
+                io_write(tmp, text + "\n")
+                tmp.flush()
+                if fsync:
+                    io_fsync(tmp.fileno(), tmp_name)
+            io_replace(tmp_name, path)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+        if fsync:
+            _fsync_dir(path.parent)
+
+    retry_io(attempt, f"write_json_atomic:{path.name}")
+    return path
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Make a directory mutation (a rename) durable."""
+    fd = os.open(str(directory), os.O_RDONLY)
     try:
-        with os.fdopen(handle, "w") as tmp:
-            tmp.write(text + "\n")
-            tmp.flush()
-            if fsync:
-                os.fsync(tmp.fileno())
-        os.replace(tmp_name, path)
-    except BaseException:
-        if os.path.exists(tmp_name):
-            os.unlink(tmp_name)
-        raise
+        io_fsync(fd, directory)
+    finally:
+        os.close(fd)
+
+
+def write_json_atomic_verified(path: Union[str, Path], payload: Any) -> Path:
+    """:func:`write_json_atomic`, then read the file back and compare.
+
+    Used for terminal result files, where a silently dropped rename
+    would leave a stale (or absent) result that nothing downstream
+    could distinguish from a real one.  A missing or mismatching
+    read-back is converted to ``EIO`` so the outer retry rewrites the
+    file; if the budget runs out the error propagates loudly.
+    """
+    path = Path(path)
+    expected = json.dumps(
+        to_jsonable(payload), indent=2, sort_keys=True, allow_nan=False
+    )
+
+    def attempt() -> None:
+        write_json_atomic(path, payload, fsync=True)
+        try:
+            found = io_read_text(path)
+        except OSError as exc:
+            raise OSError(
+                errno.EIO, f"result read-back failed: {exc}", str(path)
+            )
+        if found != expected + "\n":
+            raise OSError(
+                errno.EIO, "result read-back mismatch", str(path)
+            )
+
+    retry_io(attempt, f"write_json_verified:{path.name}")
     return path
 
 
 def read_json(path: Union[str, Path]) -> Any:
     """Load a JSON file written by :func:`write_json_atomic`."""
-    with Path(path).open() as handle:
-        return json.load(handle)
+    return json.loads(io_read_text(path))

@@ -43,6 +43,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..errors import SegmentError, StoreError
+from ..faults.io import io_fsync, io_read, io_read_text, io_replace, io_write, retry_io
 from ..obs import obs_counter, obs_event
 from ..runtime.serialize import write_json_atomic
 
@@ -232,7 +233,7 @@ class SegmentDir:
             self._manifest = self._fresh_manifest()
             return self._manifest
         try:
-            payload = json.loads(self.manifest_path.read_text())
+            payload = json.loads(io_read_text(self.manifest_path))
         except (OSError, ValueError) as exc:
             self._quarantine(f"unreadable manifest: {exc}")
             raise SegmentError(
@@ -391,11 +392,25 @@ class SegmentDir:
             )
         path = self.seg_path(resolution)
         self.directory.mkdir(parents=True, exist_ok=True)
-        with path.open("ab") as handle:
-            handle.write(frame)
-            handle.flush()
-            if durable:
-                os.fsync(handle.fileno())
+        acknowledged = entry["bytes"]
+
+        def heal(_attempt: int, _exc: OSError) -> None:
+            # A torn attempt left unacknowledged bytes; cut back to the
+            # manifest's length so the retry cannot merge with garbage.
+            if path.exists() and path.stat().st_size > acknowledged:
+                with path.open("r+b") as handle:
+                    handle.truncate(acknowledged)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+
+        def attempt() -> None:
+            with path.open("ab") as handle:
+                io_write(handle, frame)
+                handle.flush()
+                if durable:
+                    io_fsync(handle.fileno(), path)
+
+        retry_io(attempt, f"segment_append:{path.name}", on_retry=heal)
         block = {"offset": entry["bytes"], **meta}
         entry["blocks"].append(block)
         entry["bytes"] += meta["length"]
@@ -426,11 +441,20 @@ class SegmentDir:
         frame, meta = encode_block(columns_for(resolution), arrays)
         self.directory.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(".seg.tmp")
-        with tmp.open("wb") as handle:
-            handle.write(frame)
-            handle.flush()
-            os.fsync(handle.fileno())
-        tmp.replace(path)
+
+        def attempt() -> None:
+            with tmp.open("wb") as handle:
+                io_write(handle, frame)
+                handle.flush()
+                io_fsync(handle.fileno(), tmp)
+            io_replace(tmp, path)
+
+        try:
+            retry_io(attempt, f"segment_replace:{path.name}")
+        except BaseException:
+            if tmp.exists():
+                tmp.unlink()
+            raise
         entry.update(
             {
                 "columns": list(columns_for(resolution)),
@@ -477,12 +501,13 @@ class SegmentDir:
         if not wanted:
             return {name: np.empty(0, dtype=np.float64) for name in columns}
         path = self.seg_path(resolution)
-        parts: List[Dict[str, np.ndarray]] = []
-        try:
+
+        def attempt() -> List[Dict[str, np.ndarray]]:
+            found: List[Dict[str, np.ndarray]] = []
             with path.open("rb") as handle:
                 for block in wanted:
                     handle.seek(block["offset"])
-                    frame = handle.read(block["length"])
+                    frame = io_read(handle, block["length"], path)
                     if len(frame) != block["length"]:
                         raise SegmentError(
                             f"{path} torn at offset {block['offset']}"
@@ -492,7 +517,13 @@ class SegmentDir:
                             f"{path} block at offset {block['offset']} "
                             "disagrees with its manifest CRC32"
                         )
-                    parts.append(decode_block(frame, columns))
+                    found.append(decode_block(frame, columns))
+            return found
+
+        try:
+            # Transient EIO reads retry with backoff; CRC failures are
+            # SegmentErrors (possible bit rot), never retried -- loud.
+            parts = retry_io(attempt, f"segment_read:{path.name}")
         except OSError as exc:
             raise SegmentError(f"cannot read {path}: {exc}")
         out = {

@@ -30,6 +30,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..errors import StoreError
+from ..faults.io import reclaim_tmp_files
 from ..obs import obs_counter, obs_event
 from ..runtime.serialize import write_json_atomic
 from .keys import SeriesKey
@@ -70,6 +71,10 @@ class TelemetryStore:
                     f"expected {STORE_SCHEMA!r})"
                 )
         elif create:
+            # A crashed earlier creation attempt may have leaked the
+            # marker's temp file; only the root is swept (building
+            # partitions belong to whoever holds their lock).
+            reclaim_tmp_files(self.root, recursive=False, scope="store")
             write_json_atomic(
                 marker, {"schema": STORE_SCHEMA, "time_unit": "hours"}
             )
@@ -281,6 +286,11 @@ class StoreWriter:
         self._locks[building] = PartitionLock(
             self.store.segments_dir, building
         ).acquire()
+        # Holding the lock makes the sweep race-free: any *.tmp under
+        # this building was leaked by a dead writer.
+        reclaim_tmp_files(
+            self.store.segments_dir / building, recursive=True, scope="store"
+        )
 
     # ------------------------------------------------------------------
 

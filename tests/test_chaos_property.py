@@ -1,0 +1,82 @@
+"""The chaos oracle as a hypothesis property.
+
+For *arbitrary* seeded fault schedules (any mix of ENOSPC, transient
+and persistent EIO, torn writes, dropped renames, bit rot), a campaign
+drill must never end in the ``fail`` verdict: the result hash either
+equals the clean run's, or the drill failed loudly with every fault
+accounted.  A silently different hash is the one outcome the stack is
+built to make impossible.
+
+The clean reference is computed once and copied into each example's
+directory -- the property spends its budget on fault schedules, not on
+recomputing the same fault-free campaign.
+"""
+
+import shutil
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults.chaos import ChaosConfig, run_drill, verify_drill
+from repro.faults.io import IoFaultPlan, clear_io_faults
+
+WORKLOAD = dict(
+    scenario="campaign", seed=5, epochs=2, nodes=2, hours_per_epoch=6,
+    max_attempts=4,
+)
+
+rates = st.floats(
+    min_value=0.0, max_value=0.2, allow_nan=False, allow_infinity=False
+)
+
+plans = st.builds(
+    IoFaultPlan,
+    seed=st.integers(min_value=0, max_value=2**31),
+    enospc_write_rate=rates,
+    eio_read_rate=rates,
+    eio_fsync_rate=rates,
+    torn_write_rate=rates,
+    drop_rename_rate=rates,
+    bitrot_read_rate=rates,
+    persistence=st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+)
+
+
+@pytest.fixture(scope="module")
+def clean_template(tmp_path_factory):
+    """One completed drill whose ``clean/`` subtree seeds every example."""
+    clear_io_faults()
+    root = tmp_path_factory.mktemp("chaos-template") / "drill"
+    config = ChaosConfig(**WORKLOAD, plan=IoFaultPlan(seed=1))
+    # An inactive plan never faults: this both builds the clean
+    # reference and sanity-checks the no-fault path is a plain pass.
+    verdict = run_drill(root, config)
+    assert verdict["status"] == "pass"
+    return root / "clean"
+
+
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(plan=plans)
+def test_any_fault_schedule_never_fails_silently(
+    plan, clean_template, tmp_path
+):
+    clear_io_faults()
+    drill_dir = tmp_path / f"drill-{plan.seed}"
+    if drill_dir.exists():
+        shutil.rmtree(drill_dir)
+    drill_dir.mkdir(parents=True)
+    shutil.copytree(clean_template, drill_dir / "clean")
+
+    verdict = run_drill(drill_dir, ChaosConfig(**WORKLOAD, plan=plan))
+    assert verdict["status"] != "fail", verdict
+
+    # A recovered drill recovered to the clean bytes, and the stamped
+    # verdict must survive an independent recomputation.
+    if verdict["status"] in ("pass", "degraded"):
+        assert verdict["drill_sha256"] == verdict["clean_sha256"]
+    assert verify_drill(drill_dir)["status"] == verdict["status"]

@@ -1,0 +1,152 @@
+"""Cross-process partition-lock contention: two REAL StoreWriters racing.
+
+``test_store_lock.py`` pins the in-process lock semantics; these tests
+put actual separate processes on the same store directory, because the
+hazards the lock exists for -- a live foreign writer, a SIGKILLed
+writer's leftover lockfile, a garbage lockfile from a crashed
+half-write -- only manifest across process boundaries.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionLockError
+from repro.store import TelemetryStore
+from repro.store.keys import SeriesKey
+from repro.store.lock import LOCK_FILENAME, LOCK_SCHEMA
+
+BUILDING = "b001"
+KEY = SeriesKey(building=BUILDING, wall="w", node_id=0, metric="strain")
+
+
+def _lock_path(root: Path) -> Path:
+    return root / "segments" / BUILDING / LOCK_FILENAME
+
+
+def _hold_lock_forever(root: str, ready, release):
+    """Child: open a writer, ingest into the building, hold the lock."""
+    store = TelemetryStore(root)
+    writer = store.writer()
+    writer.add(KEY, np.array([0.0]), np.array([1.0]))
+    writer.flush()
+    ready.set()
+    release.wait(timeout=60)
+    writer.close()
+
+
+def _try_write(root: str, queue):
+    """Child: attempt an ingest; report 'ok' or the error class name."""
+    try:
+        store = TelemetryStore(root)
+        with store.writer() as writer:
+            writer.add(KEY, np.array([100.0]), np.array([2.0]))
+        queue.put("ok")
+    except PartitionLockError:
+        queue.put("PartitionLockError")
+    except Exception as exc:  # pragma: no cover - diagnostic path
+        queue.put(f"{type(exc).__name__}: {exc}")
+
+
+@pytest.fixture
+def mp_ctx():
+    # fork keeps the children cheap and inherits the test's imports.
+    return multiprocessing.get_context("fork")
+
+
+class TestLiveForeignWriter:
+    def test_second_process_writer_is_refused(self, tmp_path, mp_ctx):
+        root = tmp_path / "store"
+        TelemetryStore(root)  # create the marker before the children race
+        ready, release = mp_ctx.Event(), mp_ctx.Event()
+        holder = mp_ctx.Process(
+            target=_hold_lock_forever, args=(str(root), ready, release)
+        )
+        holder.start()
+        try:
+            assert ready.wait(timeout=30), "holder never acquired the lock"
+            queue = mp_ctx.Queue()
+            rival = mp_ctx.Process(target=_try_write, args=(str(root), queue))
+            rival.start()
+            assert queue.get(timeout=30) == "PartitionLockError"
+            rival.join(timeout=30)
+            # The holder's lockfile names the holder, not the rival.
+            payload = json.loads(_lock_path(root).read_text())
+            assert payload["pid"] == holder.pid
+            assert payload["schema"] == LOCK_SCHEMA
+        finally:
+            release.set()
+            holder.join(timeout=30)
+        # Once the holder exits cleanly, the partition opens up again.
+        assert not _lock_path(root).exists()
+        store = TelemetryStore(root, create=False)
+        with store.writer() as writer:
+            writer.add(KEY, np.array([200.0]), np.array([3.0]))
+        assert store.read(KEY)["t"].tolist() == [0.0, 200.0]
+
+
+class TestDeadWriterReclaim:
+    def test_sigkilled_writers_lock_reclaimed_by_next_process(
+        self, tmp_path, mp_ctx
+    ):
+        root = tmp_path / "store"
+        TelemetryStore(root)
+        ready, release = mp_ctx.Event(), mp_ctx.Event()
+        victim = mp_ctx.Process(
+            target=_hold_lock_forever, args=(str(root), ready, release)
+        )
+        victim.start()
+        assert ready.wait(timeout=30)
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=30)
+        assert _lock_path(root).exists()  # SIGKILL leaked the lockfile
+
+        queue = mp_ctx.Queue()
+        successor = mp_ctx.Process(target=_try_write, args=(str(root), queue))
+        successor.start()
+        assert queue.get(timeout=30) == "ok"
+        successor.join(timeout=30)
+        # The successor's rows landed after the victim's flushed ones.
+        store = TelemetryStore(root, create=False)
+        assert store.read(KEY)["t"].tolist() == [0.0, 100.0]
+
+
+class TestGarbageLockfile:
+    def test_unparseable_lockfile_reclaimed(self, tmp_path, mp_ctx):
+        root = tmp_path / "store"
+        TelemetryStore(root)
+        lock = _lock_path(root)
+        lock.parent.mkdir(parents=True, exist_ok=True)
+        lock.write_text("{not json")  # a crashed half-write
+
+        queue = mp_ctx.Queue()
+        writer_proc = mp_ctx.Process(target=_try_write, args=(str(root), queue))
+        writer_proc.start()
+        assert queue.get(timeout=30) == "ok"
+        writer_proc.join(timeout=30)
+
+    def test_lockfile_naming_a_dead_pid_reclaimed(self, tmp_path, mp_ctx):
+        root = tmp_path / "store"
+        TelemetryStore(root)
+        # Burn a pid that is certainly dead by the time we use it.
+        burner = mp_ctx.Process(target=time.sleep, args=(0,))
+        burner.start()
+        dead_pid = burner.pid
+        burner.join(timeout=30)
+
+        lock = _lock_path(root)
+        lock.parent.mkdir(parents=True, exist_ok=True)
+        lock.write_text(json.dumps(
+            {"schema": LOCK_SCHEMA, "building": BUILDING, "pid": dead_pid}
+        ))
+        queue = mp_ctx.Queue()
+        writer_proc = mp_ctx.Process(target=_try_write, args=(str(root), queue))
+        writer_proc.start()
+        assert queue.get(timeout=30) == "ok"
+        writer_proc.join(timeout=30)
