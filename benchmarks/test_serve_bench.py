@@ -1,0 +1,258 @@
+"""Benchmark: closed-loop serving load, gateway vs threaded (ISSUE 10).
+
+A fleet of concurrent clients replays a zipf-distributed query mix
+(hot dashboard windows dominate, with a long tail of colder series
+reads and aggregates) against both serving engines over real sockets:
+
+* the **threaded** stdlib reference server (HTTP/1.0, one thread and
+  one TCP handshake per request, no cache);
+* the **asyncio gateway** (keep-alive, bounded worker pool, hot-rollup
+  LRU serving pre-rendered bytes).
+
+Both serve the same seeded store through the same
+:class:`repro.serve.api.EndpointCore`, so the qps/latency gap is the
+transport + cache story, not a difference in what is computed.
+``speedup_qps_vs_threaded`` is the headline number ``obs trend`` gates
+(floor 3.0 on full runs).
+
+Environment knobs (used by scripts/ci.sh stage 12):
+
+* ``REPRO_SERVE_BENCH_SMOKE=1`` -- shrink the client fleet for CI;
+  smoke readings are never gated or recorded by ``obs trend``.
+* ``REPRO_BENCH_OUT=/path.json`` -- redirect the artifact so CI smoke
+  runs do not overwrite the committed full-run numbers.
+"""
+
+import http.client
+import json
+import os
+import shutil
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+from conftest import report
+
+from repro.obs import MetricsRegistry
+from repro.serve import gateway_background
+from repro.store import SeriesKey, TelemetryStore, serve_background
+
+SMOKE = os.environ.get("REPRO_SERVE_BENCH_SMOKE", "") == "1"
+
+CLIENTS = 16 if SMOKE else 128
+REQUESTS_PER_CLIENT = 12 if SMOKE else 40
+ZIPF_A = 1.4
+SPEEDUP_FLOOR = 1.3 if SMOKE else 3.0
+
+BENCH_FILE = Path(
+    os.environ.get(
+        "REPRO_BENCH_OUT",
+        Path(__file__).resolve().parents[1] / "BENCH_serve.json",
+    )
+)
+
+
+def _seed_store(root: Path) -> TelemetryStore:
+    store = TelemetryStore(root)
+    hours = np.arange(0.0, 24.0 * 30.0, 0.5)
+    rng = np.random.default_rng(42)
+    for node in range(1, 7):
+        for wall in ("east", "west"):
+            store.append(
+                SeriesKey("hq", wall, node, "strain"),
+                hours,
+                120.0 + 0.3 * node + rng.normal(0.0, 0.05, hours.size),
+            )
+    store.compact()
+    return store
+
+
+def _targets() -> list:
+    """The query mix, hottest first (rank 1 of the zipf draw)."""
+    series = "building=hq&wall=east&node=1&metric=strain"
+    targets = [
+        f"/series?{series}&resolution=hourly&t0=600&t1=720",
+        f"/series?{series}&resolution=daily",
+        "/aggregate?metric=strain&agg=mean&resolution=daily&group_by=node",
+        f"/series?building=hq&wall=west&node=2&metric=strain"
+        "&resolution=hourly&t0=0&t1=240",
+        "/aggregate?metric=strain&agg=max&resolution=hourly&building=hq",
+        "/stats",
+    ]
+    for node in range(1, 7):
+        targets.append(
+            f"/series?building=hq&wall=west&node={node}&metric=strain"
+            f"&resolution=daily&t0=48"
+        )
+        targets.append(
+            f"/series?building=hq&wall=east&node={node}&metric=strain"
+            f"&t0=700&t1=715"  # raw tail: uncacheable by design
+        )
+    return targets
+
+
+def _request_plan(seed: int) -> list:
+    """Per-client target sequences, zipf-ranked over the target list."""
+    targets = _targets()
+    rng = np.random.default_rng(seed)
+    ranks = rng.zipf(ZIPF_A, size=(CLIENTS, REQUESTS_PER_CLIENT))
+    return [
+        [targets[(rank - 1) % len(targets)] for rank in row]
+        for row in ranks
+    ]
+
+
+def _run_load(port: int, plan: list) -> dict:
+    """Fire every client, closed-loop; returns qps/latency/error stats."""
+    latencies: list = []
+    errors: list = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(len(plan) + 1)
+
+    def client(sequence: list) -> None:
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60.0)
+        mine: list = []
+        failed: list = []
+        barrier.wait()
+        for target in sequence:
+            t0 = time.perf_counter()
+            try:
+                conn.request("GET", target)
+                response = conn.getresponse()
+                response.read()
+                status = response.status
+            except (http.client.HTTPException, OSError):
+                conn.close()
+                conn = http.client.HTTPConnection(
+                    "127.0.0.1", port, timeout=60.0
+                )
+                conn.request("GET", target)
+                response = conn.getresponse()
+                response.read()
+                status = response.status
+            mine.append((time.perf_counter() - t0) * 1000.0)
+            if status != 200:
+                failed.append(status)
+        conn.close()
+        with lock:
+            latencies.extend(mine)
+            errors.extend(failed)
+
+    threads = [
+        threading.Thread(target=client, args=(sequence,), daemon=True)
+        for sequence in plan
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - t0
+    samples = np.asarray(latencies)
+    return {
+        "requests": int(samples.size),
+        "wall_s": wall,
+        "qps": samples.size / wall,
+        "p50_ms": float(np.percentile(samples, 50.0)),
+        "p99_ms": float(np.percentile(samples, 99.0)),
+        "errors": len(errors),
+    }
+
+
+def test_serve_bench(benchmark):
+    tmp = Path(tempfile.mkdtemp(prefix="serve-bench-"))
+    try:
+        store = _seed_store(tmp / "store")
+        plan = _request_plan(seed=2021)
+        warmup = _targets()
+
+        server, server_thread = serve_background(
+            store, registry=MetricsRegistry()
+        )
+        try:
+            _run_load(server.port, [warmup])
+            threaded = _run_load(server.port, plan)
+        finally:
+            server.shutdown()
+            server_thread.join(timeout=10.0)
+
+        gateway, gateway_thread = gateway_background(
+            store,
+            registry=MetricsRegistry(),
+            workers=min(32, os.cpu_count() or 8),
+            max_queue=CLIENTS * 4,  # closed-loop: shedding would skew qps
+        )
+        try:
+            _run_load(gateway.port, [warmup])
+            result = benchmark.pedantic(
+                _run_load, args=(gateway.port, plan),
+                iterations=1, rounds=1,
+            )
+            cache_stats = gateway.cache.stats()
+            shed = gateway.registry.snapshot()["counters"].get(
+                "serve.shed", 0
+            )
+        finally:
+            gateway.shutdown()
+            gateway_thread.join(timeout=10.0)
+
+        speedup = result["qps"] / threaded["qps"]
+        payload = {
+            "schema": "repro/bench-serve/v1",
+            "smoke": SMOKE,
+            "workload": {
+                "clients": CLIENTS,
+                "requests_per_client": REQUESTS_PER_CLIENT,
+                "requests_total": result["requests"],
+                "targets": len(_targets()),
+                "zipf_a": ZIPF_A,
+            },
+            "gateway": {
+                "qps": round(result["qps"], 1),
+                "p50_ms": round(result["p50_ms"], 3),
+                "p99_ms": round(result["p99_ms"], 3),
+                "errors": result["errors"],
+                "shed": int(shed),
+                "cache_hit_rate": round(cache_stats["hit_rate"], 4),
+            },
+            "threaded": {
+                "qps": round(threaded["qps"], 1),
+                "p50_ms": round(threaded["p50_ms"], 3),
+                "p99_ms": round(threaded["p99_ms"], 3),
+                "errors": threaded["errors"],
+            },
+            "speedup_qps_vs_threaded": round(speedup, 3),
+        }
+        BENCH_FILE.write_text(json.dumps(payload, indent=2) + "\n")
+
+        report(
+            "repro.serve -- gateway vs threaded under zipf load",
+            [
+                (
+                    "workload", "--",
+                    f"{CLIENTS} clients x {REQUESTS_PER_CLIENT} reqs",
+                ),
+                ("threaded qps", "--", f"{threaded['qps']:.0f}"),
+                ("gateway qps", "--", f"{result['qps']:.0f}"),
+                (
+                    "gateway p50/p99", "--",
+                    f"{result['p50_ms']:.2f} / {result['p99_ms']:.2f} ms",
+                ),
+                (
+                    "cache hit rate", "--",
+                    f"{cache_stats['hit_rate']:.1%}",
+                ),
+                ("speedup (qps)", ">= 3x", f"{speedup:.2f}x"),
+            ],
+        )
+
+        assert threaded["errors"] == 0 and result["errors"] == 0
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"gateway is only {speedup:.2f}x the threaded server "
+            f"(floor {SPEEDUP_FLOOR}x)"
+        )
+    finally:
+        shutil.rmtree(tmp)

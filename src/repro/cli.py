@@ -59,7 +59,7 @@ import math
 import random
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from .acoustics import StructureGeometry, WavePrism, paper_structures
 from .link import PlacedNode, PowerUpLink, WallSession, plan_stations
@@ -973,30 +973,67 @@ def _cmd_store_stats(args: argparse.Namespace) -> int:
 def _cmd_store_serve(args: argparse.Namespace) -> int:
     import time as time_module
 
-    from .store import StoreServer
-
     store = _open_store(args)
-    server = StoreServer(store, host=args.host, port=args.port)
-    recorder = None
-    if args.self_record > 0.0:
+
+    def start_recorder(registry: Any) -> Any:
+        if args.self_record <= 0.0:
+            return None
         from .obs.pipeline import MetricsRecorder
 
-        recorder = MetricsRecorder(
-            store, source="serve", registry=server.registry,
+        return MetricsRecorder(
+            store, source="serve", registry=registry,
             clock=lambda: time_module.time() / 3600.0,
         ).start(interval_s=args.self_record)
-    # The port line is machine-read by CI (ephemeral --port 0); keep it
-    # first and flush before blocking.
-    print(f"serving {args.store} on http://{args.host}:{server.port}", flush=True)
-    print(
-        "endpoints: /series /aggregate /health /stats /metrics /healthz"
-        "  (Ctrl-C to stop)"
-    )
-    if recorder is not None:
+
+    def announce(port: int) -> None:
+        # The port line is machine-read by CI (ephemeral --port 0);
+        # keep it first and flush before blocking.
         print(
-            f"self-recording serve metrics into _obs/serve every "
-            f"{args.self_record:g} s"
+            f"serving {args.store} on http://{args.host}:{port}", flush=True
         )
+        print(
+            "endpoints: /series /aggregate /health /stats /metrics /healthz"
+            "  (Ctrl-C to stop)"
+        )
+        if args.self_record > 0.0:
+            print(
+                f"self-recording serve metrics into _obs/serve every "
+                f"{args.self_record:g} s"
+            )
+
+    if args.engine == "async":
+        from .serve import AsyncGateway, run_gateway
+
+        gateway = AsyncGateway(
+            store, host=args.host, port=args.port,
+            workers=args.workers, max_queue=args.max_queue,
+            cache_entries=args.cache_entries,
+        )
+        recorder = None
+
+        def on_ready(gw: "AsyncGateway") -> None:
+            nonlocal recorder
+            recorder = start_recorder(gw.registry)
+            announce(gw.port)
+            print(
+                f"engine: async ({args.workers} worker(s), queue depth "
+                f"{args.max_queue}, {args.cache_entries} cache entries)"
+            )
+
+        try:
+            run_gateway(gateway, ready=on_ready)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            if recorder is not None:
+                recorder.stop()
+        return 0
+
+    from .store import StoreServer
+
+    server = StoreServer(store, host=args.host, port=args.port)
+    recorder = start_recorder(server.registry)
+    announce(server.port)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -1487,12 +1524,30 @@ def build_parser() -> argparse.ArgumentParser:
     st_stats.set_defaults(func=_cmd_store_stats)
 
     st_serve = store_sub.add_parser(
-        "serve", help="serve the store over JSON/HTTP (stdlib server)"
+        "serve", help="serve the store over JSON/HTTP"
     )
     _store_dir(st_serve)
     st_serve.add_argument("--host", default="127.0.0.1")
     st_serve.add_argument(
         "--port", type=int, default=8080, help="0 picks an ephemeral port"
+    )
+    st_serve.add_argument(
+        "--engine", choices=("threaded", "async"), default="threaded",
+        help="threaded = stdlib reference server (default); async = "
+        "asyncio gateway with keep-alive, rollup cache and load shedding",
+    )
+    st_serve.add_argument(
+        "--workers", type=int, default=8, metavar="N",
+        help="async engine: size of the blocking-read worker pool",
+    )
+    st_serve.add_argument(
+        "--max-queue", type=int, default=64, metavar="N",
+        help="async engine: max queued-or-executing requests before "
+        "shedding with 503 + Retry-After",
+    )
+    st_serve.add_argument(
+        "--cache-entries", type=int, default=512, metavar="N",
+        help="async engine: LRU capacity of the hot-rollup block cache",
     )
     st_serve.add_argument(
         "--self-record", type=float, default=0.0, metavar="SECONDS",

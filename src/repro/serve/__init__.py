@@ -1,0 +1,46 @@
+"""repro.serve: the production serving tier over the telemetry store.
+
+The store's HTTP story has two implementations sharing one endpoint
+core (:mod:`repro.serve.api`), so they provably serve identical JSON:
+
+* the legacy stdlib ``ThreadingHTTPServer`` in :mod:`repro.store.serve`
+  -- the reference implementation, one thread per connection, no
+  caching; and
+* :class:`AsyncGateway` (:mod:`repro.serve.gateway`) -- an asyncio
+  HTTP/1.1 gateway with connection reuse, a bounded worker pool over
+  segment reads, explicit load shedding (503 + ``Retry-After`` instead
+  of unbounded queueing), an LRU cache of hot rollup blocks invalidated
+  by the store's compaction generation counter, ETag/If-None-Match,
+  cursor pagination with chunked streaming for long windows, and
+  graceful drain on SIGINT/SIGTERM.
+
+See ``docs/SERVING.md`` for the architecture and the cache-invalidation
+contract, and ``benchmarks/test_serve_bench.py`` for the closed-loop
+load benchmark that pins the qps/p99 trajectory (``BENCH_serve.json``).
+"""
+
+from .api import (
+    CONDITIONAL_ENDPOINTS,
+    KNOWN_ENDPOINTS,
+    EndpointCore,
+    Response,
+    decode_cursor,
+    encode_cursor,
+    encode_json,
+)
+from .cache import RollupCache
+from .gateway import AsyncGateway, gateway_background, run_gateway
+
+__all__ = [
+    "AsyncGateway",
+    "CONDITIONAL_ENDPOINTS",
+    "EndpointCore",
+    "KNOWN_ENDPOINTS",
+    "Response",
+    "RollupCache",
+    "decode_cursor",
+    "encode_cursor",
+    "encode_json",
+    "gateway_background",
+    "run_gateway",
+]

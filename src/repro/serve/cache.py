@@ -1,0 +1,117 @@
+"""Hot-rollup LRU cache with generation-counter invalidation.
+
+The gateway's cache of query results, keyed by the caller (typically
+``(kind, series label, window, resolution)``).  Every entry is stamped
+with the store *generation* current when the value was computed; the
+store bumps its generation on :meth:`~repro.store.store.TelemetryStore.compact`
+and on ``truncate_from`` (both rewrite rollup bytes in place), so a
+lookup against a newer generation drops the stale entry instead of
+serving pre-compaction data.  That is the entire invalidation contract:
+no TTLs, no background sweeper -- staleness is impossible by
+construction, proved in ``tests/test_serve_gateway.py``.
+
+Counter accounting is exact and scripted-test-friendly:
+
+* ``hits``          -- entry present at the current generation;
+* ``misses``        -- every lookup that returns None (including ones
+  caused by an invalidation);
+* ``invalidations`` -- entry present but generation-stale (dropped);
+* ``evictions``     -- LRU entries pushed out by capacity.
+
+When a :class:`~repro.obs.metrics.MetricsRegistry` is attached, the
+same four counts are mirrored live as ``serve.cache_hits`` /
+``serve.cache_misses`` / ``serve.cache_invalidations`` /
+``serve.cache_evictions`` so a ``/metrics`` scrape sees them.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from ..errors import StoreError
+from ..obs.metrics import MetricsRegistry
+
+#: Default number of cached blocks; sized for "hot dashboards" (a few
+#: hundred distinct (series, window, resolution) combinations), not for
+#: holding a whole store in memory.
+DEFAULT_CACHE_ENTRIES = 512
+
+
+class RollupCache:
+    """Thread-safe LRU of ``key -> (generation, value)`` entries."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CACHE_ENTRIES,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        if capacity < 1:
+            raise StoreError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Tuple[int, Any]]" = OrderedDict()
+        self._registry = registry
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def _count(self, what: str) -> None:
+        if self._registry is not None:
+            self._registry.counter(f"serve.cache_{what}").inc()
+
+    def get(self, key: Hashable, generation: int) -> Optional[Any]:
+        """The cached value, or None on a miss (stale entries dropped)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0] == generation:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                self._count("hits")
+                return entry[1]
+            if entry is not None:
+                # Present but computed against an older store generation:
+                # a compaction (or truncate) rewrote rollup bytes since.
+                del self._entries[key]
+                self.invalidations += 1
+                self._count("invalidations")
+            self.misses += 1
+            self._count("misses")
+            return None
+
+    def put(self, key: Hashable, generation: int, value: Any) -> None:
+        """Insert (or refresh) an entry; LRU-evicts past capacity."""
+        with self._lock:
+            self._entries[key] = (generation, value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                self._count("evictions")
+
+    def clear(self) -> int:
+        """Drop everything; returns the number of entries dropped."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-ready counter snapshot (what the benchmark records)."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "hit_rate": (self.hits / lookups) if lookups else 0.0,
+            }

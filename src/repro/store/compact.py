@@ -86,6 +86,11 @@ def compact_store(
                 )
                 summary["rollup_rows"][resolution] += int(cols[0].size)
                 obs_counter("store.rollup_rows").inc(int(cols[0].size))
+    # Rollup bytes changed in place: bump the store generation so the
+    # serving tier's rollup caches drop their now-stale entries (the
+    # duck-typed guard keeps test doubles without markers working).
+    if hasattr(store, "bump_generation"):
+        summary["generation"] = store.bump_generation()
     obs_counter("store.compactions").inc()
     obs_event(
         "info", "store.compacted",

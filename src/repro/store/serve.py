@@ -1,32 +1,18 @@
-"""A minimal JSON/HTTP serving layer over one telemetry store.
+"""The legacy JSON/HTTP serving layer over one telemetry store.
 
-Stdlib-only (``http.server.ThreadingHTTPServer``) -- the point is the
-smart-building integration surface from the paper's Fig. 1f (facility
-dashboards polling wall health), not a production web stack.
+Stdlib-only (``http.server.ThreadingHTTPServer``) -- the *reference*
+implementation of the store's HTTP contract: one thread per
+connection, no caching, no pagination shortcuts.  All endpoint logic
+(routing, validation, error payloads, ETags, pagination) lives in the
+shared :class:`repro.serve.api.EndpointCore`, which the asyncio
+gateway (:mod:`repro.serve.gateway`) also fronts -- so the two servers
+provably serve byte-identical response bodies; the parity matrix in
+``tests/test_serve_gateway.py`` and CI stage 12 enforce it.
 
-Endpoints (all GET; JSON unless noted):
-
-* ``/health``              -- building health view (``?building=...``
-  required; optional ``stale_hours``, ``t0``, ``t1``); the
-  :meth:`QueryEngine.degradation_report` payload.
-* ``/series``              -- one series' samples (``building``,
-  ``wall``, ``node``, ``metric`` required; optional ``t0``, ``t1``,
-  ``resolution``).
-* ``/aggregate``           -- :meth:`QueryEngine.aggregate`
-  (``metric`` + ``agg`` required; optional filters, window,
-  ``resolution``, ``group_by``).
-* ``/stats``               -- :meth:`TelemetryStore.stats`.
-* ``/metrics``             -- the server's metrics registry in
-  Prometheus text exposition format (``text/plain``); includes the
-  per-endpoint ``serve.requests``/``serve.request_s`` series the
-  handler itself maintains.
-* ``/healthz``             -- operational liveness: ``ok`` (200) or
-  ``degraded`` (503, when the store holds quarantined segments),
-  uptime, series/quarantine counts, and -- when a campaign has been
-  self-recording into ``_obs/campaign`` -- the last heartbeat epoch.
-
-Bad queries return 400 with ``{"error": ...}``; unknown paths 404;
-anything else 500.
+Endpoints and the error contract are documented on
+:mod:`repro.serve.api`.  This server answers GET and HEAD; any other
+method gets the shared 405 JSON payload with an ``Allow: GET, HEAD``
+header (not stdlib's HTML 501 page).
 
 Every request is measured on the server's registry (request counters
 and latency histograms labeled by path and status), so a scrape of
@@ -35,46 +21,33 @@ and latency histograms labeled by path and status), so a scrape of
 
 from __future__ import annotations
 
-import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 from urllib.parse import parse_qsl, urlsplit
 
-from ..errors import ReproError, StoreError
-from ..obs import MetricsRegistry, obs_counter, obs_registry, render_prometheus_text
-from .keys import OBS_BUILDING, STRUCTURE_NODE_ID, SeriesKey
+from ..obs import MetricsRegistry, obs_counter
+from ..serve.api import KNOWN_ENDPOINTS, EndpointCore
+from ..serve.cache import RollupCache
 from .query import QueryEngine
-from .segment import RAW
 from .store import TelemetryStore
 
-#: Endpoints the handler reports per-path metrics for.  Unknown paths
-#: collapse into one ``other`` label so a URL-scanning client cannot
-#: inflate the registry with unbounded label values.
-KNOWN_ENDPOINTS = (
-    "/aggregate", "/health", "/healthz", "/metrics", "/series", "/stats",
-)
-
-
-def _opt_float(params: Dict[str, str], name: str) -> Optional[float]:
-    if name not in params:
-        return None
-    try:
-        return float(params[name])
-    except ValueError:
-        raise StoreError(f"query parameter {name!r} must be a number")
-
-
-def _require(params: Dict[str, str], name: str) -> str:
-    try:
-        return params[name]
-    except KeyError:
-        raise StoreError(f"missing required query parameter {name!r}")
+__all__ = [
+    "KNOWN_ENDPOINTS",
+    "StoreRequestHandler",
+    "StoreServer",
+    "serve_background",
+]
 
 
 class StoreServer(ThreadingHTTPServer):
-    """HTTP server bound to one store; port 0 picks an ephemeral port."""
+    """HTTP server bound to one store; port 0 picks an ephemeral port.
+
+    ``cache=None`` (the default) keeps this the uncached reference
+    implementation; pass a :class:`~repro.serve.cache.RollupCache` to
+    serve from hot rollup blocks like the gateway does.
+    """
 
     daemon_threads = True
 
@@ -84,18 +57,28 @@ class StoreServer(ThreadingHTTPServer):
         host: str = "127.0.0.1",
         port: int = 0,
         registry: Optional[MetricsRegistry] = None,
+        cache: Optional[RollupCache] = None,
     ):
         super().__init__((host, port), StoreRequestHandler)
-        self.store = store
-        self.engine = QueryEngine(store)
-        # The server's own registry: an explicit one, else the live obs
-        # registry, else a private one -- /metrics always has something
-        # real to expose, even with observability off globally.
-        self.registry = (
-            registry if registry is not None
-            else (obs_registry() or MetricsRegistry())
-        )
-        self.started_monotonic = time.monotonic()
+        self.core = EndpointCore(store, registry=registry, cache=cache)
+
+    # -- compatibility accessors (pre-extraction public surface) -------
+
+    @property
+    def store(self) -> TelemetryStore:
+        return self.core.store
+
+    @property
+    def engine(self) -> QueryEngine:
+        return self.core.engine
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self.core.registry
+
+    @property
+    def started_monotonic(self) -> float:
+        return self.core.started_monotonic
 
     @property
     def port(self) -> int:
@@ -104,155 +87,59 @@ class StoreServer(ThreadingHTTPServer):
     def observe_request(
         self, path: str, status: int, elapsed_s: float
     ) -> None:
-        """Fold one handled request into the server's registry."""
-        endpoint = path if path in KNOWN_ENDPOINTS else "other"
-        self.registry.counter("serve.requests").labels(
-            path=endpoint, status=status
-        ).inc()
-        self.registry.histogram("serve.request_s").labels(
-            path=endpoint
-        ).observe(elapsed_s)
-
-    # ------------------------------------------------------------------
-    # Routing (shared by every handler thread; queries are read-only)
-    # ------------------------------------------------------------------
+        self.core.observe_request(path, status, elapsed_s)
 
     def metrics_text(self) -> str:
-        """The registry in Prometheus text exposition format."""
-        return render_prometheus_text(self.registry.snapshot())
+        return self.core.metrics_text()
 
     def healthz(self) -> Tuple[Dict[str, Any], int]:
-        """Liveness payload and its HTTP status (200 ok / 503 degraded).
-
-        ``ok`` means the store is readable and nothing is quarantined.
-        When a campaign heartbeat exists under ``_obs/campaign`` its
-        last epoch/tick ride along, so one probe answers both "is the
-        store serving" and "is the pilot still advancing".
-        """
-        quarantined = (
-            sum(1 for _ in self.store.quarantine_dir.iterdir())
-            if self.store.quarantine_dir.is_dir()
-            else 0
-        )
-        payload: Dict[str, Any] = {
-            "status": "ok" if quarantined == 0 else "degraded",
-            "uptime_s": round(time.monotonic() - self.started_monotonic, 3),
-            "series_count": len(self.store.keys()),
-            "quarantined_segments": quarantined,
-        }
-        heartbeat = SeriesKey(
-            building=OBS_BUILDING, wall="campaign",
-            node_id=STRUCTURE_NODE_ID, metric="campaign.epoch",
-        )
-        try:
-            latest = self.engine.latest(heartbeat)
-        except (StoreError, ReproError):
-            latest = None
-        if latest is not None:
-            payload["campaign"] = {
-                "last_epoch": latest["value"],
-                "last_tick_hours": latest["t"],
-            }
-        return payload, (200 if payload["status"] == "ok" else 503)
+        return self.core.healthz()
 
     def route(self, path: str, params: Dict[str, str]) -> Dict[str, Any]:
-        if path == "/stats":
-            return self.store.stats()
-        if path == "/health":
-            return self.engine.degradation_report(
-                _require(params, "building"),
-                t0=_opt_float(params, "t0"),
-                t1=_opt_float(params, "t1"),
-                strain_metric=params.get("metric", "strain"),
-                stale_hours=_opt_float(params, "stale_hours"),
-            )
-        if path == "/series":
-            key = SeriesKey(
-                building=_require(params, "building"),
-                wall=_require(params, "wall"),
-                node_id=self._int(params, "node"),
-                metric=_require(params, "metric"),
-            )
-            data = self.engine.series(
-                key,
-                t0=_opt_float(params, "t0"),
-                t1=_opt_float(params, "t1"),
-                resolution=params.get("resolution", RAW),
-            )
-            return {
-                "key": key.to_dict(),
-                "resolution": params.get("resolution", RAW),
-                "rows": int(data["t"].size),
-                "columns": {
-                    name: column.tolist() for name, column in data.items()
-                },
-            }
-        if path == "/aggregate":
-            node = params.get("node")
-            return self.engine.aggregate(
-                metric=_require(params, "metric"),
-                agg=params.get("agg", "mean"),
-                building=params.get("building"),
-                wall=params.get("wall"),
-                node_id=None if node is None else self._int(params, "node"),
-                t0=_opt_float(params, "t0"),
-                t1=_opt_float(params, "t1"),
-                resolution=params.get("resolution", RAW),
-                group_by=params.get("group_by"),
-            )
-        raise LookupError(path)
-
-    @staticmethod
-    def _int(params: Dict[str, str], name: str) -> int:
-        raw = _require(params, name)
-        try:
-            return int(raw)
-        except ValueError:
-            raise StoreError(f"query parameter {name!r} must be an integer")
+        return self.core.route(path, params)
 
 
 class StoreRequestHandler(BaseHTTPRequestHandler):
     server: StoreServer
 
-    def do_GET(self) -> None:  # noqa: N802  (http.server's casing)
+    def _handle(self, method: str) -> None:
         obs_counter("store.http_requests").inc()
         started = time.perf_counter()
         parsed = urlsplit(self.path)
         params = dict(parse_qsl(parsed.query))
-        content_type = "application/json"
-        try:
-            if parsed.path == "/metrics":
-                # Rendered before observe_request, so the scrape a
-                # client reads never includes the scrape itself --
-                # each sample shows up from the *next* scrape on.
-                text, status = self.server.metrics_text(), 200
-                body = text.encode("utf-8")
-                content_type = "text/plain; version=0.0.4; charset=utf-8"
-            elif parsed.path == "/healthz":
-                payload, status = self.server.healthz()
-                body = json.dumps(payload).encode("utf-8")
-            else:
-                payload, status = self.server.route(parsed.path, params), 200
-                body = json.dumps(payload).encode("utf-8")
-        except LookupError:
-            payload, status = {"error": f"no such endpoint {parsed.path!r}"}, 404
-            body = json.dumps(payload).encode("utf-8")
-        except (StoreError, ReproError) as exc:
-            payload, status = {"error": str(exc)}, 400
-            body = json.dumps(payload).encode("utf-8")
-        except Exception as exc:  # pragma: no cover - defensive
-            payload, status = {"error": f"internal error: {exc!r}"}, 500
-            body = json.dumps(payload).encode("utf-8")
-        if status not in (200, 503):
+        response = self.server.core.handle(
+            method, parsed.path, params, self.headers.get("If-None-Match")
+        )
+        if response.status not in (200, 304, 503):
             obs_counter("store.http_errors").inc()
         self.server.observe_request(
-            parsed.path, status, time.perf_counter() - started
+            parsed.path, response.status, time.perf_counter() - started
         )
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        # HEAD advertises the GET body's length with an empty body.
+        self.send_header("Content-Length", str(len(response.body)))
+        for name, value in response.headers:
+            self.send_header(name, value)
         self.end_headers()
-        self.wfile.write(body)
+        if method != "HEAD":
+            self.wfile.write(response.body)
+
+    def do_GET(self) -> None:  # noqa: N802  (http.server's casing)
+        self._handle("GET")
+
+    def do_HEAD(self) -> None:  # noqa: N802
+        self._handle("HEAD")
+
+    def __getattr__(self, name: str) -> Callable[[], None]:
+        # http.server dispatches on ``do_<VERB>`` and answers a missing
+        # handler with its HTML 501 page.  Synthesising a handler for
+        # *every* verb routes POST/PUT/DELETE/BREW/... through the
+        # shared core, which answers with the JSON 405 + Allow contract.
+        if name.startswith("do_"):
+            verb = name[3:]
+            return lambda: self._handle(verb)
+        raise AttributeError(name)
 
     def log_message(self, format: str, *args: Any) -> None:
         """Silenced: request logging goes through obs counters instead."""
@@ -263,9 +150,12 @@ def serve_background(
     host: str = "127.0.0.1",
     port: int = 0,
     registry: Optional[MetricsRegistry] = None,
+    cache: Optional[RollupCache] = None,
 ) -> Tuple[StoreServer, threading.Thread]:
     """Start a server on a daemon thread; caller owns ``.shutdown()``."""
-    server = StoreServer(store, host=host, port=port, registry=registry)
+    server = StoreServer(
+        store, host=host, port=port, registry=registry, cache=cache
+    )
     thread = threading.Thread(
         target=server.serve_forever, name="store-serve", daemon=True
     )

@@ -58,6 +58,7 @@ class TelemetryStore:
 
     def __init__(self, root: Union[str, Path], create: bool = True):
         self.root = Path(root)
+        self._generation_cache: Optional[Tuple[int, int]] = None
         marker = self.root / STORE_MARKER_FILENAME
         if marker.exists():
             try:
@@ -76,7 +77,8 @@ class TelemetryStore:
             # partitions belong to whoever holds their lock).
             reclaim_tmp_files(self.root, recursive=False, scope="store")
             write_json_atomic(
-                marker, {"schema": STORE_SCHEMA, "time_unit": "hours"}
+                marker,
+                {"schema": STORE_SCHEMA, "time_unit": "hours", "generation": 0},
             )
         else:
             raise StoreError(
@@ -94,6 +96,58 @@ class TelemetryStore:
     @property
     def quarantine_dir(self) -> Path:
         return self.root / QUARANTINE_DIRNAME
+
+    # ------------------------------------------------------------------
+    # Generation (rollup-cache invalidation)
+    # ------------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """The store's compaction generation (0 for pre-generation stores).
+
+        Persisted in ``store.json`` and bumped by every operation that
+        rewrites rollup bytes in place (:meth:`compact`,
+        :meth:`truncate_from`), so serving-tier caches keyed on it can
+        never return pre-compaction data.  Cross-process visible: the
+        marker is re-read whenever its mtime changes (one ``stat`` per
+        access), so a ``store compact`` in another process invalidates
+        a long-running server's cache too.
+        """
+        marker = self.root / STORE_MARKER_FILENAME
+        try:
+            mtime_ns = marker.stat().st_mtime_ns
+        except OSError:
+            return 0
+        cached = self._generation_cache
+        if cached is not None and cached[0] == mtime_ns:
+            return cached[1]
+        try:
+            payload = json.loads(marker.read_text())
+        except (OSError, ValueError):
+            # Racing an atomic rewrite; next access re-reads.
+            return 0
+        value = (
+            int(payload.get("generation", 0))
+            if isinstance(payload, dict) else 0
+        )
+        self._generation_cache = (mtime_ns, value)
+        return value
+
+    def bump_generation(self) -> int:
+        """Advance and persist the generation; returns the new value."""
+        marker = self.root / STORE_MARKER_FILENAME
+        try:
+            payload = json.loads(marker.read_text())
+        except (OSError, ValueError):
+            payload = {"schema": STORE_SCHEMA, "time_unit": "hours"}
+        if not isinstance(payload, dict):
+            payload = {"schema": STORE_SCHEMA, "time_unit": "hours"}
+        value = int(payload.get("generation", 0)) + 1
+        payload["generation"] = value
+        write_json_atomic(marker, payload)
+        self._generation_cache = None
+        obs_counter("store.generation_bumps").inc()
+        return value
 
     def segment(self, key: SeriesKey) -> SegmentDir:
         return SegmentDir(
@@ -179,6 +233,8 @@ class TelemetryStore:
         for key in (self.keys() if keys is None else keys):
             dropped += self.segment(key).truncate_from(t)
         if dropped:
+            # Rollups were cleared in place: stale cached blocks must die.
+            self.bump_generation()
             obs_counter("store.rows_truncated").inc(dropped)
             obs_event(
                 "info", "store.truncated_from", t=t, rows_dropped=dropped,
